@@ -1,0 +1,68 @@
+//! The partitioning methods the paper compares against (§I).
+//!
+//! The greatest-common-divisor method (Padua), the minimum-distance
+//! method (Peir & Cytron), and the independent-partitioning family
+//! (Shang & Fortes, D'Hollander) all split the iteration space into
+//! **fully independent** blocks — no dependence may cross a block
+//! boundary. That makes them communication-free, but when the dependence
+//! lattice spans the whole space (matrix multiplication, convolution,
+//! transitive closure, DFT, …) they produce a single block and the loop
+//! runs sequentially. The Sheu–Tai grouping method trades a little
+//! communication for parallelism on exactly those loops; the baseline
+//! benches reproduce that crossover.
+//!
+//! * [`gcd`] — per-dimension GCD residue classes,
+//! * [`lattice`] — dependence-lattice cosets (the exact independent
+//!   partition; minimum-distance and D'Hollander labelings compute the
+//!   same classes),
+//! * [`serial`] — the trivial one-block and one-point-per-block extremes,
+//! * [`strip`] — contiguous block distribution (King & Ni-style
+//!   grouping), with the schedule-stretch metric that Theorem 1's
+//!   blocks avoid.
+
+#![deny(missing_docs)]
+
+pub mod gcd;
+pub mod lattice;
+pub mod serial;
+pub mod strip;
+
+use loom_partition::ComputationalStructure;
+
+/// A block decomposition produced by a baseline method.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Human-readable method name.
+    pub method: &'static str,
+    /// Point ids per block.
+    pub blocks: Vec<Vec<usize>>,
+    /// Block id per point.
+    pub block_of: Vec<usize>,
+}
+
+impl BaselineResult {
+    /// Number of blocks — for an independent partitioning this is the
+    /// exploitable parallelism.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` iff the method failed to find any parallelism.
+    pub fn is_sequential(&self) -> bool {
+        self.blocks.len() <= 1
+    }
+
+    /// Count dependence arcs crossing block boundaries (must be 0 for a
+    /// correct independent partitioning).
+    pub fn interblock_arcs(&self, cs: &ComputationalStructure) -> usize {
+        let mut crossing = 0;
+        for id in 0..cs.len() {
+            for (succ, _) in cs.successors(id) {
+                if self.block_of[id] != self.block_of[succ] {
+                    crossing += 1;
+                }
+            }
+        }
+        crossing
+    }
+}

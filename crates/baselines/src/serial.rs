@@ -1,0 +1,56 @@
+//! Degenerate reference partitions: everything-in-one-block and
+//! one-point-per-block.
+
+use crate::BaselineResult;
+use loom_partition::ComputationalStructure;
+
+/// The whole iteration space as a single block: zero communication,
+/// zero parallelism. The lower bound every method must beat.
+pub fn one_block(cs: &ComputationalStructure) -> BaselineResult {
+    BaselineResult {
+        method: "one-block",
+        blocks: vec![(0..cs.len()).collect()],
+        block_of: vec![0; cs.len()],
+    }
+}
+
+/// Every iteration its own block: maximal parallelism, every dependence
+/// arc becomes communication. The upper bound on traffic.
+pub fn per_point(cs: &ComputationalStructure) -> BaselineResult {
+    BaselineResult {
+        method: "per-point",
+        blocks: (0..cs.len()).map(|i| vec![i]).collect(),
+        block_of: (0..cs.len()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_loopir::IterSpace;
+
+    fn cs() -> ComputationalStructure {
+        ComputationalStructure::new(
+            IterSpace::rect(&[4, 4]).unwrap(),
+            vec![vec![0, 1], vec![1, 1], vec![1, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_block_has_no_communication() {
+        let s = cs();
+        let r = one_block(&s);
+        assert!(r.is_sequential());
+        assert_eq!(r.interblock_arcs(&s), 0);
+    }
+
+    #[test]
+    fn per_point_pays_every_arc() {
+        let s = cs();
+        let r = per_point(&s);
+        assert_eq!(r.num_blocks(), 16);
+        // All 33 arcs of L1 cross blocks.
+        assert_eq!(r.interblock_arcs(&s), 33);
+    }
+}

@@ -1,0 +1,117 @@
+//! A3 — baseline crossover: independent partitioning (GCD / lattice)
+//! vs the Sheu–Tai grouping method.
+//!
+//! §I's claim: on matmul, DFT, convolution, and transitive closure the
+//! independent methods find no parallelism at all, while the grouping
+//! method extracts blocks at the cost of bounded communication. On loops
+//! whose dependence lattice is coarse, the independent methods win
+//! (zero communication).
+
+use loom_baselines::{gcd, lattice, serial};
+use loom_bench::partition_workload;
+use loom_core::report::Table;
+use loom_partition::comm::comm_stats;
+use loom_partition::ComputationalStructure;
+
+fn main() {
+    println!("A3 — independent partitioning vs Sheu–Tai grouping\n");
+    let workloads = vec![
+        loom_workloads::matmul::workload(4),
+        loom_workloads::dft::workload(8),
+        loom_workloads::conv::workload(8, 4),
+        loom_workloads::transitive::workload(4),
+        loom_workloads::matvec::workload(8),
+        loom_workloads::sor::workload(8, 8),
+    ];
+
+    let mut t = Table::new([
+        "workload", "gcd blocks", "lattice blocks", "sheu-tai blocks", "s-t interblock arcs",
+    ]);
+    for w in &workloads {
+        let cs = ComputationalStructure::new(w.nest.space().clone(), w.verified_deps())
+            .expect("non-empty");
+        let g = gcd::partition(&cs);
+        let l = lattice::partition(&cs);
+        // Independent methods must never cross a dependence.
+        assert_eq!(g.interblock_arcs(&cs), 0, "{}", w.nest.name());
+        assert_eq!(l.interblock_arcs(&cs), 0, "{}", w.nest.name());
+        let st = partition_workload(w);
+        let stats = comm_stats(&st);
+        t.row([
+            w.nest.name().to_string(),
+            format!("{}", g.num_blocks()),
+            format!("{}", l.num_blocks()),
+            format!("{}", st.num_blocks()),
+            format!("{}", stats.interblock_arcs),
+        ]);
+        // §I: these algorithms "will execute sequentially by their methods".
+        assert!(g.is_sequential(), "{} should defeat GCD", w.nest.name());
+        assert!(l.is_sequential(), "{} should defeat lattice", w.nest.name());
+        assert!(st.num_blocks() > 1, "{} should parallelize", w.nest.name());
+    }
+    println!("{t}");
+
+    // Strip partitioning (King & Ni-style block distribution) gets
+    // bounded communication too — but it serializes schedule-parallel
+    // work, which Algorithm 1's projection provably never does
+    // (Theorem 1). Compare the schedule stretch.
+    println!("strip vs projection blocks on sor 16×16 (Π = (1,1)):\n");
+    use loom_baselines::strip;
+    use loom_hyperplane::TimeFn as TF;
+    let w = loom_workloads::sor::workload(16, 16);
+    let cs2 = ComputationalStructure::new(w.nest.space().clone(), w.verified_deps()).unwrap();
+    let pi = TF::new(w.pi.clone());
+    let mut t = Table::new(["method", "blocks", "interblock arcs", "schedule stretch"]);
+    for width in [2i64, 4, 8] {
+        let r = strip::partition(&cs2, 0, width);
+        t.row([
+            format!("strip w={width}"),
+            format!("{}", r.num_blocks()),
+            format!("{}", r.interblock_arcs(&cs2)),
+            format!("{}", strip::schedule_stretch(&r, &cs2, &pi)),
+        ]);
+    }
+    let st = partition_workload(&w);
+    let st_result = loom_baselines::BaselineResult {
+        method: "sheu-tai",
+        blocks: st.blocks().to_vec(),
+        block_of: (0..cs2.len()).map(|id| st.block_of(id)).collect(),
+    };
+    t.row([
+        "sheu-tai (Alg. 1)".to_string(),
+        format!("{}", st.num_blocks()),
+        format!("{}", comm_stats(&st).interblock_arcs),
+        format!("{}", strip::schedule_stretch(&st_result, &cs2, &pi)),
+    ]);
+    println!("{t}");
+    assert_eq!(strip::schedule_stretch(&st_result, &cs2, &pi), 1);
+    println!();
+
+    // A loop the independent methods *can* split: strided stencil.
+    println!("counter-example where independent partitioning wins:");
+    use loom_hyperplane::TimeFn;
+    use loom_loopir::IterSpace;
+    let space = IterSpace::rect(&[8, 8]).unwrap();
+    let deps = vec![vec![2, 0], vec![0, 2]];
+    let cs = ComputationalStructure::new(space.clone(), deps.clone()).unwrap();
+    let g = gcd::partition(&cs);
+    let st = loom_partition::partition(
+        space,
+        deps,
+        TimeFn::new(vec![1, 1]),
+        &loom_partition::PartitionConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "  stride-2 stencil: gcd finds {} independent blocks (0 communication);",
+        g.num_blocks()
+    );
+    println!(
+        "  sheu-tai finds {} blocks with {} interblock arcs",
+        st.num_blocks(),
+        comm_stats(&st).interblock_arcs
+    );
+    assert_eq!(g.num_blocks(), 4);
+    let one = serial::one_block(&cs);
+    assert!(one.is_sequential());
+}

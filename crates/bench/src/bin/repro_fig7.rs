@@ -1,0 +1,29 @@
+//! E4 — Fig. 7: the group communication graph of the matmul partition,
+//! and the Theorem 2 bound `2m − β`.
+
+use loom_bench::paper_matmul_partitioning;
+use loom_core::report::Table;
+use loom_partition::comm::group_dependence_graph;
+
+fn main() {
+    let p = paper_matmul_partitioning();
+    let graph = group_dependence_graph(&p);
+    let m = p.structure().deps().len();
+    let beta = p.vectors().beta;
+
+    println!("Fig. 7 — group communication graph of Fig. 6\n");
+    let mut t = Table::new(["group", "sends data to", "out-degree"]);
+    for (g, out) in graph.iter().enumerate() {
+        let targets: Vec<String> = out.iter().map(|x| format!("G{x}")).collect();
+        t.row([format!("G{g}"), targets.join(" "), format!("{}", out.len())]);
+    }
+    println!("{t}");
+
+    let max_out = graph.iter().map(|s| s.len()).max().unwrap();
+    let edges: usize = graph.iter().map(|s| s.len()).sum();
+    println!("directed edges: {edges}");
+    println!("max out-degree: {max_out} (Theorem 2 bound: 2m - beta = {})", 2 * m - beta);
+    println!("paper: G10 sends data to 2·3 - 2 = 4 groups");
+    assert!(max_out <= 2 * m - beta);
+    assert_eq!(max_out, 4);
+}

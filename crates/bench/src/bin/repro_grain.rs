@@ -1,0 +1,68 @@
+//! A5 — grain-size sweep and crossover: §IV's closing claim that "the
+//! ratio of communication time to computation time declines rapidly as
+//! the grain size grows; our method is suitable for medium- to
+//! coarse-grain computation."
+
+use loom_core::analytic::{
+    matvec_crossover_m, matvec_efficiency, matvec_exec_terms, matvec_speedup,
+};
+use loom_core::report::Table;
+use loom_machine::MachineParams;
+
+fn main() {
+    println!("A5 — grain size vs speedup (analytic model, N = 16)\n");
+    let machines = [
+        ("low-latency", MachineParams::low_latency()),
+        ("classic-1991", MachineParams::classic_1991()),
+        ("high-latency", MachineParams::high_latency()),
+    ];
+
+    let mut t = Table::new(["machine", "M", "comm/comp ratio", "speedup", "efficiency"]);
+    for (name, p) in &machines {
+        for m in [16u64, 64, 256, 1024, 4096] {
+            let terms = matvec_exec_terms(m, 16);
+            let comp = (terms.calc_coeff * p.t_calc) as f64;
+            let comm = (terms.comm_coeff * (p.t_start + p.t_comm)) as f64;
+            t.row([
+                name.to_string(),
+                format!("{m}"),
+                format!("{:.3}", comm / comp),
+                format!("{:.2}", matvec_speedup(m, 16, p)),
+                format!("{:.2}", matvec_efficiency(m, 16, p)),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    println!("crossover problem size M* (parallel first beats serial):\n");
+    let mut t = Table::new(["machine", "N=2", "N=4", "N=16", "N=64"]);
+    for (name, p) in &machines {
+        let row: Vec<String> = [2u64, 4, 16, 64]
+            .iter()
+            .map(|&n| {
+                matvec_crossover_m(n, p, 1 << 22)
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| ">2^22".to_string())
+            })
+            .collect();
+        t.row([
+            name.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: the comm/comp ratio falls ~1/M; speedup approaches N as M\n\
+         grows; the crossover M* grows with message latency."
+    );
+    // Sanity: ratio strictly decreasing in M on the classic machine.
+    let p = MachineParams::classic_1991();
+    let ratio = |m: u64| {
+        let t = matvec_exec_terms(m, 16);
+        (t.comm_coeff * (p.t_start + p.t_comm)) as f64 / (t.calc_coeff * p.t_calc) as f64
+    };
+    assert!(ratio(64) > ratio(256) && ratio(256) > ratio(1024));
+}

@@ -1,0 +1,77 @@
+//! A7 — speedup series: generalizing Table I's machine-size sweep to
+//! every workload, on both a 1991 machine and a low-latency one — the
+//! same loop can be communication-bound on one and scale on the other.
+
+use loom_core::pipeline::MachineOptions;
+use loom_core::report::Table;
+use loom_core::{Pipeline, PipelineConfig};
+use loom_machine::MachineParams;
+use loom_workloads::Workload;
+
+fn speedups(w: &Workload, params: MachineParams) -> Vec<Option<f64>> {
+    let mut out = Vec::new();
+    let mut serial = None;
+    for cube_dim in [0usize, 1, 2, 3] {
+        let result = Pipeline::new(w.nest.clone()).run(&PipelineConfig {
+            time_fn: Some(w.pi.clone()),
+            cube_dim,
+            machine: Some(MachineOptions {
+                params,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let makespan = result.ok().map(|o| o.sim.unwrap().makespan);
+        if cube_dim == 0 {
+            serial = makespan;
+        }
+        out.push(match (serial, makespan) {
+            (Some(s), Some(m)) => Some(s as f64 / m as f64),
+            _ => None,
+        });
+    }
+    out
+}
+
+fn main() {
+    println!("A7 — simulated speedup vs machine size, two machine presets\n");
+    let workloads = vec![
+        loom_workloads::matvec::workload(128),
+        loom_workloads::sor::workload(48, 48),
+        loom_workloads::matmul::workload(12),
+        loom_workloads::conv::workload(96, 8),
+        loom_workloads::triangular::workload(48),
+    ];
+    for (name, params) in [
+        ("classic-1991 (t_start=50)", MachineParams::classic_1991()),
+        ("low-latency (t_start=4)", MachineParams::low_latency()),
+    ] {
+        println!("{name}:\n");
+        let mut t = Table::new(["workload", "S(2)", "S(4)", "S(8)"]);
+        for w in &workloads {
+            let s = speedups(w, params);
+            let fmt = |x: &Option<f64>| {
+                x.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "-".into())
+            };
+            t.row([
+                w.nest.name().to_string(),
+                fmt(&s[1]),
+                fmt(&s[2]),
+                fmt(&s[3]),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!(
+        "expected shape: on the classic machine only the coarser-grain problems\n\
+         (matvec, sor) break even — §IV's medium-to-coarse-grain conclusion,\n\
+         measured. Cheap communication rescues matmul and triangular too. conv1d\n\
+         stays bound either way: its documented skewed Π = (2,1) doubles the\n\
+         schedule length and every iteration forwards both h and x — `loom\n\
+         explore --workload conv` finds better configurations."
+    );
+
+    // Assert the headline: low-latency S(4) > 1.5 for matvec 128.
+    let s = speedups(&loom_workloads::matvec::workload(128), MachineParams::low_latency());
+    assert!(s[2].unwrap() > 1.5, "matvec should scale on cheap comm");
+}

@@ -1,0 +1,115 @@
+//! Shared helpers for the repro binaries and criterion benches.
+//!
+//! Each `repro_*` binary regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the experiment index); the criterion benches
+//! measure the algorithms themselves. Everything routes through the same
+//! helpers here so the numbers printed by binaries, asserted by tests,
+//! and timed by benches come from one code path.
+
+#![deny(missing_docs)]
+
+use loom_hyperplane::TimeFn;
+use loom_partition::{partition, PartitionConfig, Partitioning};
+use loom_rational::QVec;
+use loom_workloads::Workload;
+
+/// Partition a workload with its documented Π and default choices.
+pub fn partition_workload(w: &Workload) -> Partitioning {
+    partition(
+        w.nest.space().clone(),
+        w.verified_deps(),
+        TimeFn::new(w.pi.clone()),
+        &PartitionConfig::default(),
+    )
+    .expect("workloads partition cleanly")
+}
+
+/// Partition the 4×4×4 matmul exactly as the paper's Example 2 does:
+/// grouping vector `d_A`, auxiliary `d_C`, seed group based at
+/// `(−1,−1,2)`.
+pub fn paper_matmul_partitioning() -> Partitioning {
+    let w = loom_workloads::matmul::workload(4);
+    // Sorted dependence set: [d_C=(0,0,1), d_A=(0,1,0), d_B=(1,0,0)].
+    partition(
+        w.nest.space().clone(),
+        w.verified_deps(),
+        TimeFn::new(w.pi.clone()),
+        &PartitionConfig {
+            grouping_choice: Some(1),
+            seed: Some(QVec::from_ints(&[-1, -1, 2])),
+        },
+    )
+    .expect("matmul partitions")
+}
+
+/// Run independent jobs on scoped OS threads and collect results in
+/// input order — the bench harness's way of sweeping machine sizes /
+/// mappings in parallel on the host. The simulator itself stays
+/// single-threaded and deterministic; only *independent simulations*
+/// run concurrently.
+pub fn parallel_sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(|| f(item)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep job panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matmul_is_17_groups() {
+        assert_eq!(paper_matmul_partitioning().num_blocks(), 17);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order_and_runs_concurrently() {
+        let results = parallel_sweep(vec![3u64, 1, 4, 1, 5], |x| x * 10);
+        assert_eq!(results, vec![30, 10, 40, 10, 50]);
+        // Simulations in parallel give the same answers as serially.
+        use loom_machine::{simulate, MachineParams, Program, SimConfig};
+        let w = loom_workloads::matvec::workload(12);
+        let p = partition_workload(&w);
+        let dims = vec![0usize, 1, 2];
+        let parallel = parallel_sweep(dims.clone(), |d| {
+            let m = loom_mapping::map_partitioning(&p, d).unwrap();
+            let prog = Program::from_partitioning(&p, m.assignment(), 1 << d, 2);
+            simulate(&prog, &SimConfig::paper_hypercube(d, MachineParams::classic_1991()))
+                .unwrap()
+                .makespan
+        });
+        for (i, &d) in dims.iter().enumerate() {
+            let m = loom_mapping::map_partitioning(&p, d).unwrap();
+            let prog = Program::from_partitioning(&p, m.assignment(), 1 << d, 2);
+            let serial = simulate(
+                &prog,
+                &SimConfig::paper_hypercube(d, MachineParams::classic_1991()),
+            )
+            .unwrap()
+            .makespan;
+            assert_eq!(parallel[i], serial);
+        }
+    }
+
+    #[test]
+    fn all_workloads_partition() {
+        for w in loom_workloads::all_default() {
+            let p = partition_workload(&w);
+            assert!(p.num_blocks() > 0, "{} produced no blocks", w.nest.name());
+            assert!(
+                loom_partition::laws::check_all(&p).is_empty(),
+                "{} violates a law",
+                w.nest.name()
+            );
+        }
+    }
+}

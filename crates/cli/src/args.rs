@@ -1,0 +1,132 @@
+//! A small deterministic flag parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional args, and `--key value`
+/// / `--switch` flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; bare `--switch` maps to `"true"`.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse an argument list (excluding the program name).
+///
+/// Grammar: the first bare word is the subcommand; `--key value` binds
+/// the next word unless it is itself a flag, in which case `key` is a
+/// boolean switch.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut out = Args::default();
+    let mut iter = args.into_iter().peekable();
+    while let Some(a) = iter.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            out.flags.insert(key.to_string(), value);
+        } else if out.command.is_none() {
+            out.command = Some(a);
+        } else {
+            out.positional.push(a);
+        }
+    }
+    out
+}
+
+impl Args {
+    /// A string flag with a default.
+    pub fn str_flag(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// An integer flag with a default; exits with a message on a
+    /// malformed value.
+    pub fn int_flag(&self, key: &str, default: i64) -> i64 {
+        match self.flags.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects an integer, got `{v}`");
+                std::process::exit(2)
+            }),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// A comma-separated integer list flag (e.g. `--pi 1,1,1`).
+    pub fn int_list_flag(&self, key: &str) -> Option<Vec<i64>> {
+        let v = self.flags.get(key)?;
+        let parsed: Result<Vec<i64>, _> = v.split(',').map(str::trim).map(str::parse).collect();
+        match parsed {
+            Ok(list) => Some(list),
+            Err(_) => {
+                eprintln!("error: --{key} expects comma-separated integers, got `{v}`");
+                std::process::exit(2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = args(&["simulate", "--workload", "matvec", "--size", "32", "--contention"]);
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.str_flag("workload", "l1"), "matvec");
+        assert_eq!(a.int_flag("size", 4), 32);
+        assert!(a.switch("contention"));
+        assert!(!a.switch("batch"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&["partition"]);
+        assert_eq!(a.str_flag("workload", "l1"), "l1");
+        assert_eq!(a.int_flag("size", 4), 4);
+        assert_eq!(a.int_list_flag("pi"), None);
+    }
+
+    #[test]
+    fn int_list() {
+        let a = args(&["partition", "--pi", "1, 1,1"]);
+        assert_eq!(a.int_list_flag("pi"), Some(vec![1, 1, 1]));
+    }
+
+    #[test]
+    fn positional_args() {
+        let a = args(&["repro", "fig3", "table1"]);
+        assert_eq!(a.command.as_deref(), Some("repro"));
+        assert_eq!(a.positional, vec!["fig3", "table1"]);
+    }
+
+    #[test]
+    fn trailing_switch_and_greedy_value_binding() {
+        let a = args(&["run", "--verbose"]);
+        assert!(a.switch("verbose"));
+        assert_eq!(a.command.as_deref(), Some("run"));
+        // A flag greedily binds the next bare word as its value — a
+        // leading switch therefore swallows the subcommand; this is the
+        // documented grammar, so switches belong after the subcommand.
+        let b = args(&["--verbose", "run"]);
+        assert_eq!(b.command, None);
+        assert_eq!(b.str_flag("verbose", ""), "run");
+    }
+}

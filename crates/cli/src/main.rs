@@ -1,0 +1,398 @@
+//! `loom` — command-line driver for the Sheu–Tai partitioning and
+//! mapping pipeline.
+//!
+//! ```text
+//! loom workloads
+//! loom partition --workload matmul --size 4 [--pi 1,1,1] [--grouping 1]
+//! loom map       --workload matvec --size 16 --cube 2
+//! loom simulate  --workload sor --size 16 --cube 3
+//!                [--t-calc 1 --t-start 50 --t-comm 5] [--batch] [--contention]
+//! loom codegen   --workload l1 --size 4 --cube 1 [--run]
+//! loom viz       --workload sor --size 8 [--dot]
+//! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
+//! loom table1    [--m 1024]
+//! ```
+
+mod args;
+
+use args::Args;
+use loom_core::analytic::table1_rows;
+use loom_core::pipeline::MachineOptions;
+use loom_core::report::Table;
+use loom_core::{Pipeline, PipelineConfig};
+use loom_machine::MachineParams;
+use loom_workloads::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loom <command> [flags]\n\
+         commands:\n\
+         \x20 workloads                         list built-in workloads\n\
+         \x20 partition --workload W --size S   run Algorithm 1, print blocks\n\
+         \x20 map       --workload W --cube N   run Algorithms 1+2, print placement\n\
+         \x20 simulate  --workload W --cube N   full pipeline + machine simulation\n\
+         \x20 codegen   --workload W --cube N   emit SPMD pseudo-code [--run verifies]\n\
+         \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
+         \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
+         \x20 table1    [--m M]                 the paper's Table I\n\
+         common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…\n\
+         simulate flags: --t-calc/--t-start/--t-comm, --batch, --contention,\n\
+         \x20               --mesh RxC | --ring N (instead of --cube)"
+    );
+    std::process::exit(2)
+}
+
+fn pick_workload(a: &Args) -> Workload {
+    if let Some(path) = a.flags.get("file") {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        let name = path.rsplit('/').next().unwrap_or("nest").to_string();
+        let nest = loom_loopir::parse::parse_nest(&name, &src).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2)
+        });
+        let deps = loom_loopir::deps::dependence_vectors(
+            &nest,
+            loom_loopir::DepOptions::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2)
+        });
+        let pi = a.int_list_flag("pi").unwrap_or_else(|| {
+            loom_hyperplane::find_optimal(
+                &deps,
+                nest.space(),
+                loom_hyperplane::SearchConfig::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{path}: no legal time function: {e}");
+                std::process::exit(1)
+            })
+            .coeffs()
+            .to_vec()
+        });
+        return Workload { nest, deps, pi };
+    }
+    let size = a.int_flag("size", 8);
+    let size2 = a.int_flag("size2", size);
+    match a.str_flag("workload", "l1").as_str() {
+        "l1" => loom_workloads::l1::workload(size),
+        "matmul" => loom_workloads::matmul::workload(size),
+        "matvec" => loom_workloads::matvec::workload(size),
+        "conv" | "conv1d" => loom_workloads::conv::workload(size, size2.min(size)),
+        "sor" | "stencil" => loom_workloads::sor::workload(size, size2),
+        "transitive" | "tc" => loom_workloads::transitive::workload(size),
+        "dft" => loom_workloads::dft::workload(size),
+        "conv2d" => loom_workloads::conv2d::workload(size, size2.min(size)),
+        "heat2d" | "heat" => loom_workloads::heat2d::workload(size, size2),
+        "triangular" | "tri" => loom_workloads::triangular::workload(size),
+        other => {
+            eprintln!("unknown workload `{other}`; run `loom workloads`");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn machine_params(a: &Args) -> MachineParams {
+    MachineParams {
+        t_calc: a.int_flag("t-calc", 1).max(0) as u64,
+        t_start: a.int_flag("t-start", 50).max(0) as u64,
+        t_comm: a.int_flag("t-comm", 5).max(0) as u64,
+        t_recv: a.int_flag("t-recv", 0).max(0) as u64,
+    }
+}
+
+fn pick_target(a: &Args) -> Option<loom_core::Target> {
+    if let Some(mesh) = a.flags.get("mesh") {
+        let parts: Vec<&str> = mesh.split(['x', 'X']).collect();
+        if let [r, c] = parts[..] {
+            if let (Ok(rows), Ok(cols)) = (r.parse(), c.parse()) {
+                return Some(loom_core::Target::Mesh { rows, cols });
+            }
+        }
+        eprintln!("error: --mesh expects RxC (e.g. 2x4)");
+        std::process::exit(2)
+    }
+    if let Some(ring) = a.flags.get("ring") {
+        match ring.parse() {
+            Ok(n) => return Some(loom_core::Target::Ring(n)),
+            Err(_) => {
+                eprintln!("error: --ring expects an integer");
+                std::process::exit(2)
+            }
+        }
+    }
+    None
+}
+
+fn run_pipeline(a: &Args, w: &Workload, with_machine: bool) -> loom_core::PipelineOutput {
+    let config = PipelineConfig {
+        time_fn: a.int_list_flag("pi").or(Some(w.pi.clone())),
+        cube_dim: a.int_flag("cube", 1).max(0) as usize,
+        target: pick_target(a),
+        partition: loom_partition::PartitionConfig {
+            grouping_choice: a.flags.get("grouping").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --grouping expects an index");
+                    std::process::exit(2)
+                })
+            }),
+            seed: None,
+        },
+        machine: with_machine.then(|| MachineOptions {
+            params: machine_params(a),
+            batch_messages: a.switch("batch"),
+            link_contention: a.switch("contention"),
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    Pipeline::new(w.nest.clone()).run(&config).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn cmd_workloads() {
+    let mut t = Table::new(["name", "depth", "D", "paper role"]);
+    for (name, w, role) in [
+        ("l1", loom_workloads::l1::workload(4), "§II running example"),
+        ("matmul", loom_workloads::matmul::workload(4), "§III Example 2"),
+        ("matvec", loom_workloads::matvec::workload(8), "§IV / Table I"),
+        ("conv1d", loom_workloads::conv::workload(8, 4), "§I motivation"),
+        ("sor", loom_workloads::sor::workload(6, 6), "extension"),
+        ("transitive", loom_workloads::transitive::workload(4), "§I motivation"),
+        ("dft", loom_workloads::dft::workload(8), "§I motivation"),
+        ("conv2d", loom_workloads::conv2d::workload(4, 2), "extension (4-deep)"),
+        ("triangular", loom_workloads::triangular::workload(6), "extension (affine bounds)"),
+        ("heat2d", loom_workloads::heat2d::workload(3, 4), "extension (negative deps)"),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{}", w.nest.dim()),
+            format!("{:?}", w.deps),
+            role.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn cmd_partition(a: &Args) {
+    let w = pick_workload(a);
+    // Partitioning is machine-independent; default to the 1-processor
+    // cube so a small block count never fails the mapping stage.
+    let mut a2 = a.clone();
+    a2.flags.entry("cube".into()).or_insert_with(|| "0".into());
+    let out = run_pipeline(&a2, &w, false);
+    println!("{}", w.nest);
+    println!("D = {:?}", out.deps);
+    println!("{} ({} steps)", out.pi, out.pi.steps(w.nest.space()));
+    let p = &out.partitioning;
+    println!(
+        "r = {}, beta = {}, {} projected points -> {} blocks (largest {})",
+        p.vectors().r,
+        p.vectors().beta,
+        p.projected().len(),
+        p.num_blocks(),
+        p.max_block_size()
+    );
+    println!(
+        "arcs: {} total, {} interblock ({:.0}%)",
+        out.comm.total_arcs,
+        out.comm.interblock_arcs,
+        100.0 * out.comm.interblock_fraction()
+    );
+    if a.switch("blocks") {
+        for (b, block) in p.blocks().iter().enumerate() {
+            let pts: Vec<String> = block
+                .iter()
+                .map(|&id| format!("{:?}", p.structure().points()[id]))
+                .collect();
+            println!("  B{b}: {}", pts.join(" "));
+        }
+    }
+    let violations = loom_partition::laws::check_all(p);
+    println!(
+        "laws: {}",
+        if violations.is_empty() {
+            "all hold".into()
+        } else {
+            format!("{violations:?}")
+        }
+    );
+}
+
+fn cmd_map(a: &Args) {
+    let w = pick_workload(a);
+    let out = run_pipeline(a, &w, false);
+    let mut t = Table::new(["block", "size", "processor"]);
+    for (b, &proc) in out.mapping.assignment().iter().enumerate() {
+        t.row([
+            format!("B{b}"),
+            format!("{}", out.partitioning.block(b).len()),
+            format!(
+                "P{proc:0w$b}",
+                w = out.mapping.cube().dim().max(1)
+            ),
+        ]);
+    }
+    println!("{t}");
+    let q = loom_mapping::metrics::evaluate(&out.tig, out.mapping.assignment(), out.mapping.cube());
+    println!("quality: {q}");
+}
+
+fn cmd_simulate(a: &Args) {
+    let w = pick_workload(a);
+    let out = run_pipeline(a, &w, true);
+    let sim = out.sim.expect("machine enabled");
+    let params = machine_params(a);
+    println!(
+        "{} on {:?} ({} procs), t_calc={} t_start={} t_comm={}{}{}",
+        w.nest.name(),
+        out.target,
+        out.placement.num_procs(),
+        params.t_calc,
+        params.t_start,
+        params.t_comm,
+        if a.switch("batch") { ", batched" } else { "" },
+        if a.switch("contention") { ", contention" } else { "" },
+    );
+    println!("makespan          = {}", sim.makespan);
+    println!("busiest processor = {}", sim.max_proc_occupancy());
+    println!("messages, words   = {}, {}", sim.messages, sim.words);
+    let mut t = Table::new(["proc", "compute", "comm", "total"]);
+    for p in 0..sim.compute.len() {
+        t.row([
+            format!("P{p}"),
+            format!("{}", sim.compute[p]),
+            format!("{}", sim.comm[p]),
+            format!("{}", sim.compute[p] + sim.comm[p]),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn cmd_codegen(a: &Args) {
+    let w = pick_workload(a);
+    let out = run_pipeline(a, &w, false);
+    let cg = loom_codegen::generate(
+        &w.nest,
+        &out.partitioning,
+        out.mapping.assignment(),
+        out.mapping.cube().len(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("codegen refused: {e}");
+        std::process::exit(1)
+    });
+    println!("{}", loom_codegen::render::render(&w.nest, &cg));
+    println!(
+        "{} computes, {} messages",
+        cg.program.num_computes(),
+        cg.program.num_messages()
+    );
+    if a.switch("run") {
+        use loom_exec::memory::address_hash_init;
+        let result = loom_codegen::run(&w.nest, &cg, &address_hash_init).unwrap_or_else(|e| {
+            eprintln!("SPMD run failed: {e}");
+            std::process::exit(1)
+        });
+        let serial = loom_exec::sequential(&w.nest, &address_hash_init);
+        match loom_exec::equivalent(&result.gathered, &serial) {
+            Ok(()) => println!("verified: bit-identical to sequential execution"),
+            Err(d) => {
+                eprintln!("DIVERGED: {d:?}");
+                std::process::exit(1)
+            }
+        }
+    }
+}
+
+fn cmd_viz(a: &Args) {
+    let w = pick_workload(a);
+    let out = run_pipeline(a, &w, false);
+    if a.switch("dot") {
+        println!("{}", loom_viz::group_graph_dot(&out.partitioning));
+        println!("{}", loom_viz::tig_dot(&out.tig, Some(out.mapping.assignment())));
+        return;
+    }
+    match loom_viz::block_grid(&out.partitioning) {
+        Some(grid) => {
+            println!("blocks (one letter per block):\n{grid}");
+            let sched = loom_hyperplane::Schedule::build(out.pi.clone(), w.nest.space());
+            println!(
+                "hyperplane steps (mod 10):\n{}",
+                loom_viz::wavefront_grid(&sched, w.nest.space()).unwrap()
+            );
+        }
+        None => {
+            println!("(space is not 2-D; emitting DOT instead)\n");
+            println!("{}", loom_viz::group_graph_dot(&out.partitioning));
+        }
+    }
+}
+
+fn cmd_explore(a: &Args) {
+    let w = pick_workload(a);
+    let dims: Vec<usize> = a
+        .int_list_flag("cubes")
+        .map(|v| v.into_iter().map(|x| x.max(0) as usize).collect())
+        .unwrap_or_else(|| vec![1, 2, 3]);
+    let cfg = loom_core::explore::ExploreConfig {
+        pi_bound: a.int_flag("pi-bound", 1).max(1),
+        top: a.int_flag("top", 10).max(1) as usize,
+        machine: MachineOptions {
+            params: machine_params(a),
+            ..Default::default()
+        },
+    };
+    let best = loom_core::explore::explore(&w.nest, &dims, &cfg).unwrap_or_else(|e| {
+        eprintln!("exploration failed: {e}");
+        std::process::exit(1)
+    });
+    let mut t = Table::new(["rank", "Π", "grouping", "N", "blocks", "makespan", "messages"]);
+    for (i, c) in best.iter().enumerate() {
+        t.row([
+            format!("{}", i + 1),
+            format!("{:?}", c.pi),
+            format!("D[{}]", c.grouping),
+            format!("{}", 1usize << c.cube_dim),
+            format!("{}", c.blocks),
+            format!("{}", c.makespan),
+            format!("{}", c.messages),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn cmd_table1(a: &Args) {
+    let m = a.int_flag("m", 1024).max(1) as u64;
+    let params = machine_params(a);
+    let mut t = Table::new(["N", "T_exec (symbolic)", "ticks"]);
+    for (n, terms) in table1_rows(m) {
+        t.row([
+            format!("{n}"),
+            terms.render(),
+            format!("{}", terms.evaluate(&params)),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let a = args::parse(std::env::args().skip(1));
+    match a.command.as_deref() {
+        Some("workloads") => cmd_workloads(),
+        Some("partition") => cmd_partition(&a),
+        Some("map") => cmd_map(&a),
+        Some("simulate") => cmd_simulate(&a),
+        Some("codegen") => cmd_codegen(&a),
+        Some("viz") => cmd_viz(&a),
+        Some("explore") => cmd_explore(&a),
+        Some("table1") => cmd_table1(&a),
+        _ => usage(),
+    }
+}

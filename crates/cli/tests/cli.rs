@@ -1,0 +1,113 @@
+//! End-to-end tests of the `loom` binary itself.
+
+use std::process::Command;
+
+fn loom(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_loom"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn usage_on_no_args() {
+    let (_, err, ok) = loom(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage: loom"));
+}
+
+#[test]
+fn workloads_lists_all() {
+    let (out, _, ok) = loom(&["workloads"]);
+    assert!(ok);
+    for name in ["l1", "matmul", "matvec", "conv1d", "sor", "transitive", "dft", "conv2d", "triangular"] {
+        assert!(out.contains(name), "missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn partition_prints_paper_numbers() {
+    let (out, _, ok) = loom(&["partition", "--workload", "l1", "--size", "4"]);
+    assert!(ok);
+    assert!(out.contains("33 total, 12 interblock"));
+    assert!(out.contains("laws: all hold"));
+}
+
+#[test]
+fn simulate_reports_makespan() {
+    let (out, _, ok) = loom(&["simulate", "--workload", "matvec", "--size", "16", "--cube", "2"]);
+    assert!(ok);
+    assert!(out.contains("makespan"));
+    assert!(out.contains("P3"));
+}
+
+#[test]
+fn codegen_run_verifies() {
+    let (out, _, ok) = loom(&["codegen", "--workload", "l1", "--size", "4", "--cube", "1", "--run"]);
+    assert!(ok);
+    assert!(out.contains("bit-identical"));
+}
+
+#[test]
+fn table1_matches_paper() {
+    let (out, _, ok) = loom(&["table1"]);
+    assert!(ok);
+    assert!(out.contains("786944·t_calc + 2046·(t_comm+t_start)"));
+}
+
+#[test]
+fn viz_prints_grids() {
+    let (out, _, ok) = loom(&["viz", "--workload", "sor", "--size", "6"]);
+    assert!(ok);
+    assert!(out.contains("blocks (one letter per block):"));
+    assert!(out.contains("hyperplane steps (mod 10):"));
+}
+
+#[test]
+fn viz_dot_emits_graphviz() {
+    let (out, _, ok) = loom(&["viz", "--workload", "matmul", "--size", "4", "--dot", "--cube", "2"]);
+    assert!(ok);
+    assert!(out.contains("digraph groups {"));
+    assert!(out.contains("graph tig {"));
+    assert!(out.contains("subgraph cluster_p0"));
+}
+
+#[test]
+fn file_frontend_works() {
+    let dir = std::env::temp_dir().join("loom-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.loom");
+    std::fs::write(&path, "for i = 0 to 7\n A[i+1] = A[i] + 1;\n").unwrap();
+    let (out, _, ok) = loom(&["partition", "--file", path.to_str().unwrap()]);
+    assert!(ok, "partition on file failed:\n{out}");
+    assert!(out.contains("D = [[1]]"));
+    // A fully serial chain: one block, zero interblock arcs.
+    assert!(out.contains("1 blocks"));
+}
+
+#[test]
+fn bad_workload_fails_cleanly() {
+    let (_, err, ok) = loom(&["partition", "--workload", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown workload"));
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let (_, err, ok) = loom(&["partition", "--file", "/definitely/missing.loom"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn explore_ranks() {
+    let (out, _, ok) = loom(&["explore", "--workload", "l1", "--size", "4", "--cubes", "1", "--top", "3"]);
+    assert!(ok);
+    assert!(out.contains("rank"));
+    assert!(out.contains("makespan"));
+}

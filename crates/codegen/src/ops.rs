@@ -1,0 +1,129 @@
+//! The SPMD operation set and program container.
+
+use loom_loopir::Point;
+
+/// A message tag: the producing iteration and the dependence index it
+/// satisfies. Tags make receives order-independent across channels, so
+/// the interpreter's mailbox matching is exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag {
+    /// Id of the source iteration.
+    pub src_point: u32,
+    /// Index into the nest's dependence-vector set.
+    pub dep: u16,
+}
+
+/// One SPMD operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Block until the message with this tag arrives from `from`, then
+    /// install its payload elements into local memory.
+    Recv {
+        /// Sending processor.
+        from: u32,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Execute one iteration of the nest body against local memory.
+    Compute {
+        /// Id of the iteration (index into the enumerated space).
+        point: u32,
+    },
+    /// Package the elements associated with dependence `tag.dep` at the
+    /// just-computed iteration and send them to `to`.
+    Send {
+        /// Receiving processor.
+        to: u32,
+        /// Message tag.
+        tag: Tag,
+    },
+}
+
+/// A complete SPMD program: one op list per processor, plus the shared
+/// iteration table.
+#[derive(Clone, Debug)]
+pub struct SpmdProgram {
+    /// The enumerated iteration points (ids index into this).
+    pub points: Vec<Point>,
+    /// Per-processor operation lists, in program order.
+    pub per_proc: Vec<Vec<Op>>,
+}
+
+impl SpmdProgram {
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Total number of `Compute` ops (must equal the iteration count).
+    pub fn num_computes(&self) -> usize {
+        self.per_proc
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Compute { .. }))
+            .count()
+    }
+
+    /// Total number of messages (Send ops).
+    pub fn num_messages(&self) -> usize {
+        self.per_proc
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Send { .. }))
+            .count()
+    }
+
+    /// Structural sanity: every `Send` has exactly one matching `Recv`
+    /// on the target processor and vice versa. Returns mismatched tags.
+    pub fn unmatched_messages(&self) -> Vec<Tag> {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<(u32, Tag), i64> = BTreeMap::new();
+        for (p, ops) in self.per_proc.iter().enumerate() {
+            for op in ops {
+                match *op {
+                    Op::Send { to, tag } => *sends.entry((to, tag)).or_insert(0) += 1,
+                    Op::Recv { from: _, tag } => {
+                        *sends.entry((p as u32, tag)).or_insert(0) -= 1
+                    }
+                    Op::Compute { .. } => {}
+                }
+            }
+        }
+        sends
+            .into_iter()
+            .filter(|&(_, n)| n != 0)
+            .map(|((_, tag), _)| tag)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_matching() {
+        let t = Tag { src_point: 0, dep: 1 };
+        let prog = SpmdProgram {
+            points: vec![vec![0], vec![1]],
+            per_proc: vec![
+                vec![Op::Compute { point: 0 }, Op::Send { to: 1, tag: t }],
+                vec![Op::Recv { from: 0, tag: t }, Op::Compute { point: 1 }],
+            ],
+        };
+        assert_eq!(prog.num_procs(), 2);
+        assert_eq!(prog.num_computes(), 2);
+        assert_eq!(prog.num_messages(), 1);
+        assert!(prog.unmatched_messages().is_empty());
+    }
+
+    #[test]
+    fn unmatched_detected() {
+        let t = Tag { src_point: 3, dep: 0 };
+        let prog = SpmdProgram {
+            points: vec![vec![0]],
+            per_proc: vec![vec![Op::Send { to: 1, tag: t }], vec![]],
+        };
+        assert_eq!(prog.unmatched_messages(), vec![t]);
+    }
+}

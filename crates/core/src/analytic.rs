@@ -1,0 +1,193 @@
+//! The paper's closed-form performance model for matrix–vector
+//! multiplication on a hypercube (§IV and Table I).
+
+use loom_machine::MachineParams;
+
+/// The two symbolic terms of `T_exec(N)`:
+/// `calc_coeff · t_calc + comm_coeff · (t_start + t_comm)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecTerms {
+    /// Coefficient of `t_calc` (the `2W` term).
+    pub calc_coeff: u64,
+    /// Coefficient of `t_start + t_comm` (the `2M − 2` term; 0 for N=1).
+    pub comm_coeff: u64,
+}
+
+impl ExecTerms {
+    /// Evaluate numerically with concrete machine parameters.
+    pub fn evaluate(&self, params: &MachineParams) -> u64 {
+        self.calc_coeff * params.t_calc + self.comm_coeff * (params.t_start + params.t_comm)
+    }
+
+    /// Render in the paper's Table I notation, e.g.
+    /// `786944·t_calc + 2046·(t_comm+t_start)`.
+    pub fn render(&self) -> String {
+        if self.comm_coeff == 0 {
+            format!("{}·t_calc", self.calc_coeff)
+        } else {
+            format!(
+                "{}·t_calc + {}·(t_comm+t_start)",
+                self.calc_coeff, self.comm_coeff
+            )
+        }
+    }
+}
+
+/// The maximum number of index points `W` assigned to one processor when
+/// the `M` matvec blocks are dealt onto `N` processors (§IV): the busiest
+/// processor holds the blocks containing the main diagonal,
+/// `W = Σ_{i=l}^{M} i` with `l = ⌊(N−2)/N · M⌋ + 1`. For `N = 1` the
+/// whole `M²` space is one processor's load.
+pub fn matvec_max_points(m: u64, n: u64) -> u64 {
+    assert!(n >= 1 && m >= 1);
+    if n == 1 {
+        return m * m;
+    }
+    // l = ⌊(N−2)/N · M⌋ + 1, computed exactly in integers.
+    let l = (n - 2) * m / n + 1;
+    // Σ_{i=l}^{M} i.
+    (l + m) * (m - l + 1) / 2
+}
+
+/// The symbolic `T_exec(N)` of the paper:
+/// `2W·t_calc + (2M−2)·(t_start + t_comm)` for `N > 1`, and `2M²·t_calc`
+/// for the sequential machine.
+pub fn matvec_exec_terms(m: u64, n: u64) -> ExecTerms {
+    let calc_coeff = 2 * matvec_max_points(m, n);
+    let comm_coeff = if n == 1 { 0 } else { 2 * m - 2 };
+    ExecTerms {
+        calc_coeff,
+        comm_coeff,
+    }
+}
+
+/// The rows of the paper's Table I for a given `M`: `(N, terms)` for
+/// `N = 1, 4, 16, …, M` (powers of 4, as the paper tabulates).
+pub fn table1_rows(m: u64) -> Vec<(u64, ExecTerms)> {
+    let mut rows = Vec::new();
+    let mut n = 1;
+    while n <= m {
+        rows.push((n, matvec_exec_terms(m, n)));
+        n *= 4;
+    }
+    rows
+}
+
+/// Analytic speedup `T_exec(1) / T_exec(N)` under concrete parameters.
+pub fn matvec_speedup(m: u64, n: u64, params: &MachineParams) -> f64 {
+    let t1 = matvec_exec_terms(m, 1).evaluate(params) as f64;
+    let tn = matvec_exec_terms(m, n).evaluate(params) as f64;
+    t1 / tn
+}
+
+/// Analytic efficiency `speedup / N`.
+pub fn matvec_efficiency(m: u64, n: u64, params: &MachineParams) -> f64 {
+    matvec_speedup(m, n, params) / n as f64
+}
+
+/// The smallest problem size `M` at which the `N`-processor execution
+/// beats the sequential one (`T_exec(N) < T_exec(1)`) — the grain-size
+/// crossover the paper's §IV discussion is about ("our method is
+/// suitable for medium- to coarse-grain computation"). Returns `None` if
+/// no crossover exists below the search cap.
+pub fn matvec_crossover_m(n: u64, params: &MachineParams, cap: u64) -> Option<u64> {
+    assert!(n >= 2, "crossover needs a parallel machine");
+    (n..=cap).find(|&m| {
+        matvec_exec_terms(m, n).evaluate(params) < matvec_exec_terms(m, 1).evaluate(params)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        // Table I, M = 1024.
+        let expect = [
+            (1u64, 2_097_152u64, 0u64),
+            (4, 786_944, 2046),
+            (16, 245_888, 2046),
+            (64, 64_544, 2046),
+            (256, 16_328, 2046),
+            (1024, 4094, 2046),
+        ];
+        for &(n, calc, comm) in &expect {
+            let t = matvec_exec_terms(1024, n);
+            assert_eq!(t.calc_coeff, calc, "calc coefficient for N={n}");
+            assert_eq!(t.comm_coeff, comm, "comm coefficient for N={n}");
+        }
+        let rows = table1_rows(1024);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[1].1.calc_coeff, 786_944);
+    }
+
+    #[test]
+    fn evaluation_and_rendering() {
+        let t = matvec_exec_terms(1024, 4);
+        let p = MachineParams {
+            t_calc: 1,
+            t_start: 50,
+            t_comm: 5,
+            t_recv: 0,
+        };
+        assert_eq!(t.evaluate(&p), 786_944 + 2046 * 55);
+        assert_eq!(t.render(), "786944·t_calc + 2046·(t_comm+t_start)");
+        assert_eq!(matvec_exec_terms(1024, 1).render(), "2097152·t_calc");
+    }
+
+    #[test]
+    fn w_is_monotone_in_n() {
+        let mut prev = matvec_max_points(1024, 1);
+        for n in [4, 16, 64, 256, 1024] {
+            let w = matvec_max_points(1024, n);
+            assert!(w < prev, "W must shrink as the machine grows");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn n_equals_m_leaves_one_block_pair() {
+        // N = M: each processor holds one block; the diagonal processor
+        // has the two longest lines: M + (M−1).
+        assert_eq!(matvec_max_points(1024, 1024), 2047);
+        assert_eq!(matvec_max_points(8, 8), 15);
+    }
+
+    #[test]
+    fn speedup_and_efficiency_behave() {
+        let p = MachineParams::classic_1991();
+        // Large grain: near-linear at small N, efficiency decays with N.
+        let s4 = matvec_speedup(1024, 4, &p);
+        assert!(s4 > 2.0 && s4 < 4.0, "speedup(4) = {s4}");
+        assert!(matvec_efficiency(1024, 4, &p) > matvec_efficiency(1024, 64, &p));
+        // Fine grain: parallel loses (speedup < 1).
+        assert!(matvec_speedup(16, 4, &p) < 1.0);
+    }
+
+    #[test]
+    fn crossover_exists_and_moves_with_latency() {
+        let classic = MachineParams::classic_1991();
+        let cheap = MachineParams::low_latency();
+        let m_classic = matvec_crossover_m(4, &classic, 1 << 20).unwrap();
+        let m_cheap = matvec_crossover_m(4, &cheap, 1 << 20).unwrap();
+        assert!(
+            m_cheap <= m_classic,
+            "cheaper communication must cross over no later: {m_cheap} vs {m_classic}"
+        );
+        // Beyond the crossover, parallel keeps winning.
+        assert!(matvec_speedup(m_classic * 4, 4, &classic) > 1.0);
+        // Below it, it loses.
+        if m_classic > 4 {
+            assert!(matvec_speedup(m_classic - 1, 4, &classic) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn small_machine_edge_cases() {
+        assert_eq!(matvec_max_points(8, 1), 64);
+        // N = 2: l = 1 → W = Σ_{1}^{8} = 36 — more than half of 64
+        // because the diagonal blocks are the heavy ones.
+        assert_eq!(matvec_max_points(8, 2), 36);
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration exploration: let the cost model choose the compile.
+//!
+//! The paper fixes Π and the grouping vector by hand; a compiler has to
+//! *choose* them. [`explore`] sweeps the legal time transformations
+//! within a coefficient bound, every maximal grouping-vector choice, and
+//! the requested machine sizes, simulates each configuration, and ranks
+//! by makespan. Deterministic: ties break toward smaller Π, smaller
+//! grouping index, smaller machine.
+
+use crate::pipeline::{MachineOptions, Pipeline, PipelineConfig, PipelineError};
+use loom_hyperplane::TimeFn;
+use loom_loopir::{DepOptions, LoopNest};
+
+/// One explored configuration and its simulated outcome.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The time transformation.
+    pub pi: Vec<i64>,
+    /// The grouping-vector index (into the dependence set).
+    pub grouping: usize,
+    /// Hypercube dimension.
+    pub cube_dim: usize,
+    /// Simulated makespan.
+    pub makespan: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Number of blocks.
+    pub blocks: usize,
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Π coefficients searched in `[-bound, bound]`.
+    pub pi_bound: i64,
+    /// Keep only the `top` best candidates (0 = all).
+    pub top: usize,
+    /// Machine options used for every simulation.
+    pub machine: MachineOptions,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            pi_bound: 1,
+            top: 10,
+            machine: MachineOptions::default(),
+        }
+    }
+}
+
+/// Enumerate legal Π within the bound, sorted by (steps, L1 norm, lex).
+fn legal_pis(nest: &LoopNest, deps: &[Vec<i64>], bound: i64) -> Vec<Vec<i64>> {
+    let n = nest.dim();
+    let mut out = Vec::new();
+    let mut coeffs = vec![-bound; n];
+    loop {
+        let pi = TimeFn::new(coeffs.clone());
+        if pi.is_legal_for(deps) {
+            out.push(coeffs.clone());
+        }
+        let mut k = n;
+        loop {
+            if k == 0 {
+                out.sort_by_key(|c| {
+                    let pi = TimeFn::new(c.clone());
+                    (
+                        pi.steps(nest.space()),
+                        c.iter().map(|x| x.abs()).sum::<i64>(),
+                        c.clone(),
+                    )
+                });
+                return out;
+            }
+            k -= 1;
+            if coeffs[k] < bound {
+                coeffs[k] += 1;
+                for c in &mut coeffs[k + 1..] {
+                    *c = -bound;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Explore configurations for a nest across the given hypercube
+/// dimensions; returns candidates ranked by simulated makespan.
+///
+/// Configurations whose mapping fails (machine larger than the block
+/// count) are skipped silently; other pipeline failures propagate.
+pub fn explore(
+    nest: &LoopNest,
+    cube_dims: &[usize],
+    config: &ExploreConfig,
+) -> Result<Vec<Candidate>, PipelineError> {
+    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
+        .map_err(PipelineError::Deps)?;
+    let pis = legal_pis(nest, &deps, config.pi_bound);
+    let mut results: Vec<Candidate> = Vec::new();
+    for pi in &pis {
+        for grouping in 0..deps.len() {
+            for &cube_dim in cube_dims {
+                let run = Pipeline::new(nest.clone()).run(&PipelineConfig {
+                    time_fn: Some(pi.clone()),
+                    cube_dim,
+                    partition: loom_partition::PartitionConfig {
+                        grouping_choice: Some(grouping),
+                        seed: None,
+                    },
+                    machine: Some(config.machine),
+                    ..Default::default()
+                });
+                match run {
+                    Ok(out) => {
+                        let sim = out.sim.expect("machine enabled");
+                        results.push(Candidate {
+                            pi: pi.clone(),
+                            grouping,
+                            cube_dim,
+                            makespan: sim.makespan,
+                            messages: sim.messages,
+                            blocks: out.partitioning.num_blocks(),
+                        });
+                    }
+                    // Grouping choice not maximal, or cube too large:
+                    // legitimate skips during exploration.
+                    Err(PipelineError::Partition(_)) | Err(PipelineError::Mapping(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    results.sort_by_key(|c| {
+        (
+            c.makespan,
+            c.pi.iter().map(|x| x.abs()).sum::<i64>(),
+            c.pi.clone(),
+            c.grouping,
+            c.cube_dim,
+        )
+    });
+    if config.top > 0 {
+        results.truncate(config.top);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_machine::MachineParams;
+
+    fn cfg() -> ExploreConfig {
+        ExploreConfig {
+            pi_bound: 1,
+            top: 5,
+            machine: MachineOptions {
+                params: MachineParams::low_latency(),
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn explores_and_ranks_matvec() {
+        let w = loom_workloads::matvec::workload(12);
+        let best = explore(&w.nest, &[1, 2], &cfg()).unwrap();
+        assert!(!best.is_empty());
+        // Ranked ascending by makespan.
+        for pair in best.windows(2) {
+            assert!(pair[0].makespan <= pair[1].makespan);
+        }
+        // The winner must beat (or match) the canonical configuration.
+        let canonical = Pipeline::new(w.nest.clone())
+            .run(&PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim: 2,
+                machine: Some(cfg().machine),
+                ..Default::default()
+            })
+            .unwrap()
+            .sim
+            .unwrap()
+            .makespan;
+        assert!(best[0].makespan <= canonical);
+    }
+
+    #[test]
+    fn respects_top_limit() {
+        let w = loom_workloads::l1::workload(4);
+        let best = explore(&w.nest, &[0, 1], &cfg()).unwrap();
+        assert!(best.len() <= 5);
+    }
+
+    #[test]
+    fn legal_pis_sorted_and_legal() {
+        let w = loom_workloads::sor::workload(5, 5);
+        let deps = w.verified_deps();
+        let pis = legal_pis(&w.nest, &deps, 1);
+        assert!(!pis.is_empty());
+        for pi in &pis {
+            assert!(TimeFn::new(pi.clone()).is_legal_for(&deps));
+        }
+        // First candidate minimizes steps.
+        let steps: Vec<i64> = pis
+            .iter()
+            .map(|c| TimeFn::new(c.clone()).steps(w.nest.space()))
+            .collect();
+        assert!(steps[0] <= *steps.last().unwrap());
+        assert_eq!(pis[0], vec![1, 1]);
+    }
+}

@@ -1,0 +1,491 @@
+//! The end-to-end pipeline: loop nest → dependences → Π → blocks →
+//! hypercube mapping → simulated execution.
+
+use loom_hyperplane::{SearchConfig, TimeFn};
+use loom_loopir::{DepOptions, LoopNest, Point};
+use loom_machine::{simulate, MachineParams, Program, SimConfig, SimReport, Topology};
+use loom_mapping::other_targets::{map_partitioning_mesh, map_partitioning_ring};
+use loom_mapping::{map_partitioning, Mapping};
+use loom_partition::comm::comm_stats;
+use loom_partition::{partition, CommStats, PartitionConfig, Partitioning, Tig};
+
+/// The machine the blocks are mapped onto.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Binary n-cube (the paper's Algorithm 2).
+    Hypercube(usize),
+    /// 2-D mesh (extension; rows × cols must be powers of two).
+    Mesh {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Ring (extension; length must be a power of two).
+    Ring(usize),
+}
+
+impl Target {
+    /// The matching simulator topology.
+    pub fn topology(&self) -> Topology {
+        match *self {
+            Target::Hypercube(d) => Topology::Hypercube(d),
+            Target::Mesh { rows, cols } => Topology::Mesh { rows, cols },
+            Target::Ring(n) => Topology::Ring(n),
+        }
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.topology().len()
+    }
+
+    /// `true` iff the machine has no processors (impossible by
+    /// construction; included for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Machine-simulation options for the pipeline (the topology is always
+/// the hypercube selected by `cube_dim`).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineOptions {
+    /// Timing parameters.
+    pub params: MachineParams,
+    /// Words per dependence arc.
+    pub words_per_arc: u64,
+    /// Merge per-task same-destination messages.
+    pub batch_messages: bool,
+    /// Model per-link contention in the interconnect.
+    pub link_contention: bool,
+    /// Record the execution trace.
+    pub record_trace: bool,
+}
+
+impl Default for MachineOptions {
+    fn default() -> MachineOptions {
+        MachineOptions {
+            params: MachineParams::classic_1991(),
+            words_per_arc: 1,
+            batch_messages: false,
+            link_contention: false,
+            record_trace: false,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Dependence-extraction options.
+    pub dep_options: DepOptions,
+    /// Fixed time function; `None` searches for the optimal one.
+    pub time_fn: Option<Vec<i64>>,
+    /// Search bounds when `time_fn` is `None`.
+    pub search: SearchConfig,
+    /// Algorithm 1 options.
+    pub partition: PartitionConfig,
+    /// Hypercube dimension `n` (the machine has `2ⁿ` processors).
+    /// Ignored when `target` is set.
+    pub cube_dim: usize,
+    /// Explicit machine target; `None` uses `Hypercube(cube_dim)`.
+    pub target: Option<Target>,
+    /// Simulate on the machine model; `None` stops after mapping.
+    pub machine: Option<MachineOptions>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            dep_options: DepOptions::default(),
+            time_fn: None,
+            search: SearchConfig::default(),
+            partition: PartitionConfig::default(),
+            cube_dim: 2,
+            target: None,
+            machine: Some(MachineOptions::default()),
+        }
+    }
+}
+
+/// The block placement, for whichever machine shape was targeted.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Algorithm 2's hypercube mapping.
+    Hypercube(Mapping),
+    /// A mesh/ring mapping (extension targets).
+    Other(loom_mapping::TargetMapping),
+}
+
+impl Placement {
+    /// The block → processor table.
+    pub fn assignment(&self) -> &[usize] {
+        match self {
+            Placement::Hypercube(m) => m.assignment(),
+            Placement::Other(m) => m.assignment(),
+        }
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        match self {
+            Placement::Hypercube(m) => m.cube().len(),
+            Placement::Other(m) => m.num_procs(),
+        }
+    }
+
+    /// The hypercube mapping, when the target was a hypercube.
+    pub fn as_hypercube(&self) -> Option<&Mapping> {
+        match self {
+            Placement::Hypercube(m) => Some(m),
+            Placement::Other(_) => None,
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// The extracted dependence set `D`.
+    pub deps: Vec<Point>,
+    /// The time transformation Π.
+    pub pi: TimeFn,
+    /// Algorithm 1's partitioning.
+    pub partitioning: Partitioning,
+    /// Interblock communication statistics.
+    pub comm: CommStats,
+    /// The Task Interaction Graph of the blocks.
+    pub tig: Tig,
+    /// Algorithm 2's block → processor mapping.
+    pub mapping: Mapping,
+    /// The placement on the configured target (same as `mapping` for
+    /// hypercube targets).
+    pub placement: Placement,
+    /// The machine target used.
+    pub target: Target,
+    /// Fine-grain statement schedule offsets δ_s (see
+    /// [`loom_hyperplane::offsets`]): statement `s` of iteration `x`
+    /// runs at `Π·x + δ_s`. All zeros for single-statement bodies and
+    /// nests without intra-iteration dependences.
+    pub stmt_offsets: Vec<i64>,
+    /// The simulated execution, when requested.
+    pub sim: Option<SimReport>,
+}
+
+/// A pipeline failure, wrapping the failing stage's error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Dependence extraction failed (non-uniform nest).
+    Deps(loom_loopir::Error),
+    /// No legal/valid time transformation.
+    TimeFn(loom_hyperplane::Error),
+    /// Partitioning failed.
+    Partition(loom_partition::Error),
+    /// Mapping failed.
+    Mapping(loom_mapping::Error),
+    /// Simulation failed.
+    Sim(loom_machine::sim::SimError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Deps(e) => write!(f, "dependence extraction: {e}"),
+            PipelineError::TimeFn(e) => write!(f, "time transformation: {e}"),
+            PipelineError::Partition(e) => write!(f, "partitioning: {e}"),
+            PipelineError::Mapping(e) => write!(f, "mapping: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The pipeline driver.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    nest: LoopNest,
+}
+
+impl Pipeline {
+    /// Wrap a loop nest.
+    pub fn new(nest: LoopNest) -> Pipeline {
+        Pipeline { nest }
+    }
+
+    /// The nest being compiled.
+    pub fn nest(&self) -> &LoopNest {
+        &self.nest
+    }
+
+    /// Run all stages.
+    pub fn run(&self, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+        // 1. Dependence analysis.
+        let deps = loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
+            .map_err(PipelineError::Deps)?;
+
+        // 2. Time transformation (hyperplane method).
+        let pi = match &config.time_fn {
+            Some(coeffs) => {
+                let pi = TimeFn::new(coeffs.clone());
+                pi.check_legal(&deps).map_err(PipelineError::TimeFn)?;
+                pi
+            }
+            None => loom_hyperplane::find_optimal(&deps, self.nest.space(), config.search)
+                .map_err(PipelineError::TimeFn)?,
+        };
+
+        // 2b. Statement-level offsets (fine-grain schedule): derived
+        // from the full per-statement dependence records including
+        // intra-iteration ones.
+        let records = loom_loopir::deps::extract_dependences(
+            &self.nest,
+            DepOptions {
+                include_intra: true,
+                ..config.dep_options
+            },
+        )
+        .map_err(PipelineError::Deps)?;
+        let stmt_offsets =
+            loom_hyperplane::compute_offsets(self.nest.stmts().len(), &records, &pi)
+                .map_err(|_| {
+                    PipelineError::TimeFn(loom_hyperplane::Error::NotFound { bound: 0 })
+                })?;
+
+        // 3. Partitioning (Algorithm 1).
+        let partitioning = partition(
+            self.nest.space().clone(),
+            deps.clone(),
+            pi.clone(),
+            &config.partition,
+        )
+        .map_err(PipelineError::Partition)?;
+        let comm = comm_stats(&partitioning);
+        let tig = Tig::from_partitioning(&partitioning);
+
+        // 4. Mapping: Algorithm 2 on hypercubes, the extension
+        // allocators on meshes/rings. The hypercube mapping is always
+        // produced (it is the paper's artifact and cheap).
+        let target = config.target.unwrap_or(Target::Hypercube(config.cube_dim));
+        let cube_dim_for_alg2 = match target {
+            Target::Hypercube(d) => d,
+            _ => config.cube_dim,
+        };
+        let mapping =
+            map_partitioning(&partitioning, cube_dim_for_alg2).map_err(PipelineError::Mapping)?;
+        let placement = match target {
+            Target::Hypercube(_) => Placement::Hypercube(mapping.clone()),
+            Target::Mesh { rows, cols } => Placement::Other(
+                map_partitioning_mesh(&partitioning, rows, cols)
+                    .map_err(PipelineError::Mapping)?,
+            ),
+            Target::Ring(n) => Placement::Other(
+                map_partitioning_ring(&partitioning, n).map_err(PipelineError::Mapping)?,
+            ),
+        };
+
+        // 5. Machine simulation.
+        let sim = match &config.machine {
+            None => None,
+            Some(opts) => {
+                let program = Program::from_partitioning(
+                    &partitioning,
+                    placement.assignment(),
+                    placement.num_procs(),
+                    self.nest.flops_per_iteration(),
+                );
+                let sim_config = SimConfig {
+                    params: opts.params,
+                    topology: target.topology(),
+                    words_per_arc: opts.words_per_arc,
+                    batch_messages: opts.batch_messages,
+                    link_contention: opts.link_contention,
+                    record_trace: opts.record_trace,
+                };
+                Some(simulate(&program, &sim_config).map_err(PipelineError::Sim)?)
+            }
+        };
+
+        Ok(PipelineOutput {
+            deps,
+            pi,
+            partitioning,
+            comm,
+            tig,
+            mapping,
+            placement,
+            target,
+            stmt_offsets,
+            sim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_end_to_end() {
+        let w = loom_workloads::l1::workload(4);
+        let out = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                cube_dim: 1,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(out.deps.len(), 3);
+        assert_eq!(out.pi.coeffs(), &[1, 1]);
+        assert_eq!(out.partitioning.num_blocks(), 4);
+        assert_eq!(out.comm.total_arcs, 33);
+        assert_eq!(out.comm.interblock_arcs, 12);
+        assert_eq!(out.tig.len(), 4);
+        let sim = out.sim.unwrap();
+        assert!(sim.makespan > 0);
+        assert_eq!(sim.compute.len(), 2);
+    }
+
+    #[test]
+    fn fixed_time_fn_respected() {
+        let w = loom_workloads::sor::workload(6, 6);
+        let out = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                time_fn: Some(vec![2, 1]),
+                cube_dim: 1,
+                machine: None,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(out.pi.coeffs(), &[2, 1]);
+        assert!(out.sim.is_none());
+    }
+
+    #[test]
+    fn illegal_fixed_time_fn_rejected() {
+        let w = loom_workloads::l1::workload(4);
+        let err = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                time_fn: Some(vec![1, -1]),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::TimeFn(_)));
+    }
+
+    fn matvec_makespans(m: i64, params: MachineParams, dims: &[usize]) -> Vec<u64> {
+        let w = loom_workloads::matvec::workload(m);
+        dims.iter()
+            .map(|&cube_dim| {
+                let out = Pipeline::new(w.nest.clone())
+                    .run(&PipelineConfig {
+                        time_fn: Some(w.pi.clone()),
+                        cube_dim,
+                        machine: Some(MachineOptions {
+                            params,
+                            ..Default::default()
+                        }),
+                        ..Default::default()
+                    })
+                    .unwrap();
+                out.sim.unwrap().makespan
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_speedup_on_matvec_when_comm_is_cheap() {
+        // On a low-latency machine the simulated makespan must drop as
+        // the cube grows.
+        let results = matvec_makespans(32, MachineParams::low_latency(), &[0, 1, 2, 3]);
+        assert!(
+            results.windows(2).all(|w| w[1] < w[0]),
+            "makespan must shrink with machine size: {results:?}"
+        );
+    }
+
+    #[test]
+    fn fine_grain_loses_on_classic_machine() {
+        // The paper's own caveat: with 1991 communication costs and a
+        // small problem, parallel execution is *slower* than serial —
+        // "our method is suitable for medium- to coarse-grain
+        // computation". The simulator reproduces that regime too.
+        let results = matvec_makespans(16, MachineParams::classic_1991(), &[0, 2]);
+        assert!(
+            results[1] > results[0],
+            "fine grain + expensive messages should lose: {results:?}"
+        );
+    }
+
+    #[test]
+    fn cube_too_large_fails_cleanly() {
+        let w = loom_workloads::l1::workload(4); // 4 blocks
+        let err = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                cube_dim: 4,
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Mapping(_)));
+    }
+
+    #[test]
+    fn stmt_offsets_exposed() {
+        // L1: no intra-iteration deps → zero offsets for both statements.
+        let w = loom_workloads::l1::workload(4);
+        let out = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                machine: None,
+                cube_dim: 1,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(out.stmt_offsets, vec![0, 0]);
+    }
+
+    #[test]
+    fn mesh_and_ring_targets_simulate() {
+        let w = loom_workloads::matvec::workload(16);
+        for target in [
+            Target::Mesh { rows: 2, cols: 4 },
+            Target::Ring(8),
+            Target::Hypercube(3),
+        ] {
+            let out = Pipeline::new(w.nest.clone())
+                .run(&PipelineConfig {
+                    time_fn: Some(w.pi.clone()),
+                    target: Some(target),
+                    ..Default::default()
+                })
+                .unwrap();
+            assert_eq!(out.target, target);
+            assert_eq!(out.placement.num_procs(), 8);
+            let sim = out.sim.unwrap();
+            assert_eq!(sim.compute.len(), 8);
+            let total: u64 = sim.compute.iter().sum();
+            assert_eq!(total, 16 * 16 * 2);
+            assert_eq!(
+                out.placement.as_hypercube().is_some(),
+                matches!(target, Target::Hypercube(_))
+            );
+        }
+    }
+
+    #[test]
+    fn non_uniform_nest_rejected() {
+        use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+        let nest = LoopNest::new(
+            "bad",
+            IterSpace::rect(&[4]).unwrap(),
+            vec![Stmt::assign(
+                Access::new("A", vec![Aff::new(vec![2], 0)]),
+                vec![Access::simple("A", 1, &[(0, 0)])],
+            )],
+        )
+        .unwrap();
+        let err = Pipeline::new(nest)
+            .run(&PipelineConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Deps(_)));
+    }
+}

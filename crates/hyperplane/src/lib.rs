@@ -1,0 +1,70 @@
+//! Lamport's hyperplane method: linear time transformations for nested
+//! loops with constant dependences.
+//!
+//! A time function Π ∈ ℤⁿ is *legal* for a dependence set `D` when
+//! `Π·d > 0` for every `d ∈ D`: all iterations on one hyperplane
+//! `Π·x = c` are then mutually independent and can execute simultaneously,
+//! and the hyperplanes sweep the index set in dependence order. The
+//! Sheu–Tai partitioner takes such a Π as *given*; this crate supplies it:
+//!
+//! * [`TimeFn`] — a time transformation with legality checking,
+//! * [`search`] — exhaustive search for the Π minimizing the number of
+//!   execution steps (with deterministic tie-breaking),
+//! * [`Schedule`] — the wavefront schedule a Π induces on an index set,
+//!   with full validation against the dependence set.
+
+#![deny(missing_docs)]
+
+pub mod offsets;
+pub mod schedule;
+pub mod search;
+pub mod time;
+
+pub use offsets::{compute_offsets, validate_offsets, OffsetError};
+pub use schedule::Schedule;
+pub use search::{find_optimal, SearchConfig};
+pub use time::TimeFn;
+
+/// Errors from time-transformation construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The proposed Π does not satisfy `Π·d > 0` for some dependence.
+    Illegal {
+        /// The violating dependence vector.
+        dependence: Vec<i64>,
+    },
+    /// No legal Π exists within the searched coefficient bound.
+    NotFound {
+        /// The coefficient bound that was searched.
+        bound: i64,
+    },
+    /// Dimension mismatch between Π and the dependences / space.
+    DimMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Found dimensionality.
+        found: usize,
+    },
+    /// The dependence set contains the zero vector (a self-dependence),
+    /// for which no legal time function exists.
+    ZeroDependence,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Illegal { dependence } => {
+                write!(f, "time function violates dependence {dependence:?}")
+            }
+            Error::NotFound { bound } => {
+                write!(f, "no legal time function with coefficients in ±{bound}")
+            }
+            Error::DimMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::ZeroDependence => write!(f, "dependence set contains the zero vector"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

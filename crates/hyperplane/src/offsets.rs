@@ -1,0 +1,252 @@
+//! Statement-level schedule offsets.
+//!
+//! The plain hyperplane schedule gives every statement of iteration `x`
+//! the same step `Π·x`, relying on in-order execution of the body. The
+//! finer classical form assigns statement `s` the time `Π·x + δ_s` with
+//! small per-statement offsets `δ`, which exposes cross-statement
+//! software pipelining. An offset vector is *valid* when for every
+//! dependence from statement `a` (at `i`) to statement `b` (at `i + d`):
+//!
+//! * loop-carried (`d ≠ 0`): `Π·d + δ_b − δ_a ≥ 1`, and
+//! * intra-iteration (`d = 0`, `a` textually before `b`): `δ_b − δ_a ≥ 1`.
+//!
+//! [`compute_offsets`] finds the componentwise-least non-negative valid
+//! offsets by longest-path relaxation, or reports the negative cycle
+//! that makes Π infeasible at statement granularity.
+
+use crate::time::TimeFn;
+use loom_loopir::deps::Dependence;
+
+/// Why statement offsets could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffsetError {
+    /// The constraint graph has a positive cycle: no finite offsets make
+    /// this Π valid at statement granularity (e.g. a loop-carried
+    /// dependence with `Π·d ≤ 0` somewhere in a cycle of statements).
+    Infeasible {
+        /// A statement on the offending cycle.
+        stmt: usize,
+    },
+    /// A dependence references a statement index outside the body.
+    BadStatement {
+        /// The offending index.
+        stmt: usize,
+    },
+}
+
+impl std::fmt::Display for OffsetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffsetError::Infeasible { stmt } => {
+                write!(f, "no finite statement offsets exist (cycle through S{stmt})")
+            }
+            OffsetError::BadStatement { stmt } => {
+                write!(f, "dependence references unknown statement S{stmt}")
+            }
+        }
+    }
+}
+
+/// Compute the least non-negative statement offsets valid for `pi`
+/// under the given per-statement dependences.
+///
+/// `num_stmts` is the body length; every `Dependence`'s statement
+/// indices must be below it. Offsets are scaled so the earliest is 0.
+pub fn compute_offsets(
+    num_stmts: usize,
+    deps: &[Dependence],
+    pi: &TimeFn,
+) -> Result<Vec<i64>, OffsetError> {
+    // Difference constraints δ_dst − δ_src ≥ w become longest-path
+    // edges src → dst with weight w; Bellman-Ford from an implicit
+    // source with δ = 0 everywhere.
+    struct Edge {
+        src: usize,
+        dst: usize,
+        w: i64,
+    }
+    let mut edges = Vec::new();
+    for d in deps {
+        if d.src_stmt >= num_stmts {
+            return Err(OffsetError::BadStatement { stmt: d.src_stmt });
+        }
+        if d.dst_stmt >= num_stmts {
+            return Err(OffsetError::BadStatement { stmt: d.dst_stmt });
+        }
+        let carried = d.vector.iter().any(|&x| x != 0);
+        if carried {
+            // δ_dst − δ_src ≥ 1 − Π·d (only binding when Π·d ≤ 0 for
+            // same-step or reversed pairs; usually a non-constraint).
+            edges.push(Edge {
+                src: d.src_stmt,
+                dst: d.dst_stmt,
+                w: 1 - pi.dot(&d.vector),
+            });
+        } else {
+            edges.push(Edge {
+                src: d.src_stmt,
+                dst: d.dst_stmt,
+                w: 1,
+            });
+        }
+    }
+
+    let mut delta = vec![0i64; num_stmts];
+    // |V| − 1 relaxations, then one more pass to detect positive cycles.
+    for round in 0..=num_stmts {
+        let mut changed = false;
+        for e in &edges {
+            let cand = delta[e.src] + e.w;
+            if cand > delta[e.dst] {
+                if round == num_stmts {
+                    return Err(OffsetError::Infeasible { stmt: e.dst });
+                }
+                delta[e.dst] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Normalize to start at 0 (deltas are already ≥ 0 since we start
+    // from 0 and only increase, but keep the invariant explicit).
+    let min = delta.iter().copied().min().unwrap_or(0);
+    for d in &mut delta {
+        *d -= min;
+    }
+    Ok(delta)
+}
+
+/// Validate offsets: every dependence strictly ordered in fine time.
+pub fn validate_offsets(
+    offsets: &[i64],
+    deps: &[Dependence],
+    pi: &TimeFn,
+) -> Result<(), OffsetError> {
+    for d in deps {
+        // Both carried and intra-iteration dependences need strict fine-
+        // time ordering; for intra (d = 0) the Π·d term vanishes.
+        let lhs = pi.dot(&d.vector) + offsets[d.dst_stmt] - offsets[d.src_stmt];
+        if lhs < 1 {
+            return Err(OffsetError::Infeasible { stmt: d.dst_stmt });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_loopir::deps::{extract_dependences, DepOptions};
+    use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+    #[test]
+    fn l1_needs_no_offsets() {
+        // All of L1's dependences are loop-carried with Π·d ≥ 1.
+        let w = loom_workloads::l1::workload(4);
+        let deps = extract_dependences(&w.nest, DepOptions::default()).unwrap();
+        let pi = TimeFn::new(w.pi.clone());
+        let off = compute_offsets(w.nest.stmts().len(), &deps, &pi).unwrap();
+        assert_eq!(off, vec![0, 0]);
+        assert!(validate_offsets(&off, &deps, &pi).is_ok());
+    }
+
+    #[test]
+    fn intra_iteration_chain_gets_increasing_offsets() {
+        // S0: T[i]   = A[i];      (writes T)
+        // S1: U[i]   = T[i];      (reads T same iteration → δ1 > δ0)
+        // S2: V[i]   = U[i];      (→ δ2 > δ1)
+        let n = 1;
+        let nest = LoopNest::new(
+            "chain",
+            IterSpace::rect(&[4]).unwrap(),
+            vec![
+                Stmt::assign(
+                    Access::simple("T", n, &[(0, 0)]),
+                    vec![Access::simple("A", n, &[(0, 0)])],
+                ),
+                Stmt::assign(
+                    Access::simple("U", n, &[(0, 0)]),
+                    vec![Access::simple("T", n, &[(0, 0)])],
+                ),
+                Stmt::assign(
+                    Access::simple("V", n, &[(0, 0)]),
+                    vec![Access::simple("U", n, &[(0, 0)])],
+                ),
+            ],
+        )
+        .unwrap();
+        // Intra-iteration deps have zero distance vectors, which the
+        // vector extractor drops from D, but extract_dependences keeps?
+        // (Zero-vector deps are excluded; simulate them explicitly.)
+        let deps = vec![
+            Dependence {
+                vector: vec![0],
+                kind: loom_loopir::DepKind::Flow,
+                array: "T".into(),
+                src_stmt: 0,
+                dst_stmt: 1,
+            },
+            Dependence {
+                vector: vec![0],
+                kind: loom_loopir::DepKind::Flow,
+                array: "U".into(),
+                src_stmt: 1,
+                dst_stmt: 2,
+            },
+        ];
+        let pi = TimeFn::new(vec![1]);
+        let off = compute_offsets(nest.stmts().len(), &deps, &pi).unwrap();
+        assert_eq!(off, vec![0, 1, 2]);
+        assert!(validate_offsets(&off, &deps, &pi).is_ok());
+    }
+
+    #[test]
+    fn compensating_offset_for_weak_pi() {
+        // A dependence with Π·d = 0 between two different statements can
+        // be repaired by an offset: δ_dst − δ_src ≥ 1.
+        let deps = vec![Dependence {
+            vector: vec![1, -1],
+            kind: loom_loopir::DepKind::Flow,
+            array: "A".into(),
+            src_stmt: 0,
+            dst_stmt: 1,
+        }];
+        let pi = TimeFn::new(vec![1, 1]); // Π·(1,−1) = 0
+        let off = compute_offsets(2, &deps, &pi).unwrap();
+        assert_eq!(off, vec![0, 1]);
+        assert!(validate_offsets(&off, &deps, &pi).is_ok());
+    }
+
+    #[test]
+    fn infeasible_cycle_detected() {
+        // S0 → S1 and S1 → S0 both with Π·d = 0: impossible.
+        let mk = |src, dst| Dependence {
+            vector: vec![1, -1],
+            kind: loom_loopir::DepKind::Flow,
+            array: "A".into(),
+            src_stmt: src,
+            dst_stmt: dst,
+        };
+        let pi = TimeFn::new(vec![1, 1]);
+        let err = compute_offsets(2, &[mk(0, 1), mk(1, 0)], &pi).unwrap_err();
+        assert!(matches!(err, OffsetError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn bad_statement_rejected() {
+        let deps = vec![Dependence {
+            vector: vec![1],
+            kind: loom_loopir::DepKind::Flow,
+            array: "A".into(),
+            src_stmt: 0,
+            dst_stmt: 7,
+        }];
+        let pi = TimeFn::new(vec![1]);
+        assert_eq!(
+            compute_offsets(2, &deps, &pi),
+            Err(OffsetError::BadStatement { stmt: 7 })
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Loop-nest intermediate representation and uniform dependence analysis.
+//!
+//! This crate is the "parallelizing compiler front end" of the
+//! reproduction: it models the class of programs the paper treats — `n`
+//! perfectly nested loops whose statements access arrays through affine
+//! subscripts, with **constant loop-carried dependencies** — and extracts
+//! the dependence-vector set `D` that drives the hyperplane method and the
+//! Sheu–Tai partitioner.
+//!
+//! The pieces:
+//!
+//! * [`aff::Aff`] — affine expressions over the loop indices (subscripts
+//!   and loop bounds),
+//! * [`space::IterSpace`] — the index set `Jⁿ` with affine bounds and
+//!   lexicographic enumeration,
+//! * [`nest::LoopNest`] / [`nest::Stmt`] / [`access::Access`] — the program
+//!   representation plus a small builder API,
+//! * [`deps`] — uniform dependence extraction (flow, anti, output, and the
+//!   input-reuse dependences that the paper introduces by rewriting loops
+//!   into single-assignment form, e.g. matmul's `(0,1,0)`/`(1,0,0)`
+//!   propagation vectors).
+
+#![deny(missing_docs)]
+
+pub mod access;
+pub mod aff;
+pub mod deps;
+pub mod nest;
+pub mod normalize;
+pub mod parse;
+pub mod sem;
+pub mod space;
+
+pub use access::Access;
+pub use aff::Aff;
+pub use deps::{extract_dependences, DepKind, DepOptions, Dependence};
+pub use nest::{LoopNest, Stmt};
+pub use space::IterSpace;
+
+/// An iteration-space point (loop index value).
+pub type Point = Vec<i64>;
+
+/// Errors raised while constructing or analyzing a loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A bound or subscript references a loop index that does not exist.
+    DimMismatch {
+        /// What was being constructed.
+        what: &'static str,
+        /// Expected dimensionality.
+        expected: usize,
+        /// Found dimensionality.
+        found: usize,
+    },
+    /// A loop bound references the loop's own or an inner index.
+    ForwardBound {
+        /// Depth of the offending loop (0-based).
+        level: usize,
+    },
+    /// The nest has no statements or zero dimensions.
+    Empty,
+    /// Dependence analysis found a non-constant (non-uniform) dependence,
+    /// which is outside the class the hyperplane method handles.
+    NonUniform {
+        /// Array whose accesses produce the non-uniform dependence.
+        array: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected dimension {expected}, found {found}"),
+            Error::ForwardBound { level } => write!(
+                f,
+                "bound of loop {level} references its own or an inner index"
+            ),
+            Error::Empty => write!(f, "loop nest is empty"),
+            Error::NonUniform { array } => write!(
+                f,
+                "accesses to array `{array}` induce a non-uniform dependence"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,272 @@
+//! Loop nests and statements, with a small builder API.
+
+use crate::access::Access;
+use crate::sem::Expr;
+use crate::space::IterSpace;
+use crate::Error;
+use std::fmt;
+
+/// One assignment statement: a single write access and any number of
+/// read accesses (the right-hand side), plus a nominal flop cost used by
+/// the machine model and optional arithmetic semantics used by the
+/// executors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    write: Access,
+    reads: Vec<Access>,
+    expr: Option<Expr>,
+    /// Number of floating-point operations one execution of this
+    /// statement performs (e.g. 2 for a multiply–add).
+    pub flops: u64,
+}
+
+impl Stmt {
+    /// Build a statement `write := f(reads…)` with a default cost of one
+    /// flop per read (a fused multiply/add chain).
+    pub fn assign(write: Access, reads: Vec<Access>) -> Stmt {
+        let flops = reads.len().max(1) as u64;
+        Stmt {
+            write,
+            reads,
+            expr: None,
+            flops,
+        }
+    }
+
+    /// Override the flop cost.
+    pub fn with_flops(mut self, flops: u64) -> Stmt {
+        self.flops = flops;
+        self
+    }
+
+    /// Attach concrete arithmetic semantics. Panics if the expression
+    /// references a read access the statement does not have.
+    pub fn with_expr(mut self, expr: Expr) -> Stmt {
+        if let Some(m) = expr.max_read() {
+            assert!(
+                m < self.reads.len(),
+                "expression reads r{m} but the statement has {} reads",
+                self.reads.len()
+            );
+        }
+        self.expr = Some(expr);
+        self
+    }
+
+    /// The statement's semantics: the attached expression, or the
+    /// sum-of-reads default.
+    pub fn semantics(&self) -> Expr {
+        self.expr
+            .clone()
+            .unwrap_or_else(|| Expr::sum_of_reads(self.reads.len()))
+    }
+
+    /// The write (left-hand side) access.
+    pub fn write(&self) -> &Access {
+        &self.write
+    }
+
+    /// The read (right-hand side) accesses.
+    pub fn reads(&self) -> &[Access] {
+        &self.reads
+    }
+
+    /// All accesses: write first, then reads.
+    pub fn accesses(&self) -> impl Iterator<Item = &Access> {
+        std::iter::once(&self.write).chain(self.reads.iter())
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := f(", self.write)?;
+        for (i, r) in self.reads.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An `n`-nested loop: a name, the index set, and the statement body.
+///
+/// ```
+/// use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+/// // The paper's loop (L1):
+/// //   S1: A[i+1,j+1] := A[i+1,j] + B[i,j];
+/// //   S2: B[i+1,j]   := A[i,j] * 2 + C;
+/// let nest = LoopNest::new(
+///     "L1",
+///     IterSpace::rect(&[4, 4]).unwrap(),
+///     vec![
+///         Stmt::assign(
+///             Access::simple("A", 2, &[(0, 1), (1, 1)]),
+///             vec![
+///                 Access::simple("A", 2, &[(0, 1), (1, 0)]),
+///                 Access::simple("B", 2, &[(0, 0), (1, 0)]),
+///             ],
+///         ),
+///         Stmt::assign(
+///             Access::simple("B", 2, &[(0, 1), (1, 0)]),
+///             vec![Access::simple("A", 2, &[(0, 0), (1, 0)])],
+///         ),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(nest.dim(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopNest {
+    name: String,
+    space: IterSpace,
+    stmts: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// Build a nest, validating that every access matches the space arity.
+    pub fn new(
+        name: impl Into<String>,
+        space: IterSpace,
+        stmts: Vec<Stmt>,
+    ) -> Result<LoopNest, Error> {
+        if stmts.is_empty() {
+            return Err(Error::Empty);
+        }
+        let n = space.dim();
+        for st in &stmts {
+            for acc in st.accesses() {
+                if acc.rank() > 0 && acc.nest_arity() != n {
+                    return Err(Error::DimMismatch {
+                        what: "array access",
+                        expected: n,
+                        found: acc.nest_arity(),
+                    });
+                }
+            }
+        }
+        Ok(LoopNest {
+            name: name.into(),
+            space,
+            stmts,
+        })
+    }
+
+    /// Nest name (for reporting).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index set.
+    pub fn space(&self) -> &IterSpace {
+        &self.space
+    }
+
+    /// Loop depth `n`.
+    pub fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// The statement body.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Total flops performed by one iteration of the body.
+    pub fn flops_per_iteration(&self) -> u64 {
+        self.stmts.iter().map(|s| s.flops).sum()
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "loop nest `{}` (depth {}):", self.name, self.dim())?;
+        for (j, _) in (0..self.dim()).enumerate() {
+            writeln!(
+                f,
+                "{:indent$}for I{} = {} to {}",
+                "",
+                j,
+                self.space.lower(j),
+                self.space.upper(j),
+                indent = 2 * j
+            )?;
+        }
+        for s in &self.stmts {
+            writeln!(f, "{:indent$}{s};", "", indent = 2 * self.dim())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> LoopNest {
+        LoopNest::new(
+            "L1",
+            IterSpace::rect(&[4, 4]).unwrap(),
+            vec![
+                Stmt::assign(
+                    Access::simple("A", 2, &[(0, 1), (1, 1)]),
+                    vec![
+                        Access::simple("A", 2, &[(0, 1), (1, 0)]),
+                        Access::simple("B", 2, &[(0, 0), (1, 0)]),
+                    ],
+                ),
+                Stmt::assign(
+                    Access::simple("B", 2, &[(0, 1), (1, 0)]),
+                    vec![Access::simple("A", 2, &[(0, 0), (1, 0)])],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let nest = l1();
+        assert_eq!(nest.dim(), 2);
+        assert_eq!(nest.stmts().len(), 2);
+        assert_eq!(nest.name(), "L1");
+        assert_eq!(nest.flops_per_iteration(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let bad = LoopNest::new(
+            "bad",
+            IterSpace::rect(&[4, 4]).unwrap(),
+            vec![Stmt::assign(
+                Access::simple("A", 3, &[(0, 0)]),
+                vec![],
+            )],
+        );
+        assert!(matches!(bad, Err(Error::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let bad = LoopNest::new("bad", IterSpace::rect(&[4]).unwrap(), vec![]);
+        assert_eq!(bad.unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn stmt_accessors() {
+        let nest = l1();
+        let s1 = &nest.stmts()[0];
+        assert_eq!(s1.write().array(), "A");
+        assert_eq!(s1.reads().len(), 2);
+        assert_eq!(s1.accesses().count(), 3);
+        assert_eq!(s1.clone().with_flops(7).flops, 7);
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let out = l1().to_string();
+        assert!(out.contains("for I0"));
+        assert!(out.contains("A[i+1,j+1] := f(A[i+1,j], B[i,j]);"));
+    }
+}

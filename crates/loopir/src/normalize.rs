@@ -1,0 +1,214 @@
+//! Loop normalization: rewrite nests with arbitrary constant bounds and
+//! non-unit strides into the form the paper (and the rest of this
+//! library) assumes — every loop running `0, 1, 2, …`.
+//!
+//! The paper states its model "without loss of generality" assumes
+//! `l_j ≤ u_j` and `k_j = 1`; this pass is the generality. A raw level
+//! `for I = lo to hi step s` becomes `for I' = 0 to ⌊(hi−lo)/s⌋` with
+//! `I = lo + s·I'`, and every affine subscript/bound is rewritten under
+//! that substitution.
+
+use crate::aff::Aff;
+use crate::nest::{LoopNest, Stmt};
+use crate::space::IterSpace;
+use crate::Error;
+
+/// One raw loop level `for I = lo to hi step step` with constant bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawLevel {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// Stride (must be positive; decreasing loops should be reversed by
+    /// the caller first).
+    pub step: i64,
+}
+
+impl RawLevel {
+    /// Number of iterations of this level (0 when empty).
+    pub fn count(&self) -> i64 {
+        if self.hi < self.lo {
+            0
+        } else {
+            (self.hi - self.lo) / self.step + 1
+        }
+    }
+}
+
+/// Substitute `I_k = lo_k + step_k · I'_k` into an affine expression.
+fn substitute(e: &Aff, levels: &[RawLevel]) -> Aff {
+    let mut constant = e.constant_term();
+    let mut coeffs = Vec::with_capacity(e.dim());
+    for (k, lvl) in levels.iter().enumerate() {
+        let c = e.coeff(k);
+        constant += c * lvl.lo;
+        coeffs.push(c * lvl.step);
+    }
+    Aff::new(coeffs, constant)
+}
+
+/// Normalize a rectangular strided nest: returns an equivalent nest over
+/// the index set `0 ≤ I'_k < count_k` with all accesses rewritten.
+///
+/// Errors: [`Error::Empty`] for a zero-level nest or empty body, and
+/// [`Error::ForwardBound`] is impossible here (bounds are constant);
+/// a non-positive stride is a caller bug and panics.
+pub fn normalize_rect(
+    name: impl Into<String>,
+    levels: &[RawLevel],
+    stmts: Vec<Stmt>,
+) -> Result<LoopNest, Error> {
+    if levels.is_empty() {
+        return Err(Error::Empty);
+    }
+    for lvl in levels {
+        assert!(lvl.step > 0, "normalize_rect requires positive strides");
+    }
+    let sizes: Vec<i64> = levels.iter().map(RawLevel::count).collect();
+    let space = IterSpace::rect(&sizes.iter().map(|&s| s.max(0)).collect::<Vec<_>>())?;
+    let new_stmts: Vec<Stmt> = stmts
+        .iter()
+        .map(|st| {
+            let rewrite = |acc: &crate::access::Access| {
+                crate::access::Access::new(
+                    acc.array(),
+                    acc.subscripts()
+                        .iter()
+                        .map(|s| substitute(s, levels))
+                        .collect(),
+                )
+            };
+            let mut out = Stmt::assign(
+                rewrite(st.write()),
+                st.reads().iter().map(rewrite).collect(),
+            )
+            .with_flops(st.flops);
+            out = out.with_expr(st.semantics());
+            out
+        })
+        .collect();
+    LoopNest::new(name, space, new_stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+
+    #[test]
+    fn raw_level_counts() {
+        assert_eq!(RawLevel { lo: 0, hi: 9, step: 1 }.count(), 10);
+        assert_eq!(RawLevel { lo: 1, hi: 9, step: 2 }.count(), 5);
+        assert_eq!(RawLevel { lo: 5, hi: 4, step: 1 }.count(), 0);
+        assert_eq!(RawLevel { lo: -3, hi: 3, step: 3 }.count(), 3);
+    }
+
+    #[test]
+    fn unit_stride_offset_bounds() {
+        // for i = 1 to M: y[i] = y[i-1] + x[i]  →  normalized deps (1).
+        let levels = [RawLevel { lo: 1, hi: 8, step: 1 }];
+        let nest = normalize_rect(
+            "offset",
+            &levels,
+            vec![Stmt::assign(
+                Access::simple("y", 1, &[(0, 0)]),
+                vec![
+                    Access::simple("y", 1, &[(0, -1)]),
+                    Access::simple("x", 1, &[(0, 0)]),
+                ],
+            )],
+        )
+        .unwrap();
+        assert_eq!(nest.space().count(), 8);
+        // y[I] with I = 1 + I' → subscript I' + 1.
+        assert_eq!(nest.stmts()[0].write().subscripts()[0], Aff::new(vec![1], 1));
+        assert_eq!(nest.stmts()[0].reads()[0].subscripts()[0], Aff::new(vec![1], 0));
+        let d = crate::deps::dependence_vectors(&nest, crate::DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![1]]);
+    }
+
+    #[test]
+    fn stride_two_scales_dependences() {
+        // for i = 0 to 14 step 2: A[i+2] = A[i] — raw distance 2 becomes
+        // normalized distance 1.
+        let levels = [RawLevel { lo: 0, hi: 14, step: 2 }];
+        let nest = normalize_rect(
+            "strided",
+            &levels,
+            vec![Stmt::assign(
+                Access::simple("A", 1, &[(0, 2)]),
+                vec![Access::simple("A", 1, &[(0, 0)])],
+            )],
+        )
+        .unwrap();
+        assert_eq!(nest.space().count(), 8);
+        let d = crate::deps::dependence_vectors(&nest, crate::DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![1]]);
+    }
+
+    #[test]
+    fn two_level_mixed() {
+        // for i = 2 to 10 step 2, for j = 1 to 4:
+        //   B[i, j] = B[i-2, j] + B[i, j-1]
+        let levels = [
+            RawLevel { lo: 2, hi: 10, step: 2 },
+            RawLevel { lo: 1, hi: 4, step: 1 },
+        ];
+        let nest = normalize_rect(
+            "mixed",
+            &levels,
+            vec![Stmt::assign(
+                Access::simple("B", 2, &[(0, 0), (1, 0)]),
+                vec![
+                    Access::simple("B", 2, &[(0, -2), (1, 0)]),
+                    Access::simple("B", 2, &[(0, 0), (1, -1)]),
+                ],
+            )],
+        )
+        .unwrap();
+        assert_eq!(nest.space().count(), 5 * 4);
+        let d = crate::deps::dependence_vectors(&nest, crate::DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn semantics_survive_normalization() {
+        use crate::sem::Expr;
+        let levels = [RawLevel { lo: 1, hi: 4, step: 1 }];
+        let nest = normalize_rect(
+            "sem",
+            &levels,
+            vec![Stmt::assign(
+                Access::simple("A", 1, &[(0, 0)]),
+                vec![Access::simple("A", 1, &[(0, -1)])],
+            )
+            .with_flops(7)
+            .with_expr(Expr::add(Expr::Read(0), Expr::Const(3.0)))],
+        )
+        .unwrap();
+        assert_eq!(nest.stmts()[0].flops, 7);
+        assert_eq!(
+            nest.stmts()[0].semantics(),
+            Expr::add(Expr::Read(0), Expr::Const(3.0))
+        );
+    }
+
+    #[test]
+    fn empty_levels_rejected() {
+        assert_eq!(
+            normalize_rect("x", &[], vec![]).unwrap_err(),
+            Error::Empty
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive strides")]
+    fn bad_stride_panics() {
+        let _ = normalize_rect(
+            "x",
+            &[RawLevel { lo: 0, hi: 4, step: 0 }],
+            vec![Stmt::assign(Access::simple("A", 1, &[(0, 0)]), vec![])],
+        );
+    }
+}

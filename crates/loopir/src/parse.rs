@@ -1,0 +1,756 @@
+//! A small text front-end: parse loop nests from source form.
+//!
+//! Grammar (whitespace-insensitive; `#` starts a line comment):
+//!
+//! ```text
+//! nest  := loop+ stmt+
+//! loop  := "for" ident "=" aff "to" aff [ "step" int ]
+//! stmt  := ident "[" aff ("," aff)* "]" "=" expr ";"
+//! expr  := term (("+"|"-") term)*
+//! term  := factor ("*" factor)*
+//! factor:= int | ident "[" aff ("," aff)* "]" | "(" expr ")"
+//!        | "-" factor | ("max"|"min") "(" expr "," expr ")"
+//! aff   := affine arithmetic over loop identifiers and integers
+//! ```
+//!
+//! Example — the paper's loop (L1):
+//!
+//! ```text
+//! for i = 0 to 3
+//! for j = 0 to 3
+//!   A[i+1, j+1] = A[i+1, j] + B[i, j];
+//!   B[i+1, j]   = 2 * A[i, j] + 1;
+//! ```
+//!
+//! Non-unit steps are supported for constant-bound loops and are
+//! normalized away (see [`crate::normalize`]).
+
+use crate::access::Access;
+use crate::aff::Aff;
+use crate::nest::{LoopNest, Stmt};
+use crate::normalize::{normalize_rect, RawLevel};
+use crate::sem::Expr;
+use crate::space::IterSpace;
+
+/// A parse failure with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(char),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push((start, Tok::Ident(src[start..i].to_string())));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                at: start,
+                message: "integer too large".into(),
+            })?;
+            toks.push((start, Tok::Int(n)));
+        } else if "[](),;=+-*".contains(c) {
+            toks.push((i, Tok::Sym(c)));
+            i += 1;
+        } else {
+            return Err(ParseError {
+                at: i,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(ParseError {
+                at,
+                message: format!("expected `{c}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.peek() == Some(&Tok::Ident(word.to_string())) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A linear combination being built: coefficients per loop ident + const.
+#[derive(Clone, Debug)]
+struct Lin {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Lin {
+    fn constant(n: usize, c: i64) -> Lin {
+        Lin {
+            coeffs: vec![0; n],
+            constant: c,
+        }
+    }
+
+    fn var(n: usize, k: usize) -> Lin {
+        let mut coeffs = vec![0; n];
+        coeffs[k] = 1;
+        Lin { coeffs, constant: 0 }
+    }
+
+    fn add(mut self, o: &Lin, sign: i64) -> Lin {
+        for (a, b) in self.coeffs.iter_mut().zip(&o.coeffs) {
+            *a += sign * b;
+        }
+        self.constant += sign * o.constant;
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Lin {
+        for a in &mut self.coeffs {
+            *a *= k;
+        }
+        self.constant *= k;
+        self
+    }
+
+    fn is_const(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    fn to_aff(&self) -> Aff {
+        Aff::new(self.coeffs.clone(), self.constant)
+    }
+}
+
+struct Parser {
+    lx: Lexer,
+    idents: Vec<String>,
+    n: usize,
+}
+
+impl Parser {
+    fn ident_index(&self, name: &str) -> Option<usize> {
+        self.idents.iter().position(|i| i == name)
+    }
+
+    /// aff := affterm (('+'|'-') affterm)*
+    fn parse_aff(&mut self) -> Result<Lin, ParseError> {
+        let mut acc = self.parse_aff_term()?;
+        loop {
+            match self.lx.peek() {
+                Some(Tok::Sym('+')) => {
+                    self.lx.next();
+                    let t = self.parse_aff_term()?;
+                    acc = acc.add(&t, 1);
+                }
+                Some(Tok::Sym('-')) => {
+                    self.lx.next();
+                    let t = self.parse_aff_term()?;
+                    acc = acc.add(&t, -1);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    /// affterm := afffactor ('*' afffactor)* with at most one variable part
+    fn parse_aff_term(&mut self) -> Result<Lin, ParseError> {
+        let mut acc = self.parse_aff_factor()?;
+        while self.lx.peek() == Some(&Tok::Sym('*')) {
+            let at = self.lx.at();
+            self.lx.next();
+            let f = self.parse_aff_factor()?;
+            acc = if acc.is_const() {
+                f.scale(acc.constant)
+            } else if f.is_const() {
+                acc.scale(f.constant)
+            } else {
+                return Err(ParseError {
+                    at,
+                    message: "non-affine subscript: variable * variable".into(),
+                });
+            };
+        }
+        Ok(acc)
+    }
+
+    fn parse_aff_factor(&mut self) -> Result<Lin, ParseError> {
+        let at = self.lx.at();
+        match self.lx.next() {
+            Some(Tok::Int(v)) => Ok(Lin::constant(self.n, v)),
+            Some(Tok::Ident(name)) => match self.ident_index(&name) {
+                Some(k) => Ok(Lin::var(self.n, k)),
+                None => Err(ParseError {
+                    at,
+                    message: format!("unknown loop index `{name}`"),
+                }),
+            },
+            Some(Tok::Sym('-')) => Ok(self.parse_aff_factor()?.scale(-1)),
+            Some(Tok::Sym('(')) => {
+                let inner = self.parse_aff()?;
+                self.lx.expect_sym(')')?;
+                Ok(inner)
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected subscript expression, found {other:?}"),
+            }),
+        }
+    }
+
+    /// access := ident '[' aff (',' aff)* ']'
+    fn parse_access(&mut self, array: String) -> Result<Access, ParseError> {
+        self.lx.expect_sym('[')?;
+        let mut subs = vec![self.parse_aff()?.to_aff()];
+        while self.lx.peek() == Some(&Tok::Sym(',')) {
+            self.lx.next();
+            subs.push(self.parse_aff()?.to_aff());
+        }
+        self.lx.expect_sym(']')?;
+        Ok(Access::new(array, subs))
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_term(reads)?;
+        loop {
+            match self.lx.peek() {
+                Some(Tok::Sym('+')) => {
+                    self.lx.next();
+                    let t = self.parse_term(reads)?;
+                    acc = Expr::add(acc, t);
+                }
+                Some(Tok::Sym('-')) => {
+                    self.lx.next();
+                    let t = self.parse_term(reads)?;
+                    acc = Expr::sub(acc, t);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_term(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_factor(reads)?;
+        while self.lx.peek() == Some(&Tok::Sym('*')) {
+            self.lx.next();
+            let f = self.parse_factor(reads)?;
+            acc = Expr::mul(acc, f);
+        }
+        Ok(acc)
+    }
+
+    fn parse_factor(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
+        let at = self.lx.at();
+        match self.lx.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Const(v as f64)),
+            Some(Tok::Sym('-')) => {
+                let f = self.parse_factor(reads)?;
+                Ok(Expr::sub(Expr::Const(0.0), f))
+            }
+            Some(Tok::Sym('(')) => {
+                let inner = self.parse_expr(reads)?;
+                self.lx.expect_sym(')')?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) if name == "max" || name == "min" => {
+                self.lx.expect_sym('(')?;
+                let a = self.parse_expr(reads)?;
+                self.lx.expect_sym(',')?;
+                let b = self.parse_expr(reads)?;
+                self.lx.expect_sym(')')?;
+                Ok(if name == "max" {
+                    Expr::max(a, b)
+                } else {
+                    Expr::min(a, b)
+                })
+            }
+            Some(Tok::Ident(array)) => {
+                if self.lx.peek() != Some(&Tok::Sym('[')) {
+                    return Err(ParseError {
+                        at,
+                        message: format!("`{array}` must be subscripted (scalars not supported)"),
+                    });
+                }
+                let acc = self.parse_access(array)?;
+                let idx = reads.len();
+                reads.push(acc);
+                Ok(Expr::Read(idx))
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+
+    /// stmt := access '=' expr ';'
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let at = self.lx.at();
+        let Some(Tok::Ident(array)) = self.lx.next() else {
+            return Err(ParseError {
+                at,
+                message: "expected statement (array assignment)".into(),
+            });
+        };
+        let write = self.parse_access(array)?;
+        self.lx.expect_sym('=')?;
+        let mut reads = Vec::new();
+        let expr = self.parse_expr(&mut reads)?;
+        self.lx.expect_sym(';')?;
+        // flops ≈ number of arithmetic nodes in the expression.
+        fn count_ops(e: &Expr) -> u64 {
+            match e {
+                Expr::Read(_) | Expr::Const(_) => 0,
+                Expr::Add(a, b)
+                | Expr::Sub(a, b)
+                | Expr::Mul(a, b)
+                | Expr::Max(a, b)
+                | Expr::Min(a, b) => 1 + count_ops(a) + count_ops(b),
+            }
+        }
+        let flops = count_ops(&expr).max(1);
+        Ok(Stmt::assign(write, reads)
+            .with_flops(flops)
+            .with_expr(expr))
+    }
+}
+
+/// Parse a nest from source text.
+pub fn parse_nest(name: &str, src: &str) -> Result<LoopNest, ParseError> {
+    let toks = lex(src)?;
+    // Pre-scan: loop identifiers in order.
+    let mut idents = Vec::new();
+    for w in toks.windows(2) {
+        if let (Tok::Ident(kw), Tok::Ident(id)) = (&w[0].1, &w[1].1) {
+            if kw == "for" {
+                idents.push(id.clone());
+            }
+        }
+    }
+    if idents.is_empty() {
+        return Err(ParseError {
+            at: 0,
+            message: "no loops found".into(),
+        });
+    }
+    let n = idents.len();
+    let mut p = Parser {
+        lx: Lexer { toks, pos: 0 },
+        idents,
+        n,
+    };
+
+    // Loop headers.
+    struct Header {
+        lo: Lin,
+        hi: Lin,
+        step: i64,
+    }
+    let mut headers: Vec<Header> = Vec::new();
+    for level in 0..n {
+        let at = p.lx.at();
+        if !p.lx.eat_ident("for") {
+            return Err(ParseError {
+                at,
+                message: "expected `for`".into(),
+            });
+        }
+        let Some(Tok::Ident(id)) = p.lx.next() else {
+            return Err(ParseError {
+                at,
+                message: "expected loop identifier".into(),
+            });
+        };
+        debug_assert_eq!(id, p.idents[level]);
+        p.lx.expect_sym('=')?;
+        let lo = p.parse_aff()?;
+        let at2 = p.lx.at();
+        if !p.lx.eat_ident("to") {
+            return Err(ParseError {
+                at: at2,
+                message: "expected `to`".into(),
+            });
+        }
+        let hi = p.parse_aff()?;
+        let step = if p.lx.eat_ident("step") {
+            let at3 = p.lx.at();
+            match p.lx.next() {
+                Some(Tok::Int(s)) if s > 0 => s,
+                _ => {
+                    return Err(ParseError {
+                        at: at3,
+                        message: "step must be a positive integer".into(),
+                    })
+                }
+            }
+        } else {
+            1
+        };
+        headers.push(Header { lo, hi, step });
+    }
+
+    // Statements.
+    let mut stmts = Vec::new();
+    while p.lx.peek().is_some() {
+        stmts.push(p.parse_stmt()?);
+    }
+    if stmts.is_empty() {
+        return Err(ParseError {
+            at: usize::MAX,
+            message: "no statements found".into(),
+        });
+    }
+
+    // Materialize: unit strides with (possibly affine) bounds go straight
+    // to an IterSpace; any non-unit stride requires constant bounds and
+    // routes through normalization.
+    if headers.iter().all(|h| h.step == 1) {
+        let lo: Vec<Aff> = headers.iter().map(|h| h.lo.to_aff()).collect();
+        let hi: Vec<Aff> = headers.iter().map(|h| h.hi.to_aff()).collect();
+        let space = IterSpace::new(lo, hi).map_err(|e| ParseError {
+            at: 0,
+            message: format!("invalid bounds: {e}"),
+        })?;
+        LoopNest::new(name, space, stmts).map_err(|e| ParseError {
+            at: 0,
+            message: format!("invalid nest: {e}"),
+        })
+    } else {
+        let levels: Result<Vec<RawLevel>, ParseError> = headers
+            .iter()
+            .map(|h| {
+                if h.lo.is_const() && h.hi.is_const() {
+                    Ok(RawLevel {
+                        lo: h.lo.constant,
+                        hi: h.hi.constant,
+                        step: h.step,
+                    })
+                } else {
+                    Err(ParseError {
+                        at: 0,
+                        message: "non-unit step requires constant bounds".into(),
+                    })
+                }
+            })
+            .collect();
+        normalize_rect(name, &levels?, stmts).map_err(|e| ParseError {
+            at: 0,
+            message: format!("invalid nest: {e}"),
+        })
+    }
+}
+
+/// Render an affine expression in parser-compatible form (explicit `*`
+/// between coefficients and identifiers).
+fn aff_to_source(a: &Aff, names: &[&str]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (k, &c) in a.coeffs().iter().enumerate() {
+        match c {
+            0 => {}
+            1 => parts.push(names[k].to_string()),
+            -1 => parts.push(format!("-{}", names[k])),
+            _ => parts.push(format!("{c}*{}", names[k])),
+        }
+    }
+    let ct = a.constant_term();
+    if ct != 0 || parts.is_empty() {
+        parts.push(ct.to_string());
+    }
+    parts.join(" + ")
+}
+
+fn access_to_source(acc: &Access, names: &[&str]) -> String {
+    let subs: Vec<String> = acc
+        .subscripts()
+        .iter()
+        .map(|s| aff_to_source(s, names))
+        .collect();
+    format!("{}[{}]", acc.array(), subs.join(", "))
+}
+
+fn expr_to_source(e: &Expr, reads: &[String]) -> Option<String> {
+    Some(match e {
+        Expr::Read(k) => reads.get(*k)?.clone(),
+        Expr::Const(c) => {
+            if c.fract() != 0.0 || c.abs() > 1e15 {
+                return None; // the grammar only has integer literals
+            }
+            format!("{}", *c as i64)
+        }
+        Expr::Add(a, b) => format!(
+            "({} + {})",
+            expr_to_source(a, reads)?,
+            expr_to_source(b, reads)?
+        ),
+        Expr::Sub(a, b) => format!(
+            "({} - {})",
+            expr_to_source(a, reads)?,
+            expr_to_source(b, reads)?
+        ),
+        Expr::Mul(a, b) => format!(
+            "({} * {})",
+            expr_to_source(a, reads)?,
+            expr_to_source(b, reads)?
+        ),
+        Expr::Max(a, b) => format!(
+            "max({}, {})",
+            expr_to_source(a, reads)?,
+            expr_to_source(b, reads)?
+        ),
+        Expr::Min(a, b) => format!(
+            "min({}, {})",
+            expr_to_source(a, reads)?,
+            expr_to_source(b, reads)?
+        ),
+    })
+}
+
+/// Render a nest back to parseable source, when the grammar can express
+/// it: at most 6 loop levels (named `i…n`) and only integer constants
+/// in statement expressions. `parse_nest(to_source(x)?)` reproduces the
+/// nest's space, dependences, and semantics — asserted by the
+/// round-trip tests.
+pub fn to_source(nest: &LoopNest) -> Option<String> {
+    const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+    let n = nest.dim();
+    if n > NAMES.len() {
+        return None;
+    }
+    let names = &NAMES[..n];
+    let mut out = String::new();
+    for level in 0..n {
+        out.push_str(&format!(
+            "for {} = {} to {}\n",
+            names[level],
+            aff_to_source(nest.space().lower(level), names),
+            aff_to_source(nest.space().upper(level), names),
+        ));
+    }
+    for stmt in nest.stmts() {
+        let reads: Vec<String> = stmt
+            .reads()
+            .iter()
+            .map(|r| access_to_source(r, names))
+            .collect();
+        let rhs = expr_to_source(&stmt.semantics(), &reads)?;
+        out.push_str(&format!(
+            "  {} = {};\n",
+            access_to_source(stmt.write(), names),
+            rhs
+        ));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::{dependence_vectors, DepOptions};
+
+    const L1_SRC: &str = "
+        # the paper's running example
+        for i = 0 to 3
+        for j = 0 to 3
+          A[i+1, j+1] = A[i+1, j] + B[i, j];
+          B[i+1, j]   = 2 * A[i, j] + 1;
+    ";
+
+    #[test]
+    fn parses_l1_and_matches_paper() {
+        let nest = parse_nest("L1", L1_SRC).unwrap();
+        assert_eq!(nest.dim(), 2);
+        assert_eq!(nest.space().count(), 16);
+        let d = dependence_vectors(&nest, DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn parses_matmul() {
+        let src = "
+            for i = 0 to 3
+            for j = 0 to 3
+            for k = 0 to 3
+              C[i, j] = C[i, j] + A[i, k] * B[k, j];
+        ";
+        let nest = parse_nest("matmul", src).unwrap();
+        let d = dependence_vectors(&nest, DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]);
+        assert_eq!(nest.stmts()[0].flops, 2);
+    }
+
+    #[test]
+    fn parses_triangular_bounds() {
+        let src = "
+            for i = 0 to 5
+            for j = 0 to i
+              T[i, j] = T[i, j - 1] + 1;
+        ";
+        let nest = parse_nest("tri", src).unwrap();
+        assert_eq!(nest.space().count(), 21);
+    }
+
+    #[test]
+    fn parses_strided_and_normalizes() {
+        let src = "
+            for i = 0 to 14 step 2
+              A[i + 2] = A[i] + 1;
+        ";
+        let nest = parse_nest("strided", src).unwrap();
+        assert_eq!(nest.space().count(), 8);
+        let d = dependence_vectors(&nest, DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![1]]);
+    }
+
+    #[test]
+    fn semantics_evaluate() {
+        let src = "
+            for i = 0 to 3
+              S[i] = max(S[i - 1], 2) * 3 - 1;
+        ";
+        let nest = parse_nest("s", src).unwrap();
+        let e = nest.stmts()[0].semantics();
+        // reads[0] = S[i-1]; with value 5: max(5,2)*3-1 = 14.
+        assert_eq!(e.eval(&[5.0]), 14.0);
+        // with value 0: max(0,2)*3-1 = 5.
+        assert_eq!(e.eval(&[0.0]), 5.0);
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        assert!(parse_nest("x", "for i = 0 to 3").is_err()); // no stmts
+        assert!(parse_nest("x", "A[i] = 1;").is_err()); // no loops
+        let e = parse_nest("x", "for i = 0 to 3\n A[q] = 1;").unwrap_err();
+        assert!(e.message.contains("unknown loop index"));
+        let e = parse_nest("x", "for i = 0 to 3\n A[i*i] = 1;").unwrap_err();
+        assert!(e.message.contains("non-affine"));
+        let e = parse_nest("x", "for i = 0 to i\n A[i] = 1;").unwrap_err();
+        assert!(e.message.contains("invalid bounds"));
+        let e = parse_nest("x", "for i = 0 to j step 2\nfor j = 0 to 3\n A[i,j] = 1;");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn negative_and_parenthesized_subscripts() {
+        let src = "
+            for i = 0 to 7
+            for k = 0 to 3
+              y[i] = y[i] + h[k] * x[i - k];
+        ";
+        let nest = parse_nest("conv", src).unwrap();
+        let d = dependence_vectors(&nest, DepOptions::default()).unwrap();
+        assert_eq!(d, vec![vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn round_trip_preserves_space_and_deps() {
+        // A triangular nest with mixed subscripts.
+        let src = "
+            for i = 0 to 5
+            for j = 0 to i
+              T[i + 1, j] = T[i, j] * 2 + T[i, j - 1];
+        ";
+        let nest = parse_nest("t", src).unwrap();
+        let rendered = to_source(&nest).unwrap();
+        let reparsed = parse_nest("t", &rendered).unwrap();
+        assert_eq!(reparsed.space().count(), nest.space().count());
+        assert_eq!(
+            dependence_vectors(&reparsed, DepOptions::default()).unwrap(),
+            dependence_vectors(&nest, DepOptions::default()).unwrap()
+        );
+        // Semantics identical on a shared iteration.
+        assert_eq!(
+            nest.stmts()[0].semantics().eval(&[3.0, 4.0]),
+            reparsed.stmts()[0].semantics().eval(&[3.0, 4.0])
+        );
+    }
+
+    #[test]
+    fn to_source_rejects_fractional_constants() {
+        use crate::sem::Expr;
+        let nest = crate::LoopNest::new(
+            "frac",
+            crate::IterSpace::rect(&[2]).unwrap(),
+            vec![crate::Stmt::assign(
+                crate::Access::simple("A", 1, &[(0, 0)]),
+                vec![],
+            )
+            .with_expr(Expr::Const(0.5))],
+        )
+        .unwrap();
+        assert_eq!(to_source(&nest), None);
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let src = "# header\nfor i = 0 to 1 # trailing\n  A[i+1]=A[i];# end\n";
+        assert!(parse_nest("c", src).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Statement semantics: a small expression language over a statement's
+//! read accesses, so loop nests can actually be *executed* (sequentially
+//! by the oracle interpreter, and in partitioned parallel order by
+//! `loom-exec`) and their results compared.
+
+use std::fmt;
+
+/// An arithmetic expression over the read accesses of one statement.
+///
+/// `Read(k)` is the value loaded by the statement's `k`-th read access.
+///
+/// ```
+/// use loom_loopir::sem::Expr;
+/// // C + A·B (the matmul body) over reads [C, A, B]:
+/// let e = Expr::add(Expr::Read(0), Expr::mul(Expr::Read(1), Expr::Read(2)));
+/// assert_eq!(e.eval(&[10.0, 2.0, 3.0]), 16.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// The value of the statement's `k`-th read access.
+    Read(usize),
+    /// A literal constant.
+    Const(f64),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Maximum (for max-plus recurrences like transitive closure).
+    Max(Box<Expr>, Box<Expr>),
+    /// Minimum.
+    Min(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // constructors, not operators
+impl Expr {
+    /// Convenience constructor: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a − b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a · b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Min(Box::new(a), Box::new(b))
+    }
+
+    /// The default semantics when a statement carries no explicit
+    /// expression: the sum of all its reads (or 1 for a read-free
+    /// statement) — enough to exercise every dataflow edge.
+    pub fn sum_of_reads(n_reads: usize) -> Expr {
+        match n_reads {
+            0 => Expr::Const(1.0),
+            _ => (1..n_reads).fold(Expr::Read(0), |acc, k| Expr::add(acc, Expr::Read(k))),
+        }
+    }
+
+    /// Evaluate with the given read values. Panics if a `Read` index is
+    /// out of range (the nest validator prevents this for well-formed
+    /// statements).
+    pub fn eval(&self, reads: &[f64]) -> f64 {
+        match self {
+            Expr::Read(k) => reads[*k],
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval(reads) + b.eval(reads),
+            Expr::Sub(a, b) => a.eval(reads) - b.eval(reads),
+            Expr::Mul(a, b) => a.eval(reads) * b.eval(reads),
+            Expr::Max(a, b) => a.eval(reads).max(b.eval(reads)),
+            Expr::Min(a, b) => a.eval(reads).min(b.eval(reads)),
+        }
+    }
+
+    /// The largest `Read` index referenced, if any.
+    pub fn max_read(&self) -> Option<usize> {
+        match self {
+            Expr::Read(k) => Some(*k),
+            Expr::Const(_) => None,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Max(a, b)
+            | Expr::Min(a, b) => a.max_read().into_iter().chain(b.max_read()).max(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Read(k) => write!(f, "r{k}"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation() {
+        let e = Expr::add(Expr::Read(0), Expr::mul(Expr::Read(1), Expr::Const(2.0)));
+        assert_eq!(e.eval(&[1.0, 3.0]), 7.0);
+        assert_eq!(Expr::sub(Expr::Const(5.0), Expr::Read(0)).eval(&[2.0]), 3.0);
+        assert_eq!(Expr::max(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]), 9.0);
+        assert_eq!(Expr::min(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]), 2.0);
+    }
+
+    #[test]
+    fn sum_of_reads_default() {
+        assert_eq!(Expr::sum_of_reads(0).eval(&[]), 1.0);
+        assert_eq!(Expr::sum_of_reads(1).eval(&[4.0]), 4.0);
+        assert_eq!(Expr::sum_of_reads(3).eval(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn max_read_bounds() {
+        assert_eq!(Expr::sum_of_reads(3).max_read(), Some(2));
+        assert_eq!(Expr::Const(1.0).max_read(), None);
+        let e = Expr::mul(Expr::Read(5), Expr::Const(1.0));
+        assert_eq!(e.max_read(), Some(5));
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::add(Expr::Read(0), Expr::Const(2.0));
+        assert_eq!(e.to_string(), "(r0 + 2)");
+    }
+}

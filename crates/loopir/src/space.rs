@@ -1,0 +1,314 @@
+//! The index set `Jⁿ` — iteration spaces with affine bounds.
+
+use crate::aff::Aff;
+use crate::{Error, Point};
+
+/// The index set `Jⁿ = {(i₁,…,iₙ) | l_j ≤ i_j ≤ u_j}` of an `n`-nested
+/// loop, where each bound is an affine expression that may reference
+/// *outer* indices only (as in the paper's loop model; strides are
+/// normalized to 1).
+///
+/// ```
+/// use loom_loopir::IterSpace;
+/// let s = IterSpace::rect(&[4, 4]).unwrap(); // 0..=3 × 0..=3
+/// assert_eq!(s.points().count(), 16);
+/// assert!(s.contains(&[3, 0]));
+/// assert!(!s.contains(&[4, 0]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IterSpace {
+    lo: Vec<Aff>,
+    hi: Vec<Aff>,
+}
+
+impl IterSpace {
+    /// A rectangular space `0 ≤ i_j < sizes[j]` (i.e. upper bound
+    /// `sizes[j] − 1` inclusive, matching the paper's `for i = 0 to u`).
+    pub fn rect(sizes: &[i64]) -> Result<IterSpace, Error> {
+        let n = sizes.len();
+        if n == 0 {
+            return Err(Error::Empty);
+        }
+        let lo = (0..n).map(|_| Aff::constant(n, 0)).collect();
+        let hi = sizes.iter().map(|&s| Aff::constant(n, s - 1)).collect();
+        IterSpace::new(lo, hi)
+    }
+
+    /// A rectangular space with explicit inclusive integer bounds.
+    pub fn rect_bounds(lo: &[i64], hi: &[i64]) -> Result<IterSpace, Error> {
+        if lo.len() != hi.len() {
+            return Err(Error::DimMismatch {
+                what: "rect_bounds",
+                expected: lo.len(),
+                found: hi.len(),
+            });
+        }
+        if lo.is_empty() {
+            return Err(Error::Empty);
+        }
+        let n = lo.len();
+        IterSpace::new(
+            lo.iter().map(|&l| Aff::constant(n, l)).collect(),
+            hi.iter().map(|&h| Aff::constant(n, h)).collect(),
+        )
+    }
+
+    /// A space with general affine bounds (inclusive). Each bound of loop
+    /// `j` may only reference indices `0..j`.
+    pub fn new(lo: Vec<Aff>, hi: Vec<Aff>) -> Result<IterSpace, Error> {
+        if lo.len() != hi.len() {
+            return Err(Error::DimMismatch {
+                what: "IterSpace bounds",
+                expected: lo.len(),
+                found: hi.len(),
+            });
+        }
+        let n = lo.len();
+        if n == 0 {
+            return Err(Error::Empty);
+        }
+        for (level, b) in lo.iter().chain(hi.iter()).enumerate() {
+            let level = level % n;
+            if b.dim() != n {
+                return Err(Error::DimMismatch {
+                    what: "bound expression",
+                    expected: n,
+                    found: b.dim(),
+                });
+            }
+            if let Some(mv) = b.max_var() {
+                if mv >= level {
+                    return Err(Error::ForwardBound { level });
+                }
+            }
+        }
+        Ok(IterSpace { lo, hi })
+    }
+
+    /// Dimensionality `n`.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower-bound expression of loop `j`.
+    pub fn lower(&self, j: usize) -> &Aff {
+        &self.lo[j]
+    }
+
+    /// Upper-bound expression of loop `j` (inclusive).
+    pub fn upper(&self, j: usize) -> &Aff {
+        &self.hi[j]
+    }
+
+    /// `true` iff `point` lies in the index set.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        point.len() == self.dim()
+            && (0..self.dim()).all(|j| {
+                let x = point[j];
+                self.lo[j].eval(point) <= x && x <= self.hi[j].eval(point)
+            })
+    }
+
+    /// Number of index points (exact enumeration for affine bounds).
+    pub fn count(&self) -> usize {
+        self.points().count()
+    }
+
+    /// Iterate over all index points in lexicographic order.
+    pub fn points(&self) -> PointIter<'_> {
+        PointIter::new(self)
+    }
+
+    /// The bounding box `[min_j, max_j]` of each coordinate over the whole
+    /// space (used by searches that need a finite coordinate range).
+    pub fn bounding_box(&self) -> Vec<(i64, i64)> {
+        let mut bb: Vec<Option<(i64, i64)>> = vec![None; self.dim()];
+        for p in self.points() {
+            for (j, &x) in p.iter().enumerate() {
+                bb[j] = Some(match bb[j] {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+        }
+        bb.into_iter().map(|o| o.unwrap_or((0, -1))).collect()
+    }
+}
+
+/// Lexicographic iterator over the points of an [`IterSpace`].
+///
+/// Handles affine (triangular) bounds: inner bounds are re-evaluated as the
+/// outer indices advance. Loops whose bounds are momentarily empty
+/// (`lo > hi`) contribute no points, matching `for` semantics.
+pub struct PointIter<'a> {
+    space: &'a IterSpace,
+    current: Option<Point>,
+}
+
+impl<'a> PointIter<'a> {
+    fn new(space: &'a IterSpace) -> PointIter<'a> {
+        PointIter {
+            space,
+            current: Self::first_from(space, &[]),
+        }
+    }
+
+    /// Extend a valid prefix to the lexicographically first full point,
+    /// or `None` if some inner loop is empty and no sibling exists.
+    fn first_from(space: &IterSpace, prefix: &[i64]) -> Option<Point> {
+        let n = space.dim();
+        let mut p = prefix.to_vec();
+        while p.len() < n {
+            let j = p.len();
+            // Bounds only reference outer indices, so pad with zeros.
+            let mut probe = p.clone();
+            probe.resize(n, 0);
+            let lo = space.lo[j].eval(&probe);
+            let hi = space.hi[j].eval(&probe);
+            if lo > hi {
+                // Empty inner loop: advance the deepest settable prefix.
+                return Self::advance_prefix(space, p);
+            }
+            p.push(lo);
+        }
+        Some(p)
+    }
+
+    /// Advance the last coordinate of `prefix`, carrying outward on
+    /// exhaustion; then extend back to a full point.
+    fn advance_prefix(space: &IterSpace, mut prefix: Point) -> Option<Point> {
+        let n = space.dim();
+        loop {
+            let j = prefix.len().checked_sub(1)?;
+            let mut probe = prefix.clone();
+            probe.resize(n, 0);
+            let hi = space.hi[j].eval(&probe);
+            if prefix[j] < hi {
+                prefix[j] += 1;
+                return Self::first_from(space, &prefix);
+            }
+            prefix.pop();
+        }
+    }
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let out = self.current.take()?;
+        self.current = Self::advance_prefix(self.space, out.clone());
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_enumeration_lex_order() {
+        let s = IterSpace::rect(&[2, 3]).unwrap();
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn rect_bounds_offset() {
+        let s = IterSpace::rect_bounds(&[1, 1], &[3, 2]).unwrap();
+        assert_eq!(s.count(), 6);
+        assert!(s.contains(&[1, 1]));
+        assert!(s.contains(&[3, 2]));
+        assert!(!s.contains(&[0, 1]));
+        assert!(!s.contains(&[3, 3]));
+    }
+
+    #[test]
+    fn triangular_space() {
+        // for i = 0..=3, for j = 0..=i  → 1+2+3+4 = 10 points.
+        let n = 2;
+        let lo = vec![Aff::constant(n, 0), Aff::constant(n, 0)];
+        let hi = vec![Aff::constant(n, 3), Aff::var(n, 0)];
+        let s = IterSpace::new(lo, hi).unwrap();
+        assert_eq!(s.count(), 10);
+        assert!(s.contains(&[2, 2]));
+        assert!(!s.contains(&[2, 3]));
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[9], vec![3, 3]);
+    }
+
+    #[test]
+    fn empty_inner_loop_skipped() {
+        // for i = 0..=2, for j = i..=1: i=2 row is empty.
+        let n = 2;
+        let lo = vec![Aff::constant(n, 0), Aff::var(n, 0)];
+        let hi = vec![Aff::constant(n, 2), Aff::constant(n, 1)];
+        let s = IterSpace::new(lo, hi).unwrap();
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn fully_empty_space() {
+        let s = IterSpace::rect_bounds(&[2], &[1]).unwrap();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.bounding_box(), vec![(0, -1)]);
+    }
+
+    #[test]
+    fn forward_bound_rejected() {
+        let n = 2;
+        // Lower bound of loop 0 references index 1.
+        let lo = vec![Aff::var(n, 1), Aff::constant(n, 0)];
+        let hi = vec![Aff::constant(n, 3), Aff::constant(n, 3)];
+        assert_eq!(
+            IterSpace::new(lo, hi).unwrap_err(),
+            Error::ForwardBound { level: 0 }
+        );
+        // Self-reference also rejected.
+        let lo2 = vec![Aff::constant(n, 0), Aff::var(n, 1)];
+        let hi2 = vec![Aff::constant(n, 3), Aff::constant(n, 3)];
+        assert_eq!(
+            IterSpace::new(lo2, hi2).unwrap_err(),
+            Error::ForwardBound { level: 1 }
+        );
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert_eq!(IterSpace::rect(&[]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn bounding_box_triangular() {
+        let n = 2;
+        let lo = vec![Aff::constant(n, 0), Aff::var(n, 0)];
+        let hi = vec![Aff::constant(n, 3), Aff::constant(n, 5)];
+        let s = IterSpace::new(lo, hi).unwrap();
+        assert_eq!(s.bounding_box(), vec![(0, 3), (0, 5)]);
+    }
+
+    #[test]
+    fn three_dim_count() {
+        let s = IterSpace::rect(&[4, 4, 4]).unwrap();
+        assert_eq!(s.count(), 64);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts.len(), 64);
+        // Strictly increasing lexicographic order.
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's machine cost model.
+
+/// Machine timing parameters, in abstract integer ticks so the simulation
+/// is exactly reproducible.
+///
+/// * `t_calc` — one floating-point multiply or add,
+/// * `t_start` — fixed software startup of one message,
+/// * `t_comm` — transmitting one real word between adjacent processors,
+/// * `t_recv` — software overhead the *receiver* pays per message
+///   (0 in the paper's model, which charges the sender only; exposed
+///   because real 1991 machines charged both sides).
+///
+/// Sending `k` words one hop costs `t_start + k·t_comm`; an `h`-hop
+/// store-and-forward route costs `h·(t_start + k·t_comm)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineParams {
+    /// Cost of one floating-point operation.
+    pub t_calc: u64,
+    /// Message startup cost.
+    pub t_start: u64,
+    /// Per-word transfer cost.
+    pub t_comm: u64,
+    /// Receiver-side software overhead per message (default 0).
+    pub t_recv: u64,
+}
+
+impl MachineParams {
+    /// A 1991-flavored message-passing machine: communication startup an
+    /// order of magnitude above a flop (the regime the paper targets —
+    /// "communication overhead is still one order of magnitude higher
+    /// than the corresponding computation").
+    pub fn classic_1991() -> MachineParams {
+        MachineParams {
+            t_calc: 1,
+            t_start: 50,
+            t_comm: 5,
+            t_recv: 0,
+        }
+    }
+
+    /// A communication-friendly machine (startup only a few flops):
+    /// useful to show where partitioning stops mattering.
+    pub fn low_latency() -> MachineParams {
+        MachineParams {
+            t_calc: 1,
+            t_start: 4,
+            t_comm: 1,
+            t_recv: 0,
+        }
+    }
+
+    /// An extreme startup-dominated machine.
+    pub fn high_latency() -> MachineParams {
+        MachineParams {
+            t_calc: 1,
+            t_start: 500,
+            t_comm: 20,
+            t_recv: 0,
+        }
+    }
+
+    /// Cost of one message of `words` words over `hops` hops
+    /// (store-and-forward). Zero-hop messages are free (local).
+    pub fn message_cost(&self, words: u64, hops: usize) -> u64 {
+        (self.t_start + words * self.t_comm) * hops as u64
+    }
+
+    /// Cost of the first hop only — the sender-occupancy share of a send.
+    pub fn send_occupancy(&self, words: u64) -> u64 {
+        self.t_start + words * self.t_comm
+    }
+
+    /// Set the receiver-side overhead (builder style).
+    pub fn with_recv(mut self, t_recv: u64) -> MachineParams {
+        self.t_recv = t_recv;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_costs() {
+        let p = MachineParams {
+            t_calc: 1,
+            t_start: 10,
+            t_comm: 2,
+            t_recv: 0,
+        };
+        assert_eq!(p.message_cost(1, 1), 12);
+        assert_eq!(p.message_cost(5, 1), 20);
+        assert_eq!(p.message_cost(5, 3), 60);
+        assert_eq!(p.message_cost(5, 0), 0);
+        assert_eq!(p.send_occupancy(3), 16);
+    }
+
+    #[test]
+    fn with_recv_builder() {
+        let p = MachineParams::classic_1991().with_recv(7);
+        assert_eq!(p.t_recv, 7);
+        assert_eq!(p.t_start, 50);
+    }
+
+    #[test]
+    fn presets_are_comm_dominated_in_order() {
+        let c = MachineParams::classic_1991();
+        assert!(c.t_start >= 10 * c.t_calc);
+        assert!(MachineParams::low_latency().t_start < c.t_start);
+        assert!(MachineParams::high_latency().t_start > c.t_start);
+    }
+}

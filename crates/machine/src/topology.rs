@@ -1,0 +1,241 @@
+//! Interconnection topologies for the simulated machine.
+
+/// The machine's interconnect. Routing distance feeds the
+/// store-and-forward message-cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Binary n-cube with `2ⁿ` nodes.
+    Hypercube(usize),
+    /// 2-D mesh, nodes numbered row-major.
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Bidirectional ring of `n` nodes.
+    Ring(usize),
+    /// Fully connected: every pair one hop apart.
+    Complete(usize),
+}
+
+impl Topology {
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        match *self {
+            Topology::Hypercube(d) => 1 << d,
+            Topology::Mesh { rows, cols } => rows * cols,
+            Topology::Ring(n) | Topology::Complete(n) => n,
+        }
+    }
+
+    /// `true` iff the machine has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Routing distance in hops between two processors.
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let n = self.len();
+        assert!(a < n && b < n, "node out of range");
+        match *self {
+            Topology::Hypercube(_) => (a ^ b).count_ones() as usize,
+            Topology::Mesh { cols, .. } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                ar.abs_diff(br) + ac.abs_diff(bc)
+            }
+            Topology::Ring(len) => {
+                let d = a.abs_diff(b);
+                d.min(len - d)
+            }
+            Topology::Complete(_) => usize::from(a != b),
+        }
+    }
+
+    /// The deterministic shortest route from `a` to `b`, including both
+    /// endpoints: e-cube for hypercubes, X-then-Y for meshes, the
+    /// shorter arc (ties toward increasing node numbers) for rings, and
+    /// the direct link for complete graphs.
+    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        let n = self.len();
+        assert!(a < n && b < n, "node out of range");
+        let mut path = vec![a];
+        match *self {
+            Topology::Hypercube(d) => {
+                let mut cur = a;
+                for k in 0..d {
+                    let bit = 1 << k;
+                    if (cur ^ b) & bit != 0 {
+                        cur ^= bit;
+                        path.push(cur);
+                    }
+                }
+            }
+            Topology::Mesh { cols, .. } => {
+                let (mut r, mut c) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                while c != bc {
+                    c = if c < bc { c + 1 } else { c - 1 };
+                    path.push(r * cols + c);
+                }
+                while r != br {
+                    r = if r < br { r + 1 } else { r - 1 };
+                    path.push(r * cols + c);
+                }
+            }
+            Topology::Ring(len) => {
+                let fwd = (b + len - a) % len;
+                let step = if fwd <= len - fwd { 1 } else { len - 1 };
+                let mut cur = a;
+                while cur != b {
+                    cur = (cur + step) % len;
+                    path.push(cur);
+                }
+            }
+            Topology::Complete(_) => {
+                if a != b {
+                    path.push(b);
+                }
+            }
+        }
+        path
+    }
+
+    /// The directed links of [`Topology::route`].
+    pub fn route_links(&self, a: usize, b: usize) -> Vec<(usize, usize)> {
+        let path = self.route(a, b);
+        path.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Neighbors of a node (the nodes one hop away).
+    pub fn neighbors(&self, p: usize) -> Vec<usize> {
+        let n = self.len();
+        assert!(p < n, "node out of range");
+        match *self {
+            Topology::Hypercube(d) => (0..d).map(|k| p ^ (1 << k)).collect(),
+            Topology::Mesh { rows, cols } => {
+                let (r, c) = (p / cols, p % cols);
+                let mut out = Vec::new();
+                if c > 0 {
+                    out.push(p - 1);
+                }
+                if c + 1 < cols {
+                    out.push(p + 1);
+                }
+                if r > 0 {
+                    out.push(p - cols);
+                }
+                if r + 1 < rows {
+                    out.push(p + cols);
+                }
+                out
+            }
+            Topology::Ring(len) => {
+                if len <= 1 {
+                    Vec::new()
+                } else if len == 2 {
+                    vec![1 - p]
+                } else {
+                    vec![(p + len - 1) % len, (p + 1) % len]
+                }
+            }
+            Topology::Complete(len) => (0..len).filter(|&q| q != p).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_distances() {
+        let t = Topology::Hypercube(3);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.distance(0b000, 0b111), 3);
+        assert_eq!(t.distance(0b101, 0b101), 0);
+    }
+
+    #[test]
+    fn mesh_distances() {
+        let t = Topology::Mesh { rows: 3, cols: 4 };
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.distance(0, 11), 2 + 3);
+        assert_eq!(t.distance(5, 6), 1);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::Ring(8);
+        assert_eq!(t.distance(0, 7), 1);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(2, 6), 4);
+    }
+
+    #[test]
+    fn complete_is_one_hop() {
+        let t = Topology::Complete(5);
+        assert_eq!(t.distance(0, 4), 1);
+        assert_eq!(t.distance(3, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Topology::Ring(4).distance(0, 4);
+    }
+
+    #[test]
+    fn routes_are_shortest_and_step_by_neighbors() {
+        let topos = [
+            Topology::Hypercube(3),
+            Topology::Mesh { rows: 3, cols: 4 },
+            Topology::Ring(7),
+            Topology::Complete(5),
+        ];
+        for t in topos {
+            for a in 0..t.len() {
+                for b in 0..t.len() {
+                    let path = t.route(a, b);
+                    assert_eq!(path.len() - 1, t.distance(a, b), "{t:?} {a}->{b}");
+                    assert_eq!(path[0], a);
+                    assert_eq!(*path.last().unwrap(), b);
+                    for w in path.windows(2) {
+                        assert!(
+                            t.neighbors(w[0]).contains(&w[1]),
+                            "{t:?}: {} not adjacent to {}",
+                            w[0],
+                            w[1]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_route_picks_short_arc() {
+        let t = Topology::Ring(8);
+        assert_eq!(t.route(0, 6), vec![0, 7, 6]);
+        assert_eq!(t.route(6, 0), vec![6, 7, 0]);
+    }
+
+    #[test]
+    fn mesh_route_is_x_then_y() {
+        let t = Topology::Mesh { rows: 3, cols: 3 };
+        // 0=(0,0) → 8=(2,2): X first then Y.
+        assert_eq!(t.route(0, 8), vec![0, 1, 2, 5, 8]);
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        assert_eq!(Topology::Mesh { rows: 3, cols: 3 }.neighbors(4).len(), 4);
+        assert_eq!(Topology::Mesh { rows: 3, cols: 3 }.neighbors(0).len(), 2);
+        assert_eq!(Topology::Ring(2).neighbors(0), vec![1]);
+        assert_eq!(Topology::Ring(1).neighbors(0), Vec::<usize>::new());
+        assert_eq!(Topology::Complete(4).neighbors(2), vec![0, 1, 3]);
+    }
+}

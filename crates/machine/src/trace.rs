@@ -1,0 +1,211 @@
+//! Execution traces and post-hoc validity checking.
+
+use crate::program::Program;
+
+/// One task's execution interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Task id.
+    pub task: u32,
+    /// Processor it ran on.
+    pub proc: u32,
+    /// Start tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+}
+
+/// A violated execution-trace property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// Two tasks overlapped on the same processor.
+    Overlap {
+        /// First task.
+        a: u32,
+        /// Second task.
+        b: u32,
+        /// The processor.
+        proc: u32,
+    },
+    /// A task started before one of its predecessors finished.
+    DependenceOrder {
+        /// The predecessor.
+        src: u32,
+        /// The dependent task.
+        dst: u32,
+    },
+    /// A task ran on a different processor than assigned, or is missing.
+    WrongOrMissing {
+        /// The task.
+        task: u32,
+    },
+}
+
+/// Check a trace against its program: every task present on its assigned
+/// processor, no same-processor overlap, and every dependence arc
+/// honored (`end(src) ≤ start(dst)`). Returns all violations found.
+pub fn verify_trace(program: &Program, trace: &[TaskRecord]) -> Vec<TraceViolation> {
+    let mut violations = Vec::new();
+    let mut record_of: Vec<Option<&TaskRecord>> = vec![None; program.len()];
+    for r in trace {
+        if (r.task as usize) < program.len() {
+            record_of[r.task as usize] = Some(r);
+        }
+    }
+    for (t, rec) in record_of.iter().enumerate() {
+        match rec {
+            Some(r) if r.proc == program.proc_of[t] => {}
+            _ => violations.push(TraceViolation::WrongOrMissing { task: t as u32 }),
+        }
+    }
+    // Same-processor overlap: sweep per processor.
+    let mut by_proc: Vec<Vec<&TaskRecord>> = vec![Vec::new(); program.num_procs];
+    for r in trace {
+        by_proc[r.proc as usize].push(r);
+    }
+    for (p, records) in by_proc.iter_mut().enumerate() {
+        records.sort_by_key(|r| (r.start, r.end));
+        for w in records.windows(2) {
+            if w[1].start < w[0].end {
+                violations.push(TraceViolation::Overlap {
+                    a: w[0].task,
+                    b: w[1].task,
+                    proc: p as u32,
+                });
+            }
+        }
+    }
+    for &(a, b) in &program.arcs {
+        if let (Some(ra), Some(rb)) = (record_of[a as usize], record_of[b as usize]) {
+            if rb.start < ra.end {
+                violations.push(TraceViolation::DependenceOrder { src: a, dst: b });
+            }
+        }
+    }
+    violations
+}
+
+/// Render a trace as Chrome trace-viewer JSON (`chrome://tracing`,
+/// Perfetto, or Speedscope all open it): one complete event per task,
+/// one row per processor. Times are emitted in microseconds 1:1 with
+/// simulator ticks.
+pub fn to_chrome_json(trace: &[TaskRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in trace.iter().enumerate() {
+        let sep = if i + 1 == trace.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"task {}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {}, \"dur\": {}}}{}\n",
+            r.task,
+            r.proc,
+            r.start,
+            r.end - r.start,
+            sep
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MachineParams;
+    use crate::sim::{simulate, SimConfig};
+    use crate::topology::Topology;
+
+    fn traced_config() -> SimConfig {
+        SimConfig {
+            params: MachineParams {
+                t_calc: 1,
+                t_start: 10,
+                t_comm: 2,
+                t_recv: 0,
+            },
+            topology: Topology::Hypercube(2),
+            words_per_arc: 1,
+            batch_messages: false,
+            link_contention: false,
+            record_trace: true,
+        }
+    }
+
+    #[test]
+    fn simulator_traces_verify_clean() {
+        // A diamond across processors.
+        let prog = Program::from_parts(
+            vec![0, 1, 1, 2],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![0, 1, 2, 3],
+            2,
+            4,
+        );
+        let r = simulate(&prog, &traced_config()).unwrap();
+        assert_eq!(verify_trace(&prog, r.trace.as_ref().unwrap()), vec![]);
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let prog = Program::from_parts(vec![0, 0], vec![], vec![0, 0], 5, 1);
+        let bad = vec![
+            TaskRecord {
+                task: 0,
+                proc: 0,
+                start: 0,
+                end: 5,
+            },
+            TaskRecord {
+                task: 1,
+                proc: 0,
+                start: 3,
+                end: 8,
+            },
+        ];
+        let v = verify_trace(&prog, &bad);
+        assert!(v.contains(&TraceViolation::Overlap { a: 0, b: 1, proc: 0 }));
+    }
+
+    #[test]
+    fn detects_dependence_violation() {
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 5, 2);
+        let bad = vec![
+            TaskRecord {
+                task: 0,
+                proc: 0,
+                start: 0,
+                end: 5,
+            },
+            TaskRecord {
+                task: 1,
+                proc: 1,
+                start: 2,
+                end: 7,
+            },
+        ];
+        let v = verify_trace(&prog, &bad);
+        assert!(v.contains(&TraceViolation::DependenceOrder { src: 0, dst: 1 }));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let trace = vec![
+            TaskRecord { task: 0, proc: 0, start: 0, end: 5 },
+            TaskRecord { task: 1, proc: 1, start: 2, end: 9 },
+        ];
+        let json = to_chrome_json(&trace);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"dur\": 7"));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+        assert_eq!(to_chrome_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn detects_missing_task() {
+        let prog = Program::from_parts(vec![0], vec![], vec![0], 1, 1);
+        let v = verify_trace(&prog, &[]);
+        assert_eq!(v, vec![TraceViolation::WrongOrMissing { task: 0 }]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Baseline block→processor mappings for comparison against Algorithm 2.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Contiguous ("naive") mapping: block `b` of `B` goes to processor
+/// `⌊b·N/B⌋` — chunks of consecutive block ids per processor, ignoring
+/// both geometry and Gray adjacency.
+pub fn naive(num_blocks: usize, num_procs: usize) -> Vec<usize> {
+    assert!(num_procs > 0);
+    (0..num_blocks)
+        .map(|b| b * num_procs / num_blocks.max(1))
+        .collect()
+}
+
+/// Round-robin mapping: block `b` to processor `b mod N` — maximal
+/// scatter, destroys all locality.
+pub fn round_robin(num_blocks: usize, num_procs: usize) -> Vec<usize> {
+    assert!(num_procs > 0);
+    (0..num_blocks).map(|b| b % num_procs).collect()
+}
+
+/// A seeded random balanced mapping: a random permutation of the
+/// round-robin assignment, so loads stay balanced but placement is
+/// arbitrary. Deterministic for a given seed.
+pub fn random(num_blocks: usize, num_procs: usize, seed: u64) -> Vec<usize> {
+    let mut assignment = round_robin(num_blocks, num_procs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    assignment.shuffle(&mut rng);
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_contiguous_and_balanced() {
+        let a = naive(16, 4);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[15], 3);
+        for w in a.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+        for p in 0..4 {
+            assert_eq!(a.iter().filter(|&&x| x == p).count(), 4);
+        }
+    }
+
+    #[test]
+    fn naive_handles_uneven() {
+        let a = naive(10, 4);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&p| p < 4));
+        let counts: Vec<usize> = (0..4).map(|p| a.iter().filter(|&&x| x == p).count()).collect();
+        assert!(counts.iter().all(|&c| (2..=3).contains(&c)));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        assert_eq!(round_robin(6, 3), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_balanced() {
+        let a = random(16, 4, 42);
+        let b = random(16, 4, 42);
+        assert_eq!(a, b);
+        let c = random(16, 4, 43);
+        assert_ne!(a, c, "different seeds should (virtually always) differ");
+        for p in 0..4 {
+            assert_eq!(a.iter().filter(|&&x| x == p).count(), 4);
+        }
+    }
+}

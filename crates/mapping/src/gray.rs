@@ -1,0 +1,72 @@
+//! Reflected binary Gray codes.
+//!
+//! Algorithm 2 numbers the clusters produced along each bisection
+//! direction with a Gray code, so that clusters adjacent along a
+//! direction differ in exactly one address bit — i.e. land on adjacent
+//! hypercube nodes.
+
+/// The `i`-th reflected Gray code word: `i ^ (i >> 1)`.
+///
+/// ```
+/// use loom_mapping::gray::gray;
+/// assert_eq!([gray(0), gray(1), gray(2), gray(3)], [0b00, 0b01, 0b11, 0b10]);
+/// ```
+pub const fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Inverse of [`gray`]: the rank of a Gray-code word.
+pub const fn gray_rank(mut g: u64) -> u64 {
+    let mut r = 0;
+    while g != 0 {
+        r ^= g;
+        g >>= 1;
+    }
+    r
+}
+
+/// The full `bits`-bit Gray sequence, in rank order.
+///
+/// Panics if `bits > 20` (guards accidental huge allocations; hypercube
+/// dimensions in this project are single digits).
+pub fn gray_sequence(bits: u32) -> Vec<u64> {
+    assert!(bits <= 20, "gray_sequence of {bits} bits is unreasonable");
+    (0..1u64 << bits).map(gray).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_bit_sequence() {
+        assert_eq!(
+            gray_sequence(3),
+            vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
+    }
+
+    #[test]
+    fn adjacent_words_differ_in_one_bit() {
+        let seq = gray_sequence(6);
+        for w in seq.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+        // And the sequence is a permutation.
+        let mut sorted = seq.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn rank_inverts_gray() {
+        for i in 0..1024 {
+            assert_eq!(gray_rank(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn zero_bits() {
+        assert_eq!(gray_sequence(0), vec![0]);
+    }
+}

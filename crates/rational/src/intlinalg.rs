@@ -1,0 +1,354 @@
+//! Integer linear algebra: column echelon (Hermite-style) reduction,
+//! integer system solving, and integer nullspace lattice bases.
+//!
+//! Dependence extraction must answer "does `U d = c` have an *integer*
+//! solution `d`, and what lattice do the solutions form?" — rational
+//! elimination alone can miss integer solutions (its particular solution
+//! may be fractional even when an integer one exists), so we reduce with
+//! unimodular column operations instead.
+
+use std::fmt;
+
+/// A dense integer matrix, row-major, with `i64` entries.
+///
+/// All internal arithmetic is widened to `i128` and checked on the way
+/// back down; overflow panics (inputs in this project are tiny subscript
+/// coefficients).
+#[derive(Clone, PartialEq, Eq)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// A zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> IMat {
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The identity of size `n`.
+    pub fn identity(n: usize) -> IMat {
+        let mut m = IMat::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from rows. Panics on ragged input.
+    pub fn from_rows(rows: &[&[i64]]) -> IMat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        IMat { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<i64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.cols, "mat-vec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let s: i128 = (0..self.cols)
+                    .map(|j| self[(i, j)] as i128 * v[j] as i128)
+                    .sum();
+                i64::try_from(s).expect("mat-vec overflow")
+            })
+            .collect()
+    }
+
+    /// Column operation `col[j] -= q * col[k]`.
+    fn col_sub(&mut self, j: usize, q: i64, k: usize) {
+        for i in 0..self.rows {
+            let v = self[(i, j)] as i128 - q as i128 * self[(i, k)] as i128;
+            self[(i, j)] = i64::try_from(v).expect("column op overflow");
+        }
+    }
+
+    fn col_swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for i in 0..self.rows {
+            let t = self[(i, a)];
+            self[(i, a)] = self[(i, b)];
+            self[(i, b)] = t;
+        }
+    }
+
+    fn col_neg(&mut self, j: usize) {
+        for i in 0..self.rows {
+            self[(i, j)] = -self[(i, j)];
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IMat {
+    type Output = i64;
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            writeln!(f, "{:?}", &self.data[i * self.cols..(i + 1) * self.cols])?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of unimodular column reduction: `original · u = h` with `u`
+/// unimodular and `h` in column-echelon form (each pivot row has its pivot
+/// as the only nonzero among columns at or after the pivot column).
+pub struct ColEchelon {
+    /// The reduced matrix.
+    pub h: IMat,
+    /// The accumulated unimodular transform.
+    pub u: IMat,
+    /// `(row, col)` of each pivot, in increasing row and column order.
+    pub pivots: Vec<(usize, usize)>,
+}
+
+/// Reduce `a` by unimodular column operations to column-echelon form.
+pub fn col_echelon(a: &IMat) -> ColEchelon {
+    let mut h = a.clone();
+    let mut u = IMat::identity(a.cols());
+    let mut pivots = Vec::new();
+    let mut c = 0;
+    for r in 0..a.rows() {
+        if c == a.cols() {
+            break;
+        }
+        // Reduce row r across columns c.. to a single nonzero via gcd steps.
+        loop {
+            // Find the column with the smallest nonzero magnitude in row r.
+            let mut best: Option<usize> = None;
+            for j in c..a.cols() {
+                if h[(r, j)] != 0 && best.is_none_or(|b| h[(r, j)].abs() < h[(r, b)].abs()) {
+                    best = Some(j);
+                }
+            }
+            let Some(p) = best else { break };
+            h.col_swap(c, p);
+            u.col_swap(c, p);
+            let mut done = true;
+            for j in (c + 1)..a.cols() {
+                if h[(r, j)] != 0 {
+                    let q = h[(r, j)].div_euclid(h[(r, c)]);
+                    h.col_sub(j, q, c);
+                    u.col_sub(j, q, c);
+                    if h[(r, j)] != 0 {
+                        done = false;
+                    }
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        if h[(r, c)] != 0 {
+            if h[(r, c)] < 0 {
+                h.col_neg(c);
+                u.col_neg(c);
+            }
+            pivots.push((r, c));
+            c += 1;
+        }
+    }
+    ColEchelon { h, u, pivots }
+}
+
+/// Solve `a · x = b` over the integers.
+///
+/// Returns `Some((x0, basis))` where `x0` is one integer solution and
+/// `basis` generates the lattice of homogeneous solutions (so the full
+/// solution set is `x0 + Σ tₖ·basisₖ`, `tₖ ∈ ℤ`); `None` if no integer
+/// solution exists.
+#[allow(clippy::type_complexity)]
+pub fn solve_integer(a: &IMat, b: &[i64]) -> Option<(Vec<i64>, Vec<Vec<i64>>)> {
+    assert_eq!(a.rows(), b.len(), "solve_integer: rhs dimension mismatch");
+    let e = col_echelon(a);
+    // Forward-substitute h·y = b on pivot entries; non-pivot rows must
+    // have zero residual.
+    let mut y = vec![0i64; a.cols()];
+    let mut pividx = 0;
+    for (r, &br) in b.iter().enumerate() {
+        let residual: i128 = br as i128
+            - (0..a.cols())
+                .map(|j| e.h[(r, j)] as i128 * y[j] as i128)
+                .sum::<i128>();
+        if pividx < e.pivots.len() && e.pivots[pividx].0 == r {
+            let (_, c) = e.pivots[pividx];
+            let piv = e.h[(r, c)] as i128;
+            if residual % piv != 0 {
+                return None;
+            }
+            y[c] = i64::try_from(residual / piv).expect("solution overflow");
+            pividx += 1;
+        } else if residual != 0 {
+            return None;
+        }
+    }
+    let x0 = e.u.mul_vec(&y);
+    let pivot_cols: Vec<usize> = e.pivots.iter().map(|&(_, c)| c).collect();
+    let basis = (0..a.cols())
+        .filter(|j| !pivot_cols.contains(j))
+        .map(|j| e.u.col(j))
+        .collect();
+    Some((x0, basis))
+}
+
+/// A lattice basis for the integer nullspace of `a` (all integer `x` with
+/// `a·x = 0`).
+pub fn integer_nullspace(a: &IMat) -> Vec<Vec<i64>> {
+    solve_integer(a, &vec![0; a.rows()])
+        .expect("homogeneous system is always solvable")
+        .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echelon_reproduces_product() {
+        let a = IMat::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let e = col_echelon(&a);
+        // a · u == h must hold exactly.
+        for j in 0..a.cols() {
+            assert_eq!(a.mul_vec(&e.u.col(j)), e.h.col(j));
+        }
+        // Pivot rows have zeros right of the pivot.
+        for &(r, c) in &e.pivots {
+            for j in (c + 1)..a.cols() {
+                assert_eq!(e.h[(r, j)], 0);
+            }
+            assert!(e.h[(r, c)] > 0);
+        }
+    }
+
+    #[test]
+    fn solve_full_rank() {
+        let a = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        let (x0, basis) = solve_integer(&a, &[3, -4]).unwrap();
+        assert_eq!(x0, vec![3, -4]);
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn solve_needs_unimodular_moves() {
+        // 2x + y = 1 has the integer solution (0, 1); naive rational
+        // elimination with free vars at zero would propose (1/2, 0).
+        let a = IMat::from_rows(&[&[2, 1]]);
+        let (x0, basis) = solve_integer(&a, &[1]).unwrap();
+        assert_eq!(a.mul_vec(&x0), vec![1]);
+        assert_eq!(basis.len(), 1);
+        assert_eq!(a.mul_vec(&basis[0]), vec![0]);
+    }
+
+    #[test]
+    fn solve_no_integer_solution() {
+        // 2x = 1 has no integer solution.
+        let a = IMat::from_rows(&[&[2]]);
+        assert!(solve_integer(&a, &[1]).is_none());
+        // Inconsistent system.
+        let a2 = IMat::from_rows(&[&[1], &[1]]);
+        assert!(solve_integer(&a2, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn nullspace_of_subscript_selections() {
+        // Matmul's A[i,k] access in an (i,j,k) nest: U = [[1,0,0],[0,0,1]];
+        // nullspace lattice is generated by (0,1,0) — the paper's d_A.
+        let u = IMat::from_rows(&[&[1, 0, 0], &[0, 0, 1]]);
+        let ns = integer_nullspace(&u);
+        assert_eq!(ns.len(), 1);
+        let g = &ns[0];
+        assert_eq!(g[0], 0);
+        assert_eq!(g[2], 0);
+        assert_eq!(g[1].abs(), 1);
+    }
+
+    #[test]
+    fn zero_matrix_nullspace() {
+        let z = IMat::zero(2, 3);
+        let ns = integer_nullspace(&z);
+        assert_eq!(ns.len(), 3);
+    }
+
+    fn small_mat(r: usize, c: usize) -> impl Strategy<Value = IMat> {
+        proptest::collection::vec(-4i64..=4, r * c).prop_map(move |vals| {
+            let mut m = IMat::zero(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    m[(i, j)] = vals[i * c + j];
+                }
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn echelon_transform_is_consistent(a in small_mat(3, 4)) {
+            let e = col_echelon(&a);
+            for j in 0..4 {
+                prop_assert_eq!(a.mul_vec(&e.u.col(j)), e.h.col(j));
+            }
+        }
+
+        #[test]
+        fn solutions_verify(a in small_mat(3, 4), x in proptest::collection::vec(-4i64..=4, 4)) {
+            // Construct b so a solution is guaranteed, then verify what we find.
+            let b = a.mul_vec(&x);
+            let (x0, basis) = solve_integer(&a, &b).expect("constructed system must be solvable");
+            prop_assert_eq!(a.mul_vec(&x0), b.clone());
+            for g in &basis {
+                prop_assert_eq!(a.mul_vec(g), vec![0; 3]);
+                // Shifted solutions remain solutions.
+                let shifted: Vec<i64> = x0.iter().zip(g).map(|(a, b)| a + b).collect();
+                prop_assert_eq!(a.mul_vec(&shifted), b.clone());
+            }
+        }
+
+        #[test]
+        fn nullspace_rank_complement(a in small_mat(3, 4)) {
+            let e = col_echelon(&a);
+            prop_assert_eq!(integer_nullspace(&a).len(), 4 - e.pivots.len());
+        }
+    }
+}

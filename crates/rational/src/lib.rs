@@ -1,0 +1,34 @@
+//! Exact rational arithmetic and small dense linear algebra over ℚ.
+//!
+//! The Sheu–Tai partitioning method projects integer iteration points onto
+//! the zero-hyperplane of a time transformation Π. Projected coordinates are
+//! rational (e.g. the projected points of the paper's Example 1 include
+//! (−3/2, 3/2)), and the grouping phase needs *exact* answers to questions
+//! such as "what is the least positive integer r with r·d^p ∈ ℤⁿ?" and
+//! "are these projected dependence vectors linearly independent?".
+//! Floating point cannot answer those questions reliably, so this crate
+//! provides a compact, overflow-checked implementation of
+//!
+//! * [`Ratio`] — a normalized fraction of two `i64`s with `i128`-widened
+//!   intermediate arithmetic,
+//! * [`QVec`] — a rational vector with the projection / lattice helpers the
+//!   partitioner needs,
+//! * [`QMat`] — a dense rational matrix with Gaussian elimination, rank,
+//!   solving, and nullspace extraction.
+//!
+//! Everything here is deterministic and panics only on arithmetic overflow
+//! (beyond ±2⁶³-scale numerators), which for the loop sizes this project
+//! handles is an internal invariant violation rather than a user error.
+
+#![deny(missing_docs)]
+
+pub mod int;
+pub mod intlinalg;
+pub mod linalg;
+pub mod matrix;
+pub mod ratio;
+pub mod vector;
+
+pub use matrix::QMat;
+pub use ratio::Ratio;
+pub use vector::{IVec, QVec};

@@ -1,0 +1,372 @@
+//! Exact Gaussian elimination: rank, linear independence, solving, and
+//! nullspace extraction over ℚ.
+
+use crate::matrix::QMat;
+use crate::ratio::Ratio;
+use crate::vector::QVec;
+
+/// Result of reducing a matrix to row-echelon form.
+#[derive(Clone, Debug)]
+pub struct Echelon {
+    /// The reduced (RREF) matrix.
+    pub rref: QMat,
+    /// Column index of the pivot in each nonzero row, in order.
+    pub pivots: Vec<usize>,
+}
+
+impl Echelon {
+    /// The rank of the original matrix.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+/// Reduce `m` to reduced row-echelon form with exact arithmetic.
+pub fn rref(m: &QMat) -> Echelon {
+    let mut a = m.clone();
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut pivots = Vec::new();
+    let mut r = 0;
+    for c in 0..cols {
+        if r == rows {
+            break;
+        }
+        // Find a pivot in column c at or below row r.
+        let Some(p) = (r..rows).find(|&i| !a[(i, c)].is_zero()) else {
+            continue;
+        };
+        a.swap_rows(r, p);
+        // Normalize the pivot row.
+        let inv = a[(r, c)].recip();
+        for j in c..cols {
+            a[(r, j)] *= inv;
+        }
+        // Eliminate the column everywhere else.
+        for i in 0..rows {
+            if i != r && !a[(i, c)].is_zero() {
+                let f = a[(i, c)];
+                for j in c..cols {
+                    let sub = a[(r, j)] * f;
+                    a[(i, j)] -= sub;
+                }
+            }
+        }
+        pivots.push(c);
+        r += 1;
+    }
+    Echelon { rref: a, pivots }
+}
+
+/// The rank of a matrix.
+pub fn rank(m: &QMat) -> usize {
+    rref(m).rank()
+}
+
+/// `true` iff the given vectors are linearly independent over ℚ.
+///
+/// An empty set is independent; any set containing the zero vector is not.
+pub fn independent(vs: &[QVec]) -> bool {
+    if vs.is_empty() {
+        return true;
+    }
+    rank(&QMat::from_columns(vs)) == vs.len()
+}
+
+/// Solve `A x = b`. Returns one solution if the system is consistent
+/// (the solution with all free variables set to zero), `None` otherwise.
+pub fn solve(a: &QMat, b: &QVec) -> Option<QVec> {
+    assert_eq!(a.rows(), b.dim(), "solve: rhs dimension mismatch");
+    // Build the augmented matrix [A | b].
+    let mut aug = QMat::zero(a.rows(), a.cols() + 1);
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            aug[(i, j)] = a[(i, j)];
+        }
+        aug[(i, a.cols())] = b[i];
+    }
+    let e = rref(&aug);
+    // Inconsistent iff a pivot lands in the b column.
+    if e.pivots.last() == Some(&a.cols()) {
+        return None;
+    }
+    let mut x = QVec::zero(a.cols());
+    for (row, &pc) in e.pivots.iter().enumerate() {
+        x[pc] = e.rref[(row, a.cols())];
+    }
+    Some(x)
+}
+
+/// A basis for the nullspace of `m` (vectors `x` with `m x = 0`).
+///
+/// Returns `cols − rank` vectors; empty when the matrix has full column rank.
+pub fn nullspace(m: &QMat) -> Vec<QVec> {
+    let e = rref(m);
+    let cols = m.cols();
+    let pivot_cols: Vec<usize> = e.pivots.clone();
+    let free_cols: Vec<usize> = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free_cols.len());
+    for &fc in &free_cols {
+        let mut v = QVec::zero(cols);
+        v[fc] = Ratio::ONE;
+        for (row, &pc) in pivot_cols.iter().enumerate() {
+            v[pc] = -e.rref[(row, fc)];
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Determinant of a square matrix by fraction-free-ish Gaussian
+/// elimination over ℚ (exact). Panics on a non-square matrix.
+pub fn determinant(m: &QMat) -> Ratio {
+    assert_eq!(m.rows(), m.cols(), "determinant of non-square matrix");
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut det = Ratio::ONE;
+    for c in 0..n {
+        let Some(p) = (c..n).find(|&i| !a[(i, c)].is_zero()) else {
+            return Ratio::ZERO;
+        };
+        if p != c {
+            a.swap_rows(c, p);
+            det = -det;
+        }
+        det *= a[(c, c)];
+        let inv = a[(c, c)].recip();
+        for i in (c + 1)..n {
+            if !a[(i, c)].is_zero() {
+                let f = a[(i, c)] * inv;
+                for j in c..n {
+                    let sub = a[(c, j)] * f;
+                    a[(i, j)] -= sub;
+                }
+            }
+        }
+    }
+    det
+}
+
+/// Inverse of a square matrix, or `None` if singular.
+pub fn inverse(m: &QMat) -> Option<QMat> {
+    assert_eq!(m.rows(), m.cols(), "inverse of non-square matrix");
+    let n = m.rows();
+    // Augment with the identity and reduce.
+    let mut aug = QMat::zero(n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            aug[(i, j)] = m[(i, j)];
+        }
+        aug[(i, n + i)] = Ratio::ONE;
+    }
+    let e = rref(&aug);
+    // Full rank iff the first n columns are all pivots.
+    if e.pivots.len() < n || e.pivots.iter().take(n).any(|&c| c >= n) {
+        return None;
+    }
+    let mut inv = QMat::zero(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            inv[(i, j)] = e.rref[(i, n + j)];
+        }
+    }
+    Some(inv)
+}
+
+/// Express `target` as a linear combination of `basis` vectors, if possible.
+/// Returns the coefficients in basis order.
+pub fn coordinates_in(basis: &[QVec], target: &QVec) -> Option<QVec> {
+    if basis.is_empty() {
+        return target.is_zero().then(|| QVec::zero(0));
+    }
+    solve(&QMat::from_columns(basis), target).filter(|x| {
+        // `solve` finds *a* solution of A x = b; verify it reproduces target
+        // exactly (guards against free-variable choices that don't).
+        let recon = QMat::from_columns(basis).mul_vec(x);
+        recon == *target
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn rank_of_paper_projected_matmul_deps() {
+        // mat(D^p) for matmul with Π=(1,1,1): the paper states rank 2.
+        let thirds = |a: i64, b: i64, c: i64| QVec::new(vec![q(a, 3), q(b, 3), q(c, 3)]);
+        let cols = vec![thirds(-1, 2, -1), thirds(2, -1, -1), thirds(-1, -1, 2)];
+        assert_eq!(rank(&QMat::from_columns(&cols)), 2);
+        assert!(!independent(&cols));
+        assert!(independent(&cols[..2]));
+    }
+
+    #[test]
+    fn rank_cases() {
+        assert_eq!(rank(&QMat::identity(4)), 4);
+        assert_eq!(rank(&QMat::zero(3, 3)), 0);
+        let m = QMat::from_int_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(rank(&m), 1);
+        let wide = QMat::from_int_rows(&[&[1, 0, 5], &[0, 1, 7]]);
+        assert_eq!(rank(&wide), 2);
+    }
+
+    #[test]
+    fn solve_unique() {
+        // x + y = 3, x − y = 1  →  x = 2, y = 1.
+        let a = QMat::from_int_rows(&[&[1, 1], &[1, -1]]);
+        let b = QVec::from_ints(&[3, 1]);
+        assert_eq!(solve(&a, &b), Some(QVec::from_ints(&[2, 1])));
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = QMat::from_int_rows(&[&[1, 1], &[1, 1]]);
+        let b = QVec::from_ints(&[1, 2]);
+        assert_eq!(solve(&a, &b), None);
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = QMat::from_int_rows(&[&[1, 1]]);
+        let b = QVec::from_ints(&[5]);
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(a.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn nullspace_dimension_and_membership() {
+        let m = QMat::from_int_rows(&[&[1, 2, 3]]);
+        let ns = nullspace(&m);
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        assert!(independent(&ns));
+        assert!(nullspace(&QMat::identity(3)).is_empty());
+    }
+
+    #[test]
+    fn coordinates_in_basis() {
+        let basis = vec![QVec::from_ints(&[1, 0, 1]), QVec::from_ints(&[0, 1, 1])];
+        let t = QVec::from_ints(&[2, 3, 5]);
+        let c = coordinates_in(&basis, &t).unwrap();
+        assert_eq!(c, QVec::from_ints(&[2, 3]));
+        // Outside the span.
+        let out = QVec::from_ints(&[0, 0, 1]);
+        assert_eq!(coordinates_in(&basis, &out), None);
+        // Empty basis spans only zero.
+        assert!(coordinates_in(&[], &QVec::zero(3)).is_some());
+        assert!(coordinates_in(&[], &QVec::from_ints(&[1, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn determinant_cases() {
+        assert_eq!(determinant(&QMat::identity(3)), Ratio::ONE);
+        assert_eq!(determinant(&QMat::zero(2, 2)), Ratio::ZERO);
+        let m = QMat::from_int_rows(&[&[2, 1], &[1, 1]]);
+        assert_eq!(determinant(&m), Ratio::int(1));
+        let swap = QMat::from_int_rows(&[&[0, 1], &[1, 0]]);
+        assert_eq!(determinant(&swap), Ratio::int(-1));
+        // det of the matmul projected-dependence matrix is 0 (rank 2).
+        let thirds = |a: i64, b: i64, c: i64| QVec::new(vec![q(a, 3), q(b, 3), q(c, 3)]);
+        let cols = vec![thirds(-1, 2, -1), thirds(2, -1, -1), thirds(-1, -1, 2)];
+        assert_eq!(determinant(&QMat::from_columns(&cols)), Ratio::ZERO);
+    }
+
+    #[test]
+    fn inverse_cases() {
+        let m = QMat::from_int_rows(&[&[2, 1], &[1, 1]]);
+        let inv = inverse(&m).unwrap();
+        // m * inv = I.
+        for i in 0..2 {
+            let col = inv.col(i);
+            let prod = m.mul_vec(&col);
+            for j in 0..2 {
+                let expect = if i == j { Ratio::ONE } else { Ratio::ZERO };
+                assert_eq!(prod[j], expect);
+            }
+        }
+        assert!(inverse(&QMat::from_int_rows(&[&[1, 2], &[2, 4]])).is_none());
+        assert_eq!(inverse(&QMat::identity(4)), Some(QMat::identity(4)));
+    }
+
+    fn small_mat(r: usize, c: usize) -> impl Strategy<Value = QMat> {
+        proptest::collection::vec(-5i64..=5, r * c).prop_map(move |vals| {
+            let mut m = QMat::zero(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    m[(i, j)] = Ratio::int(vals[i * c + j]);
+                }
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn rank_bounds(m in small_mat(3, 4)) {
+            let r = rank(&m);
+            prop_assert!(r <= 3);
+            prop_assert_eq!(r, rank(&m.transpose()));
+        }
+
+        #[test]
+        fn rank_plus_nullity(m in small_mat(3, 4)) {
+            prop_assert_eq!(rank(&m) + nullspace(&m).len(), 4);
+        }
+
+        #[test]
+        fn nullspace_vectors_are_null(m in small_mat(3, 4)) {
+            for v in nullspace(&m) {
+                prop_assert!(m.mul_vec(&v).is_zero());
+            }
+        }
+
+        #[test]
+        fn solve_verifies(m in small_mat(3, 3), b in proptest::collection::vec(-5i64..=5, 3)) {
+            let b = QVec::from_ints(&b);
+            if let Some(x) = solve(&m, &b) {
+                prop_assert_eq!(m.mul_vec(&x), b);
+            }
+        }
+
+        #[test]
+        fn det_nonzero_iff_full_rank(m in small_mat(3, 3)) {
+            let d = determinant(&m);
+            prop_assert_eq!(d.is_zero(), rank(&m) < 3);
+            prop_assert_eq!(inverse(&m).is_some(), !d.is_zero());
+        }
+
+        #[test]
+        fn inverse_roundtrips(m in small_mat(3, 3)) {
+            if let Some(inv) = inverse(&m) {
+                for j in 0..3 {
+                    let col = inv.col(j);
+                    let prod = m.mul_vec(&col);
+                    for i in 0..3 {
+                        let expect = if i == j { Ratio::ONE } else { Ratio::ZERO };
+                        prop_assert_eq!(prod[i], expect);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn det_multiplicative_on_transpose(m in small_mat(3, 3)) {
+            prop_assert_eq!(determinant(&m), determinant(&m.transpose()));
+        }
+
+        #[test]
+        fn rref_idempotent(m in small_mat(3, 4)) {
+            let e1 = rref(&m);
+            let e2 = rref(&e1.rref);
+            prop_assert_eq!(e1.rref, e2.rref);
+            prop_assert_eq!(e1.pivots, e2.pivots);
+        }
+    }
+}

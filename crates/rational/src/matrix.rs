@@ -1,0 +1,195 @@
+//! A small dense matrix of exact rationals.
+
+use crate::ratio::Ratio;
+use crate::vector::QVec;
+use std::fmt;
+
+/// A dense `rows × cols` matrix over ℚ, stored row-major.
+///
+/// Used for the projected-dependence matrix `mat(D^p)` whose rank β decides
+/// how many auxiliary grouping vectors Algorithm 1 selects, and for solving
+/// the small linear systems that arise in legality checks.
+#[derive(Clone, PartialEq, Eq)]
+pub struct QMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Ratio>,
+}
+
+impl QMat {
+    /// A zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> QMat {
+        QMat {
+            rows,
+            cols,
+            data: vec![Ratio::ZERO; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> QMat {
+        let mut m = QMat::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Ratio::ONE;
+        }
+        m
+    }
+
+    /// Build from row slices of integers. Panics on ragged input.
+    pub fn from_int_rows(rows: &[&[i64]]) -> QMat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend(row.iter().map(|&x| Ratio::int(x)));
+        }
+        QMat { rows: r, cols: c, data }
+    }
+
+    /// Build a matrix whose *columns* are the given vectors
+    /// (the paper's `mat(D^p)` has one column per projected dependence).
+    /// Panics if the vectors disagree on dimension.
+    pub fn from_columns(cols: &[QVec]) -> QMat {
+        let c = cols.len();
+        let r = cols.first().map_or(0, |v| v.dim());
+        let mut m = QMat::zero(r, c);
+        for (j, v) in cols.iter().enumerate() {
+            assert_eq!(v.dim(), r, "column dimension mismatch");
+            for i in 0..r {
+                m[(i, j)] = v[i];
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a vector.
+    pub fn row(&self, i: usize) -> QVec {
+        assert!(i < self.rows);
+        QVec::new(self.data[i * self.cols..(i + 1) * self.cols].to_vec())
+    }
+
+    /// Column `j` as a vector.
+    pub fn col(&self, j: usize) -> QVec {
+        assert!(j < self.cols);
+        QVec::new((0..self.rows).map(|i| self[(i, j)]).collect())
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &QVec) -> QVec {
+        assert_eq!(v.dim(), self.cols, "mat-vec dimension mismatch");
+        QVec::new((0..self.rows).map(|i| self.row(i).dot(v)).collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> QMat {
+        let mut t = QMat::zero(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Swap two rows in place.
+    pub(crate) fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let t = self[(a, j)];
+            self[(a, j)] = self[(b, j)];
+            self[(b, j)] = t;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for QMat {
+    type Output = Ratio;
+    fn index(&self, (i, j): (usize, usize)) -> &Ratio {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for QMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Ratio {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for QMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            writeln!(f, "{}", self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = QMat::from_int_rows(&[&[1, 2], &[3, 4], &[5, 6]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], Ratio::int(6));
+        assert_eq!(m.row(1), QVec::from_ints(&[3, 4]));
+        assert_eq!(m.col(0), QVec::from_ints(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn from_columns_matches() {
+        let cols = vec![QVec::from_ints(&[1, 2]), QVec::from_ints(&[3, 4])];
+        let m = QMat::from_columns(&cols);
+        assert_eq!(m.col(0), cols[0]);
+        assert_eq!(m.col(1), cols[1]);
+        assert_eq!(m.row(0), QVec::from_ints(&[1, 3]));
+    }
+
+    #[test]
+    fn identity_mul() {
+        let id = QMat::identity(3);
+        let v = QVec::from_ints(&[7, -2, 5]);
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = QMat::from_int_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mul_vec_dot_consistency() {
+        let m = QMat::from_int_rows(&[&[1, -1], &[2, 0]]);
+        let v = QVec::from_ints(&[3, 4]);
+        let r = m.mul_vec(&v);
+        assert_eq!(r, QVec::from_ints(&[-1, 6]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range() {
+        let m = QMat::zero(2, 2);
+        let _ = m[(2, 0)];
+    }
+}

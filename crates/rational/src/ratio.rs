@@ -1,0 +1,358 @@
+//! A normalized rational number over `i64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1` (zero is represented as `0/1`).
+///
+/// Intermediate products are computed in `i128` and the result is checked to
+/// fit back into `i64`; operations panic on overflow. Coordinates in this
+/// project stay tiny (loop bounds × small dependence components), so an
+/// overflow indicates a logic error, not bad input.
+///
+/// ```
+/// use loom_rational::Ratio;
+/// let a = Ratio::new(1, 2);
+/// let b = Ratio::new(1, 3);
+/// assert_eq!(a + b, Ratio::new(5, 6));
+/// assert_eq!((a * b).to_string(), "1/6");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i64,
+    den: i64,
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Construct and normalize a rational. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Ratio {
+        assert!(den != 0, "rational with zero denominator");
+        Self::norm128(num as i128, den as i128)
+    }
+
+    /// A whole number `n/1`.
+    pub const fn int(n: i64) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    fn norm128(num: i128, den: i128) -> Ratio {
+        debug_assert!(den != 0);
+        let sign = if den < 0 { -1 } else { 1 };
+        let (mut n, mut d) = (num * sign as i128, den * sign as i128);
+        let g = gcd128(n, d);
+        if g > 1 {
+            n /= g;
+            d /= g;
+        }
+        Ratio {
+            num: i64::try_from(n).expect("rational numerator overflow"),
+            den: i64::try_from(d).expect("rational denominator overflow"),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub const fn num(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub const fn den(self) -> i64 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff the value is zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The integer value, if this rational is an integer.
+    pub fn to_integer(self) -> Option<i64> {
+        self.is_integer().then_some(self.num)
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "reciprocal of zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Sign: `-1`, `0`, or `1`.
+    pub const fn signum(self) -> i64 {
+        self.num.signum()
+    }
+
+    /// Floor to the nearest integer at or below.
+    pub fn floor(self) -> i64 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to the nearest integer at or above.
+    pub fn ceil(self) -> i64 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Lossy conversion for reporting only — never use for decisions.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::int(n)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::norm128(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::norm128(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero rational");
+        Ratio::norm128(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, 4), Ratio::new(1, -2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+        assert_eq!(Ratio::new(6, 3).to_integer(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a + b, Ratio::new(5, 6));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 6));
+        assert_eq!(a / b, Ratio::new(3, 2));
+        assert_eq!(-a, Ratio::new(-1, 2));
+        assert_eq!(a.recip(), Ratio::int(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::new(-1, 3));
+        assert!(Ratio::new(2, 4) == Ratio::new(1, 2));
+        let mut v = vec![Ratio::new(3, 2), Ratio::new(-1, 2), Ratio::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Ratio::new(-1, 2), Ratio::ZERO, Ratio::new(3, 2)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Ratio::new(7, 2).floor(), 3);
+        assert_eq!(Ratio::new(7, 2).ceil(), 4);
+        assert_eq!(Ratio::new(-7, 2).floor(), -4);
+        assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+        assert_eq!(Ratio::int(5).floor(), 5);
+        assert_eq!(Ratio::int(5).ceil(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn numerator_overflow_panics() {
+        let huge = Ratio::int(i64::MAX);
+        let _ = huge + huge;
+    }
+
+    #[test]
+    fn near_overflow_still_exact() {
+        // i128 intermediates keep large-but-representable results exact.
+        let a = Ratio::new(i64::MAX / 2, 3);
+        let b = Ratio::new(1, 3);
+        assert_eq!((a + b).den(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(-3, 2).to_string(), "-3/2");
+        assert_eq!(Ratio::int(4).to_string(), "4");
+        assert_eq!(Ratio::ZERO.to_string(), "0");
+    }
+
+    fn small_ratio() -> impl Strategy<Value = Ratio> {
+        (-1000i64..1000, 1i64..1000).prop_map(|(n, d)| Ratio::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in small_ratio(), b in small_ratio()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associates(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips(a in small_ratio(), b in small_ratio()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn div_inverts_mul(a in small_ratio(), b in small_ratio()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a * b / b, a);
+        }
+
+        #[test]
+        fn normalized_invariant(a in small_ratio()) {
+            prop_assert!(a.den() > 0);
+            prop_assert_eq!(crate::int::gcd(a.num(), a.den()), if a.is_zero() { a.den() } else { 1 });
+        }
+
+        #[test]
+        fn floor_ceil_bracket(a in small_ratio()) {
+            prop_assert!(Ratio::int(a.floor()) <= a);
+            prop_assert!(a <= Ratio::int(a.ceil()));
+            prop_assert!(a.ceil() - a.floor() <= 1);
+        }
+
+        #[test]
+        fn ord_matches_f64(a in small_ratio(), b in small_ratio()) {
+            // f64 is exact for these small values, so orderings must agree.
+            prop_assert_eq!(a.cmp(&b), a.to_f64().partial_cmp(&b.to_f64()).unwrap());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Rational and integer vectors with the projection helpers the
+//! partitioner is built on.
+
+use crate::int::lcm;
+use crate::ratio::Ratio;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// An integer vector — iteration-space points and dependence vectors.
+pub type IVec = Vec<i64>;
+
+/// A dense vector of exact rationals.
+///
+/// Projected points and projected dependence vectors live in ℚⁿ, so all the
+/// geometric work of the partitioning phase happens on `QVec`s.
+///
+/// ```
+/// use loom_rational::{QVec, Ratio};
+/// let pi = QVec::from_ints(&[1, 1]);
+/// let j = QVec::from_ints(&[3, 0]);
+/// // Projection of (3,0) with respect to (1,1) → (3/2, -3/2).
+/// let p = j.project(&pi);
+/// assert_eq!(p, QVec::new(vec![Ratio::new(3, 2), Ratio::new(-3, 2)]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QVec(Vec<Ratio>);
+
+impl QVec {
+    /// Wrap a vector of rationals.
+    pub fn new(coords: Vec<Ratio>) -> QVec {
+        QVec(coords)
+    }
+
+    /// A rational vector from integer coordinates.
+    pub fn from_ints(coords: &[i64]) -> QVec {
+        QVec(coords.iter().map(|&c| Ratio::int(c)).collect())
+    }
+
+    /// The zero vector of dimension `n`.
+    pub fn zero(n: usize) -> QVec {
+        QVec(vec![Ratio::ZERO; n])
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinate slice.
+    pub fn coords(&self) -> &[Ratio] {
+        &self.0
+    }
+
+    /// `true` iff every coordinate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|c| c.is_zero())
+    }
+
+    /// `true` iff every coordinate is an integer.
+    pub fn is_integral(&self) -> bool {
+        self.0.iter().all(|c| c.is_integer())
+    }
+
+    /// The integer coordinates, if all coordinates are integers.
+    pub fn to_ints(&self) -> Option<IVec> {
+        self.0.iter().map(|c| c.to_integer()).collect()
+    }
+
+    /// Exact dot product.
+    pub fn dot(&self, other: &QVec) -> Ratio {
+        assert_eq!(self.dim(), other.dim(), "dot of mismatched dimensions");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .fold(Ratio::ZERO, |acc, (&a, &b)| acc + a * b)
+    }
+
+    /// Scale by a rational.
+    pub fn scale(&self, k: Ratio) -> QVec {
+        QVec(self.0.iter().map(|&c| c * k).collect())
+    }
+
+    /// Projection of `self` onto the hyperplane `p·x = 0`
+    /// (Definition 3 of the paper): `self − (self·p / p·p) p`.
+    ///
+    /// Panics if `p` is the zero vector.
+    pub fn project(&self, p: &QVec) -> QVec {
+        let pp = p.dot(p);
+        assert!(!pp.is_zero(), "projection along the zero vector");
+        let k = self.dot(p) / pp;
+        self.clone() - p.scale(k)
+    }
+
+    /// The least positive integer `r` with `r * self ∈ ℤⁿ`
+    /// (the `r_i` of Algorithm 1 Step 1). This is the LCM of the
+    /// coordinate denominators. Returns 1 for an integral vector
+    /// (including zero).
+    pub fn least_integer_multiplier(&self) -> i64 {
+        self.0.iter().fold(1, |l, c| lcm(l, c.den()))
+    }
+
+    /// `true` iff `other = k * self` for some rational `k > 0`.
+    pub fn positively_parallel(&self, other: &QVec) -> bool {
+        if self.is_zero() || other.is_zero() {
+            return false;
+        }
+        let mut k: Option<Ratio> = None;
+        for (&a, &b) in self.0.iter().zip(&other.0) {
+            match (a.is_zero(), b.is_zero()) {
+                (true, true) => continue,
+                (true, false) | (false, true) => return false,
+                (false, false) => {
+                    let q = b / a;
+                    if q.signum() <= 0 {
+                        return false;
+                    }
+                    match k {
+                        None => k = Some(q),
+                        Some(prev) if prev != q => return false,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        k.is_some()
+    }
+
+    /// Lossy floating-point view for display or plotting only.
+    pub fn to_f64s(&self) -> Vec<f64> {
+        self.0.iter().map(|c| c.to_f64()).collect()
+    }
+}
+
+impl Index<usize> for QVec {
+    type Output = Ratio;
+    fn index(&self, i: usize) -> &Ratio {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for QVec {
+    fn index_mut(&mut self, i: usize) -> &mut Ratio {
+        &mut self.0[i]
+    }
+}
+
+impl Add for QVec {
+    type Output = QVec;
+    fn add(self, rhs: QVec) -> QVec {
+        &self + &rhs
+    }
+}
+
+impl Add for &QVec {
+    type Output = QVec;
+    fn add(self, rhs: &QVec) -> QVec {
+        assert_eq!(self.dim(), rhs.dim(), "add of mismatched dimensions");
+        QVec(self.0.iter().zip(&rhs.0).map(|(&a, &b)| a + b).collect())
+    }
+}
+
+impl Sub for QVec {
+    type Output = QVec;
+    fn sub(self, rhs: QVec) -> QVec {
+        &self - &rhs
+    }
+}
+
+impl Sub for &QVec {
+    type Output = QVec;
+    fn sub(self, rhs: &QVec) -> QVec {
+        assert_eq!(self.dim(), rhs.dim(), "sub of mismatched dimensions");
+        QVec(self.0.iter().zip(&rhs.0).map(|(&a, &b)| a - b).collect())
+    }
+}
+
+impl Neg for QVec {
+    type Output = QVec;
+    fn neg(self) -> QVec {
+        QVec(self.0.into_iter().map(|c| -c).collect())
+    }
+}
+
+impl Mul<Ratio> for &QVec {
+    type Output = QVec;
+    fn mul(self, k: Ratio) -> QVec {
+        self.scale(k)
+    }
+}
+
+impl fmt::Debug for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example1_projection() {
+        // Loop L1, Π = (1,1): index point (3,0) projects to (3/2, −3/2).
+        let pi = QVec::from_ints(&[1, 1]);
+        let p = QVec::from_ints(&[3, 0]).project(&pi);
+        assert_eq!(p, QVec::new(vec![Ratio::new(3, 2), Ratio::new(-3, 2)]));
+        // Projected point lies on the zero-hyperplane.
+        assert!(p.dot(&pi).is_zero());
+    }
+
+    #[test]
+    fn paper_example2_projected_dependences() {
+        // Matmul, Π = (1,1,1): d_A = (0,1,0) projects to (−1/3, 2/3, −1/3).
+        let pi = QVec::from_ints(&[1, 1, 1]);
+        let da = QVec::from_ints(&[0, 1, 0]).project(&pi);
+        assert_eq!(
+            da,
+            QVec::new(vec![
+                Ratio::new(-1, 3),
+                Ratio::new(2, 3),
+                Ratio::new(-1, 3)
+            ])
+        );
+        assert_eq!(da.least_integer_multiplier(), 3);
+    }
+
+    #[test]
+    fn least_integer_multiplier_cases() {
+        assert_eq!(QVec::from_ints(&[1, -2, 0]).least_integer_multiplier(), 1);
+        assert_eq!(QVec::zero(3).least_integer_multiplier(), 1);
+        let v = QVec::new(vec![Ratio::new(1, 2), Ratio::new(1, 3)]);
+        assert_eq!(v.least_integer_multiplier(), 6);
+        assert!(v.scale(Ratio::int(6)).is_integral());
+        assert!(!v.scale(Ratio::int(3)).is_integral());
+    }
+
+    #[test]
+    fn positively_parallel_cases() {
+        let a = QVec::from_ints(&[1, -2]);
+        assert!(a.positively_parallel(&QVec::new(vec![Ratio::new(1, 2), Ratio::int(-1)])));
+        assert!(!a.positively_parallel(&QVec::from_ints(&[-1, 2]))); // opposite
+        assert!(!a.positively_parallel(&QVec::from_ints(&[1, 2]))); // not parallel
+        assert!(!a.positively_parallel(&QVec::zero(2)));
+        assert!(!QVec::zero(2).positively_parallel(&a));
+        let withzero = QVec::from_ints(&[0, 3]);
+        assert!(withzero.positively_parallel(&QVec::from_ints(&[0, 1])));
+        assert!(!withzero.positively_parallel(&QVec::from_ints(&[1, 1])));
+    }
+
+    #[test]
+    fn arithmetic_and_indexing() {
+        let a = QVec::from_ints(&[1, 2]);
+        let b = QVec::from_ints(&[3, -1]);
+        assert_eq!(&a + &b, QVec::from_ints(&[4, 1]));
+        assert_eq!(&a - &b, QVec::from_ints(&[-2, 3]));
+        assert_eq!(-a.clone(), QVec::from_ints(&[-1, -2]));
+        assert_eq!(a.dot(&b), Ratio::int(1));
+        assert_eq!(a[1], Ratio::int(2));
+        let mut c = a.clone();
+        c[0] = Ratio::new(1, 2);
+        assert!(!c.is_integral());
+        assert_eq!(a.to_ints(), Some(vec![1, 2]));
+        assert_eq!(c.to_ints(), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = QVec::new(vec![Ratio::new(-1, 3), Ratio::int(2)]);
+        assert_eq!(v.to_string(), "(-1/3, 2)");
+    }
+
+    fn small_ivec(n: usize) -> impl Strategy<Value = Vec<i64>> {
+        proptest::collection::vec(-20i64..20, n)
+    }
+
+    proptest! {
+        #[test]
+        fn projection_lands_on_zero_hyperplane(j in small_ivec(3), p in small_ivec(3)) {
+            let p = QVec::from_ints(&p);
+            prop_assume!(!p.is_zero());
+            let j = QVec::from_ints(&j);
+            prop_assert!(j.project(&p).dot(&p).is_zero());
+        }
+
+        #[test]
+        fn projection_is_idempotent(j in small_ivec(3), p in small_ivec(3)) {
+            let p = QVec::from_ints(&p);
+            prop_assume!(!p.is_zero());
+            let once = QVec::from_ints(&j).project(&p);
+            prop_assert_eq!(once.project(&p), once);
+        }
+
+        #[test]
+        fn projection_is_linear(a in small_ivec(3), b in small_ivec(3), p in small_ivec(3)) {
+            let p = QVec::from_ints(&p);
+            prop_assume!(!p.is_zero());
+            let (a, b) = (QVec::from_ints(&a), QVec::from_ints(&b));
+            let lhs = (&a + &b).project(&p);
+            let rhs = &a.project(&p) + &b.project(&p);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn lim_scales_to_integral(j in small_ivec(3), p in small_ivec(3)) {
+            let p = QVec::from_ints(&p);
+            prop_assume!(!p.is_zero());
+            let v = QVec::from_ints(&j).project(&p);
+            let r = v.least_integer_multiplier();
+            prop_assert!(r >= 1);
+            prop_assert!(v.scale(Ratio::int(r)).is_integral());
+            // Minimality: no smaller positive multiplier works.
+            for s in 1..r {
+                prop_assert!(!v.scale(Ratio::int(s)).is_integral());
+            }
+        }
+    }
+}

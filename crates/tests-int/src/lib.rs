@@ -1,0 +1,2 @@
+//! Integration tests spanning the whole workspace live in this crate's
+//! `tests/` directory; the library itself is intentionally empty.

@@ -1,0 +1,99 @@
+//! Cross-component consistency: the discrete-event simulator, the SPMD
+//! code generator, and the static communication accounting must all
+//! agree on what crosses processor boundaries.
+
+use loom_codegen::generate;
+use loom_core::{Pipeline, PipelineConfig};
+use loom_hyperplane::TimeFn;
+use loom_machine::{simulate, MachineParams, Program, SimConfig};
+use loom_partition::comm::block_traffic;
+use loom_partition::{partition, PartitionConfig};
+
+fn cases() -> Vec<(loom_workloads::Workload, Vec<usize>, usize)> {
+    let mut out = Vec::new();
+    for w in loom_workloads::all_default() {
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let blocks = p.num_blocks();
+        let assignment: Vec<usize> = (0..blocks).map(|b| b % 2).collect();
+        out.push((w, assignment, 2));
+    }
+    out
+}
+
+#[test]
+fn simulator_and_codegen_agree_on_message_counts() {
+    for (w, assignment, procs) in cases() {
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let prog = Program::from_partitioning(&p, &assignment, procs, 1);
+        let sim = simulate(
+            &prog,
+            &SimConfig::paper_hypercube(1, MachineParams::low_latency()),
+        )
+        .unwrap();
+        // conv2d's 2-D accumulation is outside the SPMD value-routing
+        // class; message-count consistency still holds for the rest.
+        if let Ok(cg) = generate(&w.nest, &p, &assignment, procs) {
+            // Unbatched simulator messages = one per remote arc = SPMD sends.
+            assert_eq!(
+                sim.messages as usize,
+                cg.program.num_messages(),
+                "{}",
+                w.nest.name()
+            );
+        }
+        assert_eq!(sim.messages as usize, prog.remote_arcs(), "{}", w.nest.name());
+    }
+}
+
+#[test]
+fn static_traffic_matches_program_remote_arcs() {
+    for (w, assignment, _) in cases() {
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        // Sum block-to-block traffic restricted to cross-processor pairs.
+        let cross: u64 = block_traffic(&p)
+            .iter()
+            .filter(|&(&(a, b), _)| assignment[a] != assignment[b])
+            .map(|(_, &w)| w)
+            .sum();
+        let prog = Program::from_partitioning(&p, &assignment, 2, 1);
+        assert_eq!(cross as usize, prog.remote_arcs(), "{}", w.nest.name());
+    }
+}
+
+#[test]
+fn pipeline_comm_equals_tig_traffic() {
+    for w in loom_workloads::all_default() {
+        let out = Pipeline::new(w.nest.clone())
+            .run(&PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim: 1,
+                machine: None,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(
+            out.tig.total_traffic() as usize,
+            out.comm.interblock_arcs,
+            "{}",
+            w.nest.name()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based integration tests: random uniform dependence sets and
+//! spaces must always yield partitionings that satisfy the paper's laws,
+//! and mappings/simulations that conserve work.
+
+use loom_hyperplane::{find_optimal, SearchConfig, TimeFn};
+use loom_loopir::IterSpace;
+use loom_machine::{simulate, MachineParams, Program, SimConfig, Topology};
+use loom_mapping::{baseline, map_partitioning};
+use loom_partition::comm::comm_stats;
+use loom_partition::{laws, partition, PartitionConfig};
+use proptest::prelude::*;
+
+/// Random 2-D dependence sets with strictly positive wavefront sums, so
+/// Π = (1,1) is always legal and partitioning always applies.
+fn dep_set_2d() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    proptest::collection::btree_set((0i64..=2, -2i64..=2), 1..4).prop_filter_map(
+        "lex-positive and wavefront-positive",
+        |set| {
+            let deps: Vec<Vec<i64>> = set
+                .into_iter()
+                .filter(|&(a, b)| a + b > 0 && (a, b) > (0, 0))
+                .map(|(a, b)| vec![a, b])
+                .collect();
+            (!deps.is_empty()).then_some(deps)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partitioning_always_lawful(deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8) {
+        let space = IterSpace::rect(&[rows, cols]).unwrap();
+        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
+            .unwrap();
+        // Disjoint cover.
+        let covered: usize = p.blocks().iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, (rows * cols) as usize);
+        // All laws hold.
+        let violations = laws::check_all(&p);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+    }
+
+    #[test]
+    fn interblock_never_exceeds_total(deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8) {
+        let space = IterSpace::rect(&[rows, cols]).unwrap();
+        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
+            .unwrap();
+        let stats = comm_stats(&p);
+        prop_assert!(stats.interblock_arcs <= stats.total_arcs);
+    }
+
+    #[test]
+    fn searched_pi_is_legal_and_minimal_among_wavefronts(
+        deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8
+    ) {
+        let space = IterSpace::rect(&[rows, cols]).unwrap();
+        let pi = find_optimal(&deps, &space, SearchConfig::default()).unwrap();
+        prop_assert!(pi.is_legal_for(&deps));
+        // Never worse than the plain wavefront, which is legal for this
+        // strategy by construction.
+        let wf = TimeFn::new(vec![1, 1]);
+        prop_assert!(pi.steps(&space) <= wf.steps(&space));
+    }
+
+    #[test]
+    fn simulation_conserves_work_on_any_mapping(
+        deps in dep_set_2d(), rows in 3i64..7, cols in 3i64..7, seed in 0u64..32
+    ) {
+        let space = IterSpace::rect(&[rows, cols]).unwrap();
+        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
+            .unwrap();
+        let n_procs = 2usize;
+        let assignment = baseline::random(p.num_blocks(), n_procs, seed);
+        let prog = Program::from_partitioning(&p, &assignment, n_procs, 2);
+        let sim = simulate(
+            &prog,
+            &SimConfig {
+                params: MachineParams::low_latency(),
+                topology: Topology::Hypercube(1),
+                words_per_arc: 1,
+                batch_messages: false,
+                link_contention: false,
+                record_trace: false,
+            },
+        )
+        .unwrap();
+        let total: u64 = sim.compute.iter().sum();
+        prop_assert_eq!(total, (rows * cols) as u64 * 2);
+        // Makespan at least the serial work divided by processors.
+        prop_assert!(sim.makespan >= total / n_procs as u64);
+        prop_assert_eq!(sim.messages as usize, prog.remote_arcs());
+    }
+
+    #[test]
+    fn gray_mapping_never_unbalances_by_more_than_one_cluster(
+        m in 8i64..24
+    ) {
+        let w = loom_workloads::matvec::workload(m);
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        ).unwrap();
+        let cube_dim = 2usize;
+        prop_assume!(p.num_blocks() >= 1 << cube_dim);
+        let mapping = map_partitioning(&p, cube_dim).unwrap();
+        let per = mapping.blocks_per_proc();
+        let min = per.iter().map(Vec::len).min().unwrap();
+        let max = per.iter().map(Vec::len).max().unwrap();
+        prop_assert!(max - min <= 1, "cluster sizes {:?}", per.iter().map(Vec::len).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,133 @@
+//! ASCII grids for 2-D iteration spaces.
+
+use loom_hyperplane::Schedule;
+use loom_loopir::IterSpace;
+use loom_partition::Partitioning;
+
+/// The glyph for a small id: `A…Z`, `a…z`, then `#`.
+fn glyph(id: usize) -> char {
+    match id {
+        0..=25 => (b'A' + id as u8) as char,
+        26..=51 => (b'a' + (id - 26) as u8) as char,
+        _ => '#',
+    }
+}
+
+/// Render a 2-D partitioning as a grid of block letters (rows = first
+/// index, columns = second; the shape of the paper's Fig. 3(b) with
+/// blocks instead of dashed boxes). Returns `None` for non-2-D spaces.
+pub fn block_grid(p: &Partitioning) -> Option<String> {
+    let space = p.structure().space();
+    if space.dim() != 2 {
+        return None;
+    }
+    let bbox = space.bounding_box();
+    let mut out = String::new();
+    for i in bbox[0].0..=bbox[0].1 {
+        for j in bbox[1].0..=bbox[1].1 {
+            let c = match p.structure().id_of(&[i, j]) {
+                Some(id) => glyph(p.block_of(id)),
+                None => '.',
+            };
+            out.push(c);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Render a 2-D space's hyperplane schedule as a grid of step digits
+/// (mod 10) — the paper's Fig. 1 annotation. `None` for non-2-D spaces.
+pub fn wavefront_grid(schedule: &Schedule, space: &IterSpace) -> Option<String> {
+    if space.dim() != 2 {
+        return None;
+    }
+    let bbox = space.bounding_box();
+    let mut out = String::new();
+    for i in bbox[0].0..=bbox[0].1 {
+        for j in bbox[1].0..=bbox[1].1 {
+            let c = if space.contains(&[i, j]) {
+                match schedule.step_of(&[i, j]) {
+                    Some(t) => char::from_digit((t % 10) as u32, 10).unwrap(),
+                    None => '?',
+                }
+            } else {
+                '.'
+            };
+            out.push(c);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_hyperplane::TimeFn;
+    use loom_partition::{partition, PartitionConfig};
+
+    fn l1_partitioning() -> Partitioning {
+        let w = loom_workloads::l1::workload(4);
+        partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn l1_block_grid_shape() {
+        let g = block_grid(&l1_partitioning()).unwrap();
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.split(' ').count() == 4));
+        // Exactly 4 distinct block glyphs appear.
+        let mut glyphs: Vec<char> = g.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+        glyphs.sort();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), 4);
+        // Anti-diagonal structure: [0,3] and [3,0] are in different blocks.
+        let at = |i: usize, j: usize| lines[i].split(' ').nth(j).unwrap().chars().next().unwrap();
+        assert_ne!(at(0, 3), at(3, 0));
+        // Points on the same line i−j=const share a glyph.
+        assert_eq!(at(0, 0), at(3, 3));
+    }
+
+    #[test]
+    fn l1_wavefront_grid_shape() {
+        let w = loom_workloads::l1::workload(4);
+        let s = Schedule::build(TimeFn::new(w.pi.clone()), w.nest.space());
+        let g = wavefront_grid(&s, w.nest.space()).unwrap();
+        let expect = "0 1 2 3\n1 2 3 4\n2 3 4 5\n3 4 5 6\n";
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn non_2d_returns_none() {
+        let w = loom_workloads::matmul::workload(3);
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        assert!(block_grid(&p).is_none());
+    }
+
+    #[test]
+    fn glyph_ranges() {
+        assert_eq!(glyph(0), 'A');
+        assert_eq!(glyph(25), 'Z');
+        assert_eq!(glyph(26), 'a');
+        assert_eq!(glyph(51), 'z');
+        assert_eq!(glyph(52), '#');
+    }
+}

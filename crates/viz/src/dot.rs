@@ -1,0 +1,104 @@
+//! Graphviz DOT export.
+
+use loom_partition::comm::group_dependence_graph;
+use loom_partition::{Partitioning, Tig};
+
+/// DOT for a TIG. If `assignment` is given, vertices are clustered by
+/// processor (subgraphs) so `dot -Tsvg` shows the placement.
+pub fn tig_dot(tig: &Tig, assignment: Option<&[usize]>) -> String {
+    let mut out = String::from("graph tig {\n  node [shape=circle];\n");
+    match assignment {
+        Some(procs) => {
+            assert_eq!(procs.len(), tig.len(), "assignment/TIG size mismatch");
+            let n_procs = procs.iter().copied().max().map_or(0, |m| m + 1);
+            for p in 0..n_procs {
+                out.push_str(&format!(
+                    "  subgraph cluster_p{p} {{\n    label=\"P{p}\";\n"
+                ));
+                for (v, &proc) in procs.iter().enumerate() {
+                    if proc == p {
+                        out.push_str(&format!("    b{v} [label=\"B{v} ({})\"];\n", tig.weight(v)));
+                    }
+                }
+                out.push_str("  }\n");
+            }
+        }
+        None => {
+            for v in 0..tig.len() {
+                out.push_str(&format!("  b{v} [label=\"B{v} ({})\"];\n", tig.weight(v)));
+            }
+        }
+    }
+    for ((a, b), w) in tig.edges() {
+        out.push_str(&format!("  b{a} -- b{b} [label=\"{w}\"];\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT for the group-communication digraph (the paper's Fig. 7).
+pub fn group_graph_dot(p: &Partitioning) -> String {
+    let graph = group_dependence_graph(p);
+    let mut out = String::from("digraph groups {\n  node [shape=box];\n");
+    for (g, group) in p.grouping().groups.iter().enumerate() {
+        out.push_str(&format!(
+            "  g{g} [label=\"G{g}\\n{} pts\"];\n",
+            group.members.len()
+        ));
+    }
+    for (g, targets) in graph.iter().enumerate() {
+        for t in targets {
+            out.push_str(&format!("  g{g} -> g{t};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_hyperplane::TimeFn;
+    use loom_partition::{partition, PartitionConfig};
+
+    #[test]
+    fn tig_dot_structure() {
+        let tig = Tig::mesh(2, 2);
+        let dot = tig_dot(&tig, None);
+        assert!(dot.starts_with("graph tig {"));
+        assert!(dot.contains("b0 -- b1"));
+        assert!(dot.contains("b0 [label=\"B0 (1)\"]"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn tig_dot_with_clusters() {
+        let tig = Tig::mesh(2, 2);
+        let dot = tig_dot(&tig, Some(&[0, 0, 1, 1]));
+        assert!(dot.contains("subgraph cluster_p0"));
+        assert!(dot.contains("subgraph cluster_p1"));
+        assert!(dot.contains("label=\"P1\""));
+    }
+
+    #[test]
+    fn group_graph_dot_matmul() {
+        let w = loom_workloads::matmul::workload(4);
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let dot = group_graph_dot(&p);
+        assert!(dot.starts_with("digraph groups {"));
+        assert_eq!(dot.matches("\\n").count(), p.num_blocks());
+        assert!(dot.contains(" -> "));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn tig_dot_bad_assignment_panics() {
+        tig_dot(&Tig::mesh(2, 2), Some(&[0]));
+    }
+}

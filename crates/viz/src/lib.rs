@@ -1,0 +1,11 @@
+//! Text renderings of the pipeline's artifacts: ASCII grids for 2-D
+//! iteration spaces (the shape of the paper's Figs. 1 and 3(b)) and
+//! Graphviz DOT for the group-communication graph (Fig. 7) and TIGs.
+
+#![deny(missing_docs)]
+
+pub mod ascii;
+pub mod dot;
+
+pub use ascii::{block_grid, wavefront_grid};
+pub use dot::{group_graph_dot, tig_dot};

@@ -1,0 +1,64 @@
+//! 1-D convolution, one of the §I algorithms that independent
+//! partitioning serializes.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+
+/// `y[i] += h[k] · x[i − k]` over `0 ≤ i < n_out`, `0 ≤ k < taps`.
+///
+/// Dependences: `d_y = (0,1)` (accumulation over `k`), `d_h = (1,0)`
+/// (tap reuse across outputs), `d_x = (1,1)` (the sample `x[i−k]` is
+/// reused at `(i+1, k+1)`).
+pub fn workload(n_out: i64, taps: i64) -> Workload {
+    let n = 2;
+    let x_sub = Aff::var(n, 0) - Aff::var(n, 1); // i − k
+    let nest = LoopNest::new(
+        "conv1d",
+        IterSpace::rect(&[n_out, taps]).expect("positive extents"),
+        vec![Stmt::assign(
+            Access::simple("y", n, &[(0, 0)]),
+            vec![
+                Access::simple("y", n, &[(0, 0)]),
+                Access::simple("h", n, &[(1, 0)]),
+                Access::new("x", vec![x_sub]),
+            ],
+        )
+        .with_flops(2)
+        .with_expr(Expr::add(
+            Expr::Read(0),
+            Expr::mul(Expr::Read(1), Expr::Read(2)),
+        ))],
+    )
+    .expect("conv1d is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 0], vec![1, 1]],
+        pi: vec![2, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(8, 4).verified_deps();
+    }
+
+    #[test]
+    fn pi_legal() {
+        assert!(workload(8, 4).pi_is_legal());
+        // The plain wavefront (1,1) is *not* legal here? (1,1)·(1,1) = 2,
+        // (1,1)·(0,1) = 1, (1,1)·(1,0) = 1 — it is legal; we use (2,1) to
+        // match the subtraction subscript's skew in later ablations, but
+        // both must be legal.
+        assert!(loom_hyperplane::TimeFn::new(vec![1, 1]).is_legal_for(&workload(8, 4).deps));
+    }
+
+    #[test]
+    fn rectangular_extent() {
+        assert_eq!(workload(8, 4).nest.space().count(), 32);
+    }
+}

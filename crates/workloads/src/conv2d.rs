@@ -1,0 +1,72 @@
+//! 2-D convolution — a *four*-deep nest, exercising the pipeline beyond
+//! the paper's 2- and 3-dimensional examples.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+
+/// `y[i,j] += h[k,l] · x[i−k, j−l]` over `out × out` outputs and
+/// `taps × taps` kernel taps (loop order `i, j, k, l`).
+///
+/// Dependences: the `y` accumulation runs over `(k, l)` — generators
+/// `(0,0,1,0)` and `(0,0,0,1)`; the kernel `h[k,l]` is reused across
+/// outputs — `(1,0,0,0)` and `(0,1,0,0)`; the input pixel `x[i−k,j−l]`
+/// is reused along `(1,0,1,0)` and `(0,1,0,1)`. Six dependence vectors,
+/// projected rank 3 under `Π = (1,1,1,1)`.
+pub fn workload(out: i64, taps: i64) -> Workload {
+    let n = 4;
+    let xi = Aff::var(n, 0) - Aff::var(n, 2); // i − k
+    let xj = Aff::var(n, 1) - Aff::var(n, 3); // j − l
+    let nest = LoopNest::new(
+        "conv2d",
+        IterSpace::rect(&[out, out, taps, taps]).expect("positive extents"),
+        vec![Stmt::assign(
+            Access::simple("y", n, &[(0, 0), (1, 0)]),
+            vec![
+                Access::simple("y", n, &[(0, 0), (1, 0)]),
+                Access::simple("h", n, &[(2, 0), (3, 0)]),
+                Access::new("x", vec![xi, xj]),
+            ],
+        )
+        .with_flops(2)
+        .with_expr(Expr::add(
+            Expr::Read(0),
+            Expr::mul(Expr::Read(1), Expr::Read(2)),
+        ))],
+    )
+    .expect("conv2d is well-formed");
+    Workload {
+        nest,
+        deps: vec![
+            vec![0, 0, 0, 1],
+            vec![0, 0, 1, 0],
+            vec![0, 1, 0, 0],
+            vec![0, 1, 0, 1],
+            vec![1, 0, 0, 0],
+            vec![1, 0, 1, 0],
+        ],
+        pi: vec![1, 1, 1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(4, 2).verified_deps();
+    }
+
+    #[test]
+    fn pi_legal() {
+        assert!(workload(4, 2).pi_is_legal());
+    }
+
+    #[test]
+    fn four_deep() {
+        let w = workload(3, 2);
+        assert_eq!(w.nest.dim(), 4);
+        assert_eq!(w.nest.space().count(), 3 * 3 * 2 * 2);
+    }
+}

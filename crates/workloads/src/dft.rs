@@ -1,0 +1,49 @@
+//! Discrete Fourier transform as a doubly nested loop.
+//!
+//! `X[i] = Σ_j W^{ij} x[j]` has the same dependence skeleton as
+//! matrix–vector multiplication once the twiddle factor is propagated:
+//! the input sample `x[j]` is reused across outputs (`(1,0)`) and the
+//! accumulation runs along `j` (`(0,1)`). §I lists the DFT among the
+//! algorithms that independent partitioning serializes.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+/// DFT of length `n` (an `n × n` iteration space).
+pub fn workload(n: i64) -> Workload {
+    let nest = LoopNest::new(
+        "dft",
+        IterSpace::rect(&[n, n]).expect("positive extent"),
+        vec![Stmt::assign(
+            Access::simple("X", 2, &[(0, 0)]),
+            vec![
+                Access::simple("X", 2, &[(0, 0)]),
+                Access::simple("x", 2, &[(1, 0)]),
+            ],
+        )
+        .with_flops(4) // complex multiply–add ≈ 4 real flops
+        .with_expr(Expr::add(Expr::Read(0), Expr::Read(1)))],
+    )
+    .expect("dft is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 0]],
+        pi: vec![1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(8).verified_deps();
+    }
+
+    #[test]
+    fn matches_matvec_skeleton() {
+        assert_eq!(workload(8).deps, crate::matvec::workload(8).deps);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's running example, loop (L1).
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+/// Loop (L1) of the paper on an `extent × extent` index set:
+///
+/// ```text
+/// for i = 0 to extent-1
+///   for j = 0 to extent-1
+///     S1: A[i+1,j+1] := A[i+1,j] + B[i,j];
+///     S2: B[i+1,j]   := A[i,j] * 2 + C;
+/// ```
+///
+/// Dependences: `d₁ = (0,1)` and `d₂ = (1,1)` through `A`,
+/// `d₃ = (1,0)` through `B`. The paper uses `extent = 4` and `Π = (1,1)`.
+pub fn workload(extent: i64) -> Workload {
+    let nest = LoopNest::new(
+        "L1",
+        IterSpace::rect(&[extent, extent]).expect("positive extent"),
+        vec![
+            Stmt::assign(
+                Access::simple("A", 2, &[(0, 1), (1, 1)]),
+                vec![
+                    Access::simple("A", 2, &[(0, 1), (1, 0)]),
+                    Access::simple("B", 2, &[(0, 0), (1, 0)]),
+                ],
+            )
+            .with_expr(Expr::add(Expr::Read(0), Expr::Read(1))),
+            Stmt::assign(
+                Access::simple("B", 2, &[(0, 1), (1, 0)]),
+                vec![Access::simple("A", 2, &[(0, 0), (1, 0)])],
+            )
+            .with_expr(Expr::add(
+                Expr::mul(Expr::Read(0), Expr::Const(2.0)),
+                Expr::Const(1.0), // the paper's scalar constant C
+            )),
+        ],
+    )
+    .expect("L1 is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 0], vec![1, 1]],
+        pi: vec![1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(4).verified_deps();
+    }
+
+    #[test]
+    fn paper_size() {
+        let w = workload(4);
+        assert_eq!(w.nest.space().count(), 16);
+        assert_eq!(w.nest.stmts().len(), 2);
+        assert_eq!(w.pi, vec![1, 1]);
+    }
+
+    #[test]
+    fn scales() {
+        assert_eq!(workload(10).nest.space().count(), 100);
+    }
+}

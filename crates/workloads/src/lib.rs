@@ -1,0 +1,85 @@
+//! The paper's workload loop nests, as [`loom_loopir::LoopNest`]
+//! generators.
+//!
+//! §I of the paper motivates the grouping approach with algorithms whose
+//! index sets *cannot* be partitioned into independent blocks: matrix
+//! multiplication, discrete Fourier transform, convolution, and
+//! transitive closure; §II uses the 2-deep loop L1 as the running
+//! example and §IV evaluates on matrix–vector multiplication. Every one
+//! of those is generated here (plus an SOR stencil), each with its
+//! documented dependence set, so examples, tests, and benches all pull
+//! workloads from one place.
+
+#![deny(missing_docs)]
+
+pub mod conv;
+pub mod conv2d;
+pub mod dft;
+pub mod heat2d;
+pub mod l1;
+pub mod matmul;
+pub mod matvec;
+pub mod sor;
+pub mod transitive;
+pub mod triangular;
+
+use loom_loopir::{DepOptions, LoopNest, Point};
+
+/// A workload: a nest plus the dependence set the paper associates
+/// with it.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The loop nest.
+    pub nest: LoopNest,
+    /// The dependence vectors the paper's model assigns this nest
+    /// (verified against [`loom_loopir::extract_dependences`] in tests).
+    pub deps: Vec<Point>,
+    /// The canonical wavefront time function used by the paper for this
+    /// nest.
+    pub pi: Vec<i64>,
+}
+
+impl Workload {
+    /// Extract the dependence set from the nest and confirm it matches
+    /// the documented one. Panics on mismatch (programming error in the
+    /// generator).
+    pub fn verified_deps(&self) -> Vec<Point> {
+        let extracted =
+            loom_loopir::deps::dependence_vectors(&self.nest, DepOptions::default())
+                .expect("workload nests are uniform by construction");
+        assert_eq!(
+            extracted, self.deps,
+            "workload `{}`: documented deps diverge from extraction",
+            self.nest.name()
+        );
+        extracted
+    }
+
+    /// `true` iff the documented time function Π is legal for the
+    /// documented dependence set.
+    pub fn pi_is_legal(&self) -> bool {
+        loom_hyperplane::TimeFn::new(self.pi.clone()).is_legal_for(&self.deps)
+    }
+
+    /// The documented time function as a [`loom_hyperplane::TimeFn`].
+    pub fn time_fn(&self) -> loom_hyperplane::TimeFn {
+        loom_hyperplane::TimeFn::new(self.pi.clone())
+    }
+}
+
+/// Every workload generator at its paper-scale default, for sweep-style
+/// tests and benches.
+pub fn all_default() -> Vec<Workload> {
+    vec![
+        l1::workload(4),
+        matmul::workload(4),
+        matvec::workload(8),
+        conv::workload(8, 4),
+        sor::workload(6, 6),
+        transitive::workload(4),
+        dft::workload(8),
+        conv2d::workload(4, 2),
+        triangular::workload(6),
+        heat2d::workload(3, 4),
+    ]
+}

@@ -1,0 +1,53 @@
+//! Matrix–vector multiplication (the paper's loops L4/L5, §IV).
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+/// `y[i] += A[i,j] · x[j]` over an `m × m` space.
+///
+/// Dependences (after the paper's single-assignment rewriting L5):
+/// `d_x = (1,0)` — `x[j]` is reused down the `i` direction,
+/// `d_y = (0,1)` — the `y[i]` accumulation chain.
+/// The paper evaluates with `Π = (1,1)` and `M = 1024` in Table I.
+pub fn workload(m: i64) -> Workload {
+    let nest = LoopNest::new(
+        "matvec",
+        IterSpace::rect(&[m, m]).expect("positive extent"),
+        vec![Stmt::assign(
+            Access::simple("y", 2, &[(0, 0)]),
+            vec![
+                Access::simple("y", 2, &[(0, 0)]),
+                Access::simple("A", 2, &[(0, 0), (1, 0)]),
+                Access::simple("x", 2, &[(1, 0)]),
+            ],
+        )
+        .with_flops(2)
+        .with_expr(Expr::add(
+            Expr::Read(0),
+            Expr::mul(Expr::Read(1), Expr::Read(2)),
+        ))],
+    )
+    .expect("matvec is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 0]],
+        pi: vec![1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(8).verified_deps();
+    }
+
+    #[test]
+    fn two_flops_per_iteration() {
+        // The paper charges 2W·t_calc: a multiply and an add per point.
+        assert_eq!(workload(8).nest.flops_per_iteration(), 2);
+    }
+}

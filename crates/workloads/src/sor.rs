@@ -1,0 +1,56 @@
+//! A successive-over-relaxation / Gauss–Seidel style 2-D stencil.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+/// `A[i+1,j+1] := f(A[i,j], A[i,j+1], A[i+1,j])` over `rows × cols`.
+///
+/// The classic three-point recurrence with dependences
+/// `{(0,1), (1,0), (1,1)}` — the same set as L1, but through a single
+/// array and statement, and at arbitrary rectangular extents.
+pub fn workload(rows: i64, cols: i64) -> Workload {
+    let nest = LoopNest::new(
+        "sor",
+        IterSpace::rect(&[rows, cols]).expect("positive extents"),
+        vec![Stmt::assign(
+            Access::simple("A", 2, &[(0, 1), (1, 1)]),
+            vec![
+                Access::simple("A", 2, &[(0, 0), (1, 0)]),
+                Access::simple("A", 2, &[(0, 0), (1, 1)]),
+                Access::simple("A", 2, &[(0, 1), (1, 0)]),
+            ],
+        )
+        .with_flops(4)
+        .with_expr(Expr::mul(
+            Expr::add(Expr::add(Expr::Read(0), Expr::Read(1)), Expr::Read(2)),
+            Expr::Const(1.0 / 3.0),
+        ))],
+    )
+    .expect("sor is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 0], vec![1, 1]],
+        pi: vec![1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(6, 6).verified_deps();
+    }
+
+    #[test]
+    fn pi_legal() {
+        assert!(workload(6, 6).pi_is_legal());
+    }
+
+    #[test]
+    fn rectangular() {
+        assert_eq!(workload(3, 7).nest.space().count(), 21);
+    }
+}

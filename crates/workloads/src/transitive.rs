@@ -1,0 +1,59 @@
+//! Transitive closure in uniform-recurrence form.
+//!
+//! Warshall's algorithm `T[i,j] |= T[i,k] & T[k,j]` is *not* a uniform
+//! nest (the `k` subscript appears in data position), so the systolic
+//! literature — and this paper's §I, which lists transitive closure
+//! among the algorithms its method handles — uses the re-indexed
+//! Guibas–Kung–Thompson style formulation in which each iteration
+//! combines locally propagated copies. After that re-indexing the
+//! dependence structure is exactly matmul's: row copies flow along one
+//! axis, column copies along another, and the accumulation along the
+//! third.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+
+/// Uniform transitive closure over an `n × n × n` space:
+/// `T[i,j] := T[i,j] ∨ (R[i,k] ∧ C[k,j])` with `R`/`C` the propagated
+/// row/column copies. Dependences `{(0,0,1), (0,1,0), (1,0,0)}`.
+pub fn workload(n: i64) -> Workload {
+    let nest = LoopNest::new(
+        "transitive-closure",
+        IterSpace::rect(&[n, n, n]).expect("positive extent"),
+        vec![Stmt::assign(
+            Access::simple("T", 3, &[(0, 0), (1, 0)]),
+            vec![
+                Access::simple("T", 3, &[(0, 0), (1, 0)]),
+                Access::simple("R", 3, &[(0, 0), (2, 0)]),
+                Access::simple("C", 3, &[(2, 0), (1, 0)]),
+            ],
+        )
+        .with_flops(2)
+        .with_expr(Expr::max(
+            Expr::Read(0),
+            Expr::min(Expr::Read(1), Expr::Read(2)),
+        ))],
+    )
+    .expect("transitive closure is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]],
+        pi: vec![1, 1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(4).verified_deps();
+    }
+
+    #[test]
+    fn pi_legal() {
+        assert!(workload(4).pi_is_legal());
+    }
+}

@@ -1,0 +1,58 @@
+//! A recurrence over a triangular index set — the paper's loop model
+//! allows bounds that reference outer indices, and this workload pushes
+//! that path through the whole pipeline.
+
+use crate::Workload;
+use loom_loopir::sem::Expr;
+use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+
+/// `T[i+1, j+1] := T[i, j] + T[i+1, j]` over the triangle
+/// `0 ≤ i < n, 0 ≤ j ≤ i` (a forward-substitution-shaped sweep).
+///
+/// Dependences `{(0,1), (1,1)}`; `Π = (1,1)` is legal — note `(1,0)` is
+/// absent, so the optimal Π found by search may differ from the square
+/// stencil's.
+pub fn workload(n: i64) -> Workload {
+    let dims = 2;
+    let lo = vec![Aff::constant(dims, 0), Aff::constant(dims, 0)];
+    let hi = vec![Aff::constant(dims, n - 1), Aff::var(dims, 0)];
+    let nest = LoopNest::new(
+        "triangular",
+        IterSpace::new(lo, hi).expect("triangle is well-formed"),
+        vec![Stmt::assign(
+            Access::simple("T", dims, &[(0, 1), (1, 1)]),
+            vec![
+                Access::simple("T", dims, &[(0, 0), (1, 0)]),
+                Access::simple("T", dims, &[(0, 1), (1, 0)]),
+            ],
+        )
+        .with_flops(1)
+        .with_expr(Expr::add(Expr::Read(0), Expr::Read(1)))],
+    )
+    .expect("triangular nest is well-formed");
+    Workload {
+        nest,
+        deps: vec![vec![0, 1], vec![1, 1]],
+        pi: vec![1, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_verify() {
+        workload(6).verified_deps();
+    }
+
+    #[test]
+    fn triangle_count() {
+        assert_eq!(workload(6).nest.space().count(), 21);
+    }
+
+    #[test]
+    fn pi_legal() {
+        assert!(workload(6).pi_is_legal());
+    }
+}
