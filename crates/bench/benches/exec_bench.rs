@@ -1,49 +1,34 @@
-//! Criterion bench: the numerical executors — sequential oracle
-//! throughput, trace-order replay, and the SPMD interpreter.
+//! Bench: the numerical executors — sequential oracle throughput,
+//! trace-order replay, the SPMD interpreter, and codegen.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loom_codegen::generate;
 use loom_exec::memory::address_hash_init;
 use loom_exec::{execute_in_order, schedule_order, sequential};
 use loom_hyperplane::{Schedule, TimeFn};
 use loom_loopir::Point;
+use loom_obs::bench::Bench;
 use loom_partition::{partition, PartitionConfig};
-use std::hint::black_box;
 
-fn bench_oracle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oracle_interpreter");
+fn main() {
+    let mut bench = Bench::from_env();
     for m in [16i64, 32, 64] {
         let w = loom_workloads::matvec::workload(m);
-        group.throughput(Throughput::Elements((m * m) as u64));
-        group.bench_with_input(BenchmarkId::new("matvec", m), &m, |b, _| {
-            b.iter(|| black_box(sequential(&w.nest, &address_hash_init).len()))
+        bench.run(&format!("oracle_interpreter/matvec/{m}"), || {
+            sequential(&w.nest, &address_hash_init).len()
         });
     }
-    group.finish();
-}
 
-fn bench_ordered_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordered_execution");
     let w = loom_workloads::sor::workload(24, 24);
     let deps = w.verified_deps();
     let points: Vec<Point> = w.nest.space().points().collect();
     let sched = Schedule::build(TimeFn::new(w.pi.clone()), w.nest.space());
     let order = schedule_order(&points, &sched);
-    group.throughput(Throughput::Elements(points.len() as u64));
-    group.bench_function("sor24_front_order", |b| {
-        b.iter(|| {
-            black_box(
-                execute_in_order(&w.nest, &points, &order, &deps, &address_hash_init)
-                    .unwrap()
-                    .len(),
-            )
-        })
+    bench.run("ordered_execution/sor24_front_order", || {
+        execute_in_order(&w.nest, &points, &order, &deps, &address_hash_init)
+            .unwrap()
+            .len()
     });
-    group.finish();
-}
 
-fn bench_spmd_interpreter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmd_interpreter");
     for m in [16i64, 32] {
         let w = loom_workloads::matvec::workload(m);
         let p = partition(
@@ -55,22 +40,13 @@ fn bench_spmd_interpreter(c: &mut Criterion) {
         .unwrap();
         let assignment: Vec<usize> = (0..p.num_blocks()).map(|b| b % 4).collect();
         let cg = generate(&w.nest, &p, &assignment, 4).unwrap();
-        group.throughput(Throughput::Elements((m * m) as u64));
-        group.bench_with_input(BenchmarkId::new("matvec_4proc", m), &m, |b, _| {
-            b.iter(|| {
-                black_box(
-                    loom_codegen::run(&w.nest, &cg, &address_hash_init)
-                        .unwrap()
-                        .messages,
-                )
-            })
+        bench.run(&format!("spmd_interpreter/matvec_4proc/{m}"), || {
+            loom_codegen::run(&w.nest, &cg, &address_hash_init)
+                .unwrap()
+                .messages
         });
     }
-    group.finish();
-}
 
-fn bench_codegen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmd_codegen");
     let w = loom_workloads::sor::workload(24, 24);
     let p = partition(
         w.nest.space().clone(),
@@ -80,17 +56,11 @@ fn bench_codegen(c: &mut Criterion) {
     )
     .unwrap();
     let assignment: Vec<usize> = (0..p.num_blocks()).map(|b| b % 8).collect();
-    group.bench_function("sor24_8proc", |b| {
-        b.iter(|| black_box(generate(&w.nest, &p, &assignment, 8).unwrap().program.num_messages()))
+    bench.run("spmd_codegen/sor24_8proc", || {
+        generate(&w.nest, &p, &assignment, 8)
+            .unwrap()
+            .program
+            .num_messages()
     });
-    group.finish();
+    print!("{}", bench.report());
 }
-
-criterion_group!(
-    benches,
-    bench_oracle,
-    bench_ordered_execution,
-    bench_spmd_interpreter,
-    bench_codegen
-);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion bench: Algorithm 2 (cluster formation + Gray allocation)
-//! and mapping-quality evaluation.
+//! Bench: Algorithm 2 (cluster formation + Gray allocation) and
+//! mapping-quality evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_hyperplane::TimeFn;
 use loom_mapping::{baseline, map_partitioning, metrics, Hypercube};
+use loom_obs::bench::Bench;
 use loom_partition::{partition, PartitionConfig, Tig};
-use std::hint::black_box;
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm2");
+fn main() {
+    let mut bench = Bench::from_env();
     for m in [32i64, 64, 128] {
         let w = loom_workloads::matvec::workload(m);
         let p = partition(
@@ -18,28 +17,19 @@ fn bench_mapping(c: &mut Criterion) {
             &PartitionConfig::default(),
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("gray_map", m), &m, |b, _| {
-            b.iter(|| black_box(map_partitioning(&p, 3).unwrap()))
+        bench.run(&format!("algorithm2/gray_map/{m}"), || {
+            map_partitioning(&p, 3).unwrap()
         });
     }
-    group.finish();
-}
-
-fn bench_quality_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapping_quality");
     let tig = Tig::mesh(16, 16);
     let cube = Hypercube::new(4);
-    let assignments = vec![
+    for (name, a) in [
         ("naive", baseline::naive(256, 16)),
         ("random", baseline::random(256, 16, 7)),
-    ];
-    for (name, a) in assignments {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(metrics::evaluate(&tig, &a, cube)))
+    ] {
+        bench.run(&format!("mapping_quality/{name}"), || {
+            metrics::evaluate(&tig, &a, cube)
         });
     }
-    group.finish();
+    print!("{}", bench.report());
 }
-
-criterion_group!(benches, bench_mapping, bench_quality_metrics);
-criterion_main!(benches);

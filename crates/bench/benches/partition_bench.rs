@@ -1,94 +1,40 @@
-//! Criterion bench: Algorithm 1 (projection + grouping + blocks) across
-//! workload sizes — the partitioner is compile-time machinery, so its
-//! own cost matters to a parallelizing compiler.
+//! Bench: Algorithm 1 (projection + grouping + blocks) across workload
+//! sizes — the partitioner is compile-time machinery, so its own cost
+//! matters to a parallelizing compiler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_hyperplane::TimeFn;
+use loom_obs::bench::Bench;
 use loom_partition::{partition, PartitionConfig};
-use std::hint::black_box;
 
-fn bench_partition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm1");
+fn main() {
+    let mut bench = Bench::from_env();
     for m in [16i64, 32, 64] {
         let w = loom_workloads::matvec::workload(m);
         let deps = w.verified_deps();
-        group.bench_with_input(BenchmarkId::new("matvec", m), &m, |b, _| {
-            b.iter(|| {
-                let p = partition(
-                    w.nest.space().clone(),
-                    deps.clone(),
-                    TimeFn::new(w.pi.clone()),
-                    &PartitionConfig::default(),
-                )
-                .unwrap();
-                black_box(p.num_blocks())
-            })
+        bench.run(&format!("algorithm1/matvec/{m}"), || {
+            partition(
+                w.nest.space().clone(),
+                deps.clone(),
+                TimeFn::new(w.pi.clone()),
+                &PartitionConfig::default(),
+            )
+            .unwrap()
+            .num_blocks()
         });
     }
     for n in [4i64, 8, 12] {
         let w = loom_workloads::matmul::workload(n);
         let deps = w.verified_deps();
-        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
-            b.iter(|| {
-                let p = partition(
-                    w.nest.space().clone(),
-                    deps.clone(),
-                    TimeFn::new(w.pi.clone()),
-                    &PartitionConfig::default(),
-                )
-                .unwrap();
-                black_box(p.num_blocks())
-            })
+        bench.run(&format!("algorithm1/matmul/{n}"), || {
+            partition(
+                w.nest.space().clone(),
+                deps.clone(),
+                TimeFn::new(w.pi.clone()),
+                &PartitionConfig::default(),
+            )
+            .unwrap()
+            .num_blocks()
         });
     }
-    group.finish();
+    print!("{}", bench.report());
 }
-
-fn bench_dependence_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dependence_extraction");
-    for w in loom_workloads::all_default() {
-        group.bench_function(w.nest.name().to_string(), |b| {
-            b.iter(|| {
-                black_box(
-                    loom_loopir::deps::dependence_vectors(
-                        &w.nest,
-                        loom_loopir::DepOptions::default(),
-                    )
-                    .unwrap(),
-                )
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_hyperplane_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hyperplane_search");
-    for w in [
-        loom_workloads::l1::workload(16),
-        loom_workloads::matmul::workload(8),
-    ] {
-        group.bench_function(w.nest.name().to_string(), |b| {
-            let deps = w.verified_deps();
-            b.iter(|| {
-                black_box(
-                    loom_hyperplane::find_optimal(
-                        &deps,
-                        w.nest.space(),
-                        loom_hyperplane::SearchConfig::default(),
-                    )
-                    .unwrap(),
-                )
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_partition,
-    bench_dependence_extraction,
-    bench_hyperplane_search
-);
-criterion_main!(benches);

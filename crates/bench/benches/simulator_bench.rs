@@ -1,12 +1,11 @@
-//! Criterion bench: discrete-event simulator throughput, and the
-//! message-batching ablation.
+//! Bench: discrete-event simulator throughput, and the message-batching
+//! ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loom_hyperplane::TimeFn;
 use loom_machine::{simulate, MachineParams, Program, SimConfig};
 use loom_mapping::map_partitioning;
+use loom_obs::bench::Bench;
 use loom_partition::{partition, PartitionConfig};
-use std::hint::black_box;
 
 fn matvec_program(m: i64, cube_dim: usize) -> Program {
     let w = loom_workloads::matvec::workload(m);
@@ -21,39 +20,27 @@ fn matvec_program(m: i64, cube_dim: usize) -> Program {
     Program::from_partitioning(&p, mapping.assignment(), mapping.cube().len(), 2)
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn main() {
+    let mut bench = Bench::from_env();
     for m in [32i64, 64] {
         let prog = matvec_program(m, 2);
-        group.throughput(Throughput::Elements(prog.len() as u64));
-        group.bench_with_input(BenchmarkId::new("matvec_tasks", m), &m, |b, _| {
-            b.iter(|| {
-                black_box(
-                    simulate(
-                        &prog,
-                        &SimConfig::paper_hypercube(2, MachineParams::classic_1991()),
-                    )
-                    .unwrap()
-                    .makespan,
-                )
-            })
+        bench.run(&format!("simulator/matvec_tasks/{m}"), || {
+            simulate(
+                &prog,
+                &SimConfig::paper_hypercube(2, MachineParams::classic_1991()),
+            )
+            .unwrap()
+            .makespan
         });
     }
-    group.finish();
-}
-
-fn bench_batching_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("message_batching");
     let prog = matvec_program(48, 3);
     for batch in [false, true] {
         let mut cfg = SimConfig::paper_hypercube(3, MachineParams::classic_1991());
         cfg.batch_messages = batch;
-        group.bench_function(if batch { "batched" } else { "unbatched" }, |b| {
-            b.iter(|| black_box(simulate(&prog, &cfg).unwrap().makespan))
+        let name = if batch { "batched" } else { "unbatched" };
+        bench.run(&format!("message_batching/{name}"), || {
+            simulate(&prog, &cfg).unwrap().makespan
         });
     }
-    group.finish();
+    print!("{}", bench.report());
 }
-
-criterion_group!(benches, bench_simulator, bench_batching_ablation);
-criterion_main!(benches);

@@ -1,47 +1,34 @@
-//! Criterion bench for E6: the full pipeline (analysis → Π → partition →
-//! map → simulate) that regenerates Table I's rows, timed end to end per
+//! Bench for E6: the full pipeline (analysis → Π → partition → map →
+//! simulate) that regenerates Table I's rows, timed end to end per
 //! machine size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_core::pipeline::MachineOptions;
 use loom_core::{Pipeline, PipelineConfig};
 use loom_machine::MachineParams;
-use std::hint::black_box;
+use loom_obs::bench::Bench;
 
-fn bench_table1_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_pipeline");
+fn main() {
+    let mut bench = Bench::from_env();
     let m = 48i64;
     let w = loom_workloads::matvec::workload(m);
     for cube_dim in [0usize, 2, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("matvec48_cube", cube_dim),
-            &cube_dim,
-            |b, &dim| {
-                b.iter(|| {
-                    let out = Pipeline::new(w.nest.clone())
-                        .run(&PipelineConfig {
-                            time_fn: Some(w.pi.clone()),
-                            cube_dim: dim,
-                            machine: Some(MachineOptions {
-                                params: MachineParams::classic_1991(),
-                                ..Default::default()
-                            }),
-                            ..Default::default()
-                        })
-                        .unwrap();
-                    black_box(out.sim.unwrap().makespan)
+        bench.run(&format!("table1_pipeline/matvec48_cube/{cube_dim}"), || {
+            let out = Pipeline::new(w.nest.clone())
+                .run(&PipelineConfig {
+                    time_fn: Some(w.pi.clone()),
+                    cube_dim,
+                    machine: Some(MachineOptions {
+                        params: MachineParams::classic_1991(),
+                        ..Default::default()
+                    }),
+                    ..Default::default()
                 })
-            },
-        );
+                .unwrap();
+            out.sim.unwrap().makespan
+        });
     }
-    group.finish();
-}
-
-fn bench_analytic_model(c: &mut Criterion) {
-    c.bench_function("table1_analytic_all_rows", |b| {
-        b.iter(|| black_box(loom_core::analytic::table1_rows(1024)))
+    bench.run("table1_analytic_all_rows", || {
+        loom_core::analytic::table1_rows(1024)
     });
+    print!("{}", bench.report());
 }
-
-criterion_group!(benches, bench_table1_pipeline, bench_analytic_model);
-criterion_main!(benches);

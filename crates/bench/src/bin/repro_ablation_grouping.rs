@@ -14,7 +14,11 @@ fn main() {
     let names = ["d_C=(0,0,1)", "d_A=(0,1,0)", "d_B=(1,0,0)"];
 
     let mut t = Table::new([
-        "grouping vector", "groups", "largest block", "interblock arcs", "max out-degree",
+        "grouping vector",
+        "groups",
+        "largest block",
+        "interblock arcs",
+        "max out-degree",
     ]);
     for (choice, name) in names.iter().enumerate() {
         let p = partition(

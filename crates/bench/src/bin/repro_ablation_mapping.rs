@@ -16,7 +16,13 @@ fn main() {
         loom_workloads::matmul::workload(6),
     ];
     let mut t = Table::new([
-        "workload", "N", "mapping", "remote", "dilation", "congestion", "makespan",
+        "workload",
+        "N",
+        "mapping",
+        "remote",
+        "dilation",
+        "congestion",
+        "makespan",
     ]);
     for w in &workloads {
         let p = partition_workload(w);

@@ -25,7 +25,11 @@ fn main() {
     ];
 
     let mut t = Table::new([
-        "workload", "gcd blocks", "lattice blocks", "sheu-tai blocks", "s-t interblock arcs",
+        "workload",
+        "gcd blocks",
+        "lattice blocks",
+        "sheu-tai blocks",
+        "s-t interblock arcs",
     ]);
     for w in &workloads {
         let cs = ComputationalStructure::new(w.nest.space().clone(), w.verified_deps())

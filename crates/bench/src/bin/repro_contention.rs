@@ -3,10 +3,12 @@
 //! picture (and that the Gray mapping's low congestion is what protects
 //! it).
 
-use loom_bench::partition_workload;
+use loom_bench::{maybe_write_metrics, partition_workload};
+use loom_core::obs_export::sim_json;
 use loom_core::report::Table;
 use loom_machine::{simulate, MachineParams, Program, SimConfig, Topology};
 use loom_mapping::{baseline, map_partitioning};
+use loom_obs::Json;
 
 fn main() {
     println!("A6 — latency-only vs contention-aware interconnect\n");
@@ -23,6 +25,7 @@ fn main() {
         ("random", baseline::random(p.num_blocks(), n, 1991)),
     ];
     let mut t = Table::new(["mapping", "contention", "makespan", "slowdown"]);
+    let mut metrics_doc: Vec<(String, Json)> = Vec::new();
     for (name, assignment) in candidates {
         let prog = Program::from_partitioning(&p, &assignment, n, flops);
         let mut base = SimConfig {
@@ -32,11 +35,16 @@ fn main() {
             batch_messages: false,
             link_contention: false,
             record_trace: false,
+            collect_metrics: true,
         };
-        let free = simulate(&prog, &base).expect("sim").makespan;
+        let free_sim = simulate(&prog, &base).expect("sim");
+        let free = free_sim.makespan;
         base.link_contention = true;
-        let contended = simulate(&prog, &base).expect("sim").makespan;
+        let contended_sim = simulate(&prog, &base).expect("sim");
+        let contended = contended_sim.makespan;
         assert!(contended >= free, "contention can only delay");
+        metrics_doc.push((format!("{name}_free"), sim_json(&free_sim)));
+        metrics_doc.push((format!("{name}_contended"), sim_json(&contended_sim)));
         t.row([
             name.to_string(),
             "off".to_string(),
@@ -51,6 +59,10 @@ fn main() {
         ]);
     }
     println!("{t}");
+    maybe_write_metrics(
+        "a6_contention",
+        &Json::Obj(metrics_doc.into_iter().collect()),
+    );
     println!(
         "expected shape: the gray mapping keeps per-link load near the chain minimum,\n\
          so contention barely moves it; scattered mappings concentrate traffic on few\n\

@@ -24,10 +24,18 @@ fn main() {
     sched
         .validate(w.nest.space(), &deps)
         .expect("Π = (1,1) is legal for L1");
-    let mut t = Table::new(["step", "width", "wavefront (points executed simultaneously)"]);
+    let mut t = Table::new([
+        "step",
+        "width",
+        "wavefront (points executed simultaneously)",
+    ]);
     for s in 0..sched.num_steps() {
         let pts: Vec<String> = sched.front(s).iter().map(|p| format!("{p:?}")).collect();
-        t.row([format!("{s}"), format!("{}", sched.front(s).len()), pts.join(" ")]);
+        t.row([
+            format!("{s}"),
+            format!("{}", sched.front(s).len()),
+            pts.join(" "),
+        ]);
     }
     println!("{t}");
     println!(

@@ -22,7 +22,10 @@ fn main() {
     let max_out = graph.iter().map(|s| s.len()).max().unwrap();
     let edges: usize = graph.iter().map(|s| s.len()).sum();
     println!("directed edges: {edges}");
-    println!("max out-degree: {max_out} (Theorem 2 bound: 2m - beta = {})", 2 * m - beta);
+    println!(
+        "max out-degree: {max_out} (Theorem 2 bound: 2m - beta = {})",
+        2 * m - beta
+    );
     println!("paper: G10 sends data to 2·3 - 2 = 4 groups");
     assert!(max_out <= 2 * m - beta);
     assert_eq!(max_out, 4);

@@ -43,7 +43,10 @@ fn main() {
         q.mean_dilation(),
         q.max_link_congestion
     );
-    assert!((q.mean_dilation() - 1.0).abs() < 1e-9, "Fig. 8 mapping is nearest-neighbor");
+    assert!(
+        (q.mean_dilation() - 1.0).abs() < 1e-9,
+        "Fig. 8 mapping is nearest-neighbor"
+    );
     assert_eq!(f.clusters.len(), 8);
     assert!(f.clusters.iter().all(|c| c.len() == 2));
     println!("\npaper: blocks B1 and B2 share cluster 000 -> processor 000; every");

@@ -50,9 +50,7 @@ fn main() {
         let mut t = Table::new(["workload", "S(2)", "S(4)", "S(8)"]);
         for w in &workloads {
             let s = speedups(w, params);
-            let fmt = |x: &Option<f64>| {
-                x.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "-".into())
-            };
+            let fmt = |x: &Option<f64>| x.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "-".into());
             t.row([
                 w.nest.name().to_string(),
                 fmt(&s[1]),
@@ -72,6 +70,9 @@ fn main() {
     );
 
     // Assert the headline: low-latency S(4) > 1.5 for matvec 128.
-    let s = speedups(&loom_workloads::matvec::workload(128), MachineParams::low_latency());
+    let s = speedups(
+        &loom_workloads::matvec::workload(128),
+        MachineParams::low_latency(),
+    );
     assert!(s[2].unwrap() > 1.5, "matvec should scale on cheap comm");
 }

@@ -11,7 +11,11 @@ fn main() {
     let params = MachineParams::classic_1991();
 
     println!("Table I — maximum execution time, M = 1024 (symbolic and numeric)\n");
-    let mut t = Table::new(["N", "T_exec(N) (paper form)", "ticks (t_calc=1, t_start=50, t_comm=5)"]);
+    let mut t = Table::new([
+        "N",
+        "T_exec(N) (paper form)",
+        "ticks (t_calc=1, t_start=50, t_comm=5)",
+    ]);
     for (n, terms) in table1_rows(1024) {
         t.row([
             format!("{n}"),
@@ -32,7 +36,11 @@ fn main() {
     ];
     for &(n, calc, comm) in &expect {
         let terms = matvec_exec_terms(1024, n);
-        assert_eq!((terms.calc_coeff, terms.comm_coeff), (calc, comm), "N = {n}");
+        assert_eq!(
+            (terms.calc_coeff, terms.comm_coeff),
+            (calc, comm),
+            "N = {n}"
+        );
     }
     println!("all six rows match the paper's coefficients exactly.\n");
 
@@ -48,7 +56,13 @@ fn main() {
     let w = loom_workloads::matvec::workload(m);
     let max_dim = (m as usize).ilog2() as usize;
     let dims: Vec<usize> = (0..=max_dim).step_by(2).collect();
-    let mut t = Table::new(["N", "analytic ticks", "simulated makespan", "busiest proc", "messages"]);
+    let mut t = Table::new([
+        "N",
+        "analytic ticks",
+        "simulated makespan",
+        "busiest proc",
+        "messages",
+    ]);
     for cube_dim in dims {
         let out = Pipeline::new(w.nest.clone())
             .run(&PipelineConfig {

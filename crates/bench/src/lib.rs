@@ -9,9 +9,11 @@
 #![deny(missing_docs)]
 
 use loom_hyperplane::TimeFn;
+use loom_obs::Json;
 use loom_partition::{partition, PartitionConfig, Partitioning};
 use loom_rational::QVec;
 use loom_workloads::Workload;
+use std::path::Path;
 
 /// Partition a workload with its documented Π and default choices.
 pub fn partition_workload(w: &Workload) -> Partitioning {
@@ -42,6 +44,31 @@ pub fn paper_matmul_partitioning() -> Partitioning {
     .expect("matmul partitions")
 }
 
+/// Write a metrics document to `<dir>/<name>.json`, pretty-rendered,
+/// creating `dir` if needed.
+pub fn write_metrics_to(dir: &Path, name: &str, doc: &Json) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.json")), doc.render_pretty())
+}
+
+/// If `LOOM_METRICS_DIR` is set, write `doc` to `<dir>/<name>.json` and
+/// note it on stderr — the repro binaries call this so every experiment
+/// can leave machine-readable metrics next to its printed table without
+/// changing its stdout.
+pub fn maybe_write_metrics(name: &str, doc: &Json) {
+    let Ok(dir) = std::env::var("LOOM_METRICS_DIR") else {
+        return;
+    };
+    let dir = Path::new(&dir);
+    match write_metrics_to(dir, name, doc) {
+        Ok(()) => eprintln!(
+            "metrics: wrote {}",
+            dir.join(format!("{name}.json")).display()
+        ),
+        Err(e) => eprintln!("metrics: cannot write {name}.json: {e}"),
+    }
+}
+
 /// Run independent jobs on scoped OS threads and collect results in
 /// input order — the bench harness's way of sweeping machine sizes /
 /// mappings in parallel on the host. The simulator itself stays
@@ -58,7 +85,10 @@ where
             .into_iter()
             .map(|item| scope.spawn(|| f(item)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep job panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep job panicked"))
+            .collect()
     })
 }
 
@@ -83,9 +113,12 @@ mod tests {
         let parallel = parallel_sweep(dims.clone(), |d| {
             let m = loom_mapping::map_partitioning(&p, d).unwrap();
             let prog = Program::from_partitioning(&p, m.assignment(), 1 << d, 2);
-            simulate(&prog, &SimConfig::paper_hypercube(d, MachineParams::classic_1991()))
-                .unwrap()
-                .makespan
+            simulate(
+                &prog,
+                &SimConfig::paper_hypercube(d, MachineParams::classic_1991()),
+            )
+            .unwrap()
+            .makespan
         });
         for (i, &d) in dims.iter().enumerate() {
             let m = loom_mapping::map_partitioning(&p, d).unwrap();
@@ -98,6 +131,17 @@ mod tests {
             .makespan;
             assert_eq!(parallel[i], serial);
         }
+    }
+
+    #[test]
+    fn write_metrics_to_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join("loom-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let doc = Json::obj(vec![("makespan", Json::from(42u64))]);
+        write_metrics_to(&dir, "a6_contention", &doc).unwrap();
+        let body = std::fs::read_to_string(dir.join("a6_contention.json")).unwrap();
+        assert_eq!(Json::parse(&body).unwrap(), doc);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

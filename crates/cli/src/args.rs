@@ -88,7 +88,14 @@ mod tests {
 
     #[test]
     fn subcommand_and_flags() {
-        let a = args(&["simulate", "--workload", "matvec", "--size", "32", "--contention"]);
+        let a = args(&[
+            "simulate",
+            "--workload",
+            "matvec",
+            "--size",
+            "32",
+            "--contention",
+        ]);
         assert_eq!(a.command.as_deref(), Some("simulate"));
         assert_eq!(a.str_flag("workload", "l1"), "matvec");
         assert_eq!(a.int_flag("size", 4), 32);

@@ -21,6 +21,7 @@ use loom_core::pipeline::MachineOptions;
 use loom_core::report::Table;
 use loom_core::{Pipeline, PipelineConfig};
 use loom_machine::MachineParams;
+use loom_obs::Recorder;
 use loom_workloads::Workload;
 
 fn usage() -> ! {
@@ -37,7 +38,10 @@ fn usage() -> ! {
          \x20 table1    [--m M]                 the paper's Table I\n\
          common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…\n\
          simulate flags: --t-calc/--t-start/--t-comm, --batch, --contention,\n\
-         \x20               --mesh RxC | --ring N (instead of --cube)"
+         \x20               --mesh RxC | --ring N (instead of --cube),\n\
+         \x20               --metrics-out FILE (metrics JSON),\n\
+         \x20               --trace-out FILE (Chrome/Perfetto trace JSON),\n\
+         \x20               --validate (replay the trace through verify_trace)"
     );
     std::process::exit(2)
 }
@@ -53,14 +57,11 @@ fn pick_workload(a: &Args) -> Workload {
             eprintln!("{path}: {e}");
             std::process::exit(2)
         });
-        let deps = loom_loopir::deps::dependence_vectors(
-            &nest,
-            loom_loopir::DepOptions::default(),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("{path}: {e}");
-            std::process::exit(2)
-        });
+        let deps = loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default())
+            .unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2)
+            });
         let pi = a.int_list_flag("pi").unwrap_or_else(|| {
             loom_hyperplane::find_optimal(
                 &deps,
@@ -129,6 +130,15 @@ fn pick_target(a: &Args) -> Option<loom_core::Target> {
 }
 
 fn run_pipeline(a: &Args, w: &Workload, with_machine: bool) -> loom_core::PipelineOutput {
+    run_pipeline_with(a, w, with_machine, &Recorder::disabled())
+}
+
+fn run_pipeline_with(
+    a: &Args,
+    w: &Workload,
+    with_machine: bool,
+    recorder: &Recorder,
+) -> loom_core::PipelineOutput {
     let config = PipelineConfig {
         time_fn: a.int_list_flag("pi").or(Some(w.pi.clone())),
         cube_dim: a.int_flag("cube", 1).max(0) as usize,
@@ -146,29 +156,73 @@ fn run_pipeline(a: &Args, w: &Workload, with_machine: bool) -> loom_core::Pipeli
             params: machine_params(a),
             batch_messages: a.switch("batch"),
             link_contention: a.switch("contention"),
+            record_trace: a.flags.contains_key("trace-out"),
+            collect_metrics: a.flags.contains_key("metrics-out")
+                || a.flags.contains_key("trace-out"),
+            validate_trace: a.switch("validate"),
             ..Default::default()
         }),
         ..Default::default()
     };
-    Pipeline::new(w.nest.clone()).run(&config).unwrap_or_else(|e| {
-        eprintln!("pipeline failed: {e}");
-        std::process::exit(1)
-    })
+    Pipeline::new(w.nest.clone())
+        .run_with(&config, recorder)
+        .unwrap_or_else(|e| {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1)
+        })
+}
+
+fn write_out(path: &str, contents: String, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("{what} written to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        }
+    }
 }
 
 fn cmd_workloads() {
     let mut t = Table::new(["name", "depth", "D", "paper role"]);
     for (name, w, role) in [
         ("l1", loom_workloads::l1::workload(4), "§II running example"),
-        ("matmul", loom_workloads::matmul::workload(4), "§III Example 2"),
-        ("matvec", loom_workloads::matvec::workload(8), "§IV / Table I"),
-        ("conv1d", loom_workloads::conv::workload(8, 4), "§I motivation"),
+        (
+            "matmul",
+            loom_workloads::matmul::workload(4),
+            "§III Example 2",
+        ),
+        (
+            "matvec",
+            loom_workloads::matvec::workload(8),
+            "§IV / Table I",
+        ),
+        (
+            "conv1d",
+            loom_workloads::conv::workload(8, 4),
+            "§I motivation",
+        ),
         ("sor", loom_workloads::sor::workload(6, 6), "extension"),
-        ("transitive", loom_workloads::transitive::workload(4), "§I motivation"),
+        (
+            "transitive",
+            loom_workloads::transitive::workload(4),
+            "§I motivation",
+        ),
         ("dft", loom_workloads::dft::workload(8), "§I motivation"),
-        ("conv2d", loom_workloads::conv2d::workload(4, 2), "extension (4-deep)"),
-        ("triangular", loom_workloads::triangular::workload(6), "extension (affine bounds)"),
-        ("heat2d", loom_workloads::heat2d::workload(3, 4), "extension (negative deps)"),
+        (
+            "conv2d",
+            loom_workloads::conv2d::workload(4, 2),
+            "extension (4-deep)",
+        ),
+        (
+            "triangular",
+            loom_workloads::triangular::workload(6),
+            "extension (affine bounds)",
+        ),
+        (
+            "heat2d",
+            loom_workloads::heat2d::workload(3, 4),
+            "extension (negative deps)",
+        ),
     ] {
         t.row([
             name.to_string(),
@@ -233,10 +287,7 @@ fn cmd_map(a: &Args) {
         t.row([
             format!("B{b}"),
             format!("{}", out.partitioning.block(b).len()),
-            format!(
-                "P{proc:0w$b}",
-                w = out.mapping.cube().dim().max(1)
-            ),
+            format!("P{proc:0w$b}", w = out.mapping.cube().dim().max(1)),
         ]);
     }
     println!("{t}");
@@ -246,8 +297,9 @@ fn cmd_map(a: &Args) {
 
 fn cmd_simulate(a: &Args) {
     let w = pick_workload(a);
-    let out = run_pipeline(a, &w, true);
-    let sim = out.sim.expect("machine enabled");
+    let rec = Recorder::enabled();
+    let out = run_pipeline_with(a, &w, true, &rec);
+    let sim = out.sim.as_ref().expect("machine enabled");
     let params = machine_params(a);
     println!(
         "{} on {:?} ({} procs), t_calc={} t_start={} t_comm={}{}{}",
@@ -258,7 +310,11 @@ fn cmd_simulate(a: &Args) {
         params.t_start,
         params.t_comm,
         if a.switch("batch") { ", batched" } else { "" },
-        if a.switch("contention") { ", contention" } else { "" },
+        if a.switch("contention") {
+            ", contention"
+        } else {
+            ""
+        },
     );
     println!("makespan          = {}", sim.makespan);
     println!("busiest processor = {}", sim.max_proc_occupancy());
@@ -273,6 +329,28 @@ fn cmd_simulate(a: &Args) {
         ]);
     }
     println!("{t}");
+    println!(
+        "utilization:\n{}",
+        loom_viz::utilization_chart(&sim.compute, &sim.comm, sim.makespan, 40)
+    );
+    if a.switch("validate") {
+        // A violating trace already failed the pipeline with
+        // PipelineError::Trace, so reaching here means a clean replay.
+        println!("trace validated: no violations");
+    }
+    if let Some(path) = a.flags.get("metrics-out") {
+        let doc = loom_core::obs_export::metrics_json(&rec, Some(sim));
+        write_out(path, doc.render_pretty(), "metrics");
+    }
+    if let Some(path) = a.flags.get("trace-out") {
+        match loom_machine::trace::chrome_trace(sim, out.placement.num_procs()) {
+            Some(doc) => write_out(path, doc.render_pretty(), "trace"),
+            None => {
+                eprintln!("internal error: no trace recorded despite --trace-out");
+                std::process::exit(1)
+            }
+        }
+    }
 }
 
 fn cmd_codegen(a: &Args) {
@@ -316,7 +394,10 @@ fn cmd_viz(a: &Args) {
     let out = run_pipeline(a, &w, false);
     if a.switch("dot") {
         println!("{}", loom_viz::group_graph_dot(&out.partitioning));
-        println!("{}", loom_viz::tig_dot(&out.tig, Some(out.mapping.assignment())));
+        println!(
+            "{}",
+            loom_viz::tig_dot(&out.tig, Some(out.mapping.assignment()))
+        );
         return;
     }
     match loom_viz::block_grid(&out.partitioning) {
@@ -353,7 +434,9 @@ fn cmd_explore(a: &Args) {
         eprintln!("exploration failed: {e}");
         std::process::exit(1)
     });
-    let mut t = Table::new(["rank", "Π", "grouping", "N", "blocks", "makespan", "messages"]);
+    let mut t = Table::new([
+        "rank", "Π", "grouping", "N", "blocks", "makespan", "messages",
+    ]);
     for (i, c) in best.iter().enumerate() {
         t.row([
             format!("{}", i + 1),

@@ -25,7 +25,17 @@ fn usage_on_no_args() {
 fn workloads_lists_all() {
     let (out, _, ok) = loom(&["workloads"]);
     assert!(ok);
-    for name in ["l1", "matmul", "matvec", "conv1d", "sor", "transitive", "dft", "conv2d", "triangular"] {
+    for name in [
+        "l1",
+        "matmul",
+        "matvec",
+        "conv1d",
+        "sor",
+        "transitive",
+        "dft",
+        "conv2d",
+        "triangular",
+    ] {
         assert!(out.contains(name), "missing {name}:\n{out}");
     }
 }
@@ -40,7 +50,15 @@ fn partition_prints_paper_numbers() {
 
 #[test]
 fn simulate_reports_makespan() {
-    let (out, _, ok) = loom(&["simulate", "--workload", "matvec", "--size", "16", "--cube", "2"]);
+    let (out, _, ok) = loom(&[
+        "simulate",
+        "--workload",
+        "matvec",
+        "--size",
+        "16",
+        "--cube",
+        "2",
+    ]);
     assert!(ok);
     assert!(out.contains("makespan"));
     assert!(out.contains("P3"));
@@ -48,7 +66,16 @@ fn simulate_reports_makespan() {
 
 #[test]
 fn codegen_run_verifies() {
-    let (out, _, ok) = loom(&["codegen", "--workload", "l1", "--size", "4", "--cube", "1", "--run"]);
+    let (out, _, ok) = loom(&[
+        "codegen",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--cube",
+        "1",
+        "--run",
+    ]);
     assert!(ok);
     assert!(out.contains("bit-identical"));
 }
@@ -70,7 +97,16 @@ fn viz_prints_grids() {
 
 #[test]
 fn viz_dot_emits_graphviz() {
-    let (out, _, ok) = loom(&["viz", "--workload", "matmul", "--size", "4", "--dot", "--cube", "2"]);
+    let (out, _, ok) = loom(&[
+        "viz",
+        "--workload",
+        "matmul",
+        "--size",
+        "4",
+        "--dot",
+        "--cube",
+        "2",
+    ]);
     assert!(ok);
     assert!(out.contains("digraph groups {"));
     assert!(out.contains("graph tig {"));
@@ -106,7 +142,17 @@ fn bad_file_fails_cleanly() {
 
 #[test]
 fn explore_ranks() {
-    let (out, _, ok) = loom(&["explore", "--workload", "l1", "--size", "4", "--cubes", "1", "--top", "3"]);
+    let (out, _, ok) = loom(&[
+        "explore",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--cubes",
+        "1",
+        "--top",
+        "3",
+    ]);
     assert!(ok);
     assert!(out.contains("rank"));
     assert!(out.contains("makespan"));

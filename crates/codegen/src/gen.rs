@@ -138,8 +138,7 @@ pub fn generate(
         }
     }
 
-    let proc_of_point =
-        |id: usize| -> u32 { assignment[partitioning.block_of(id)] as u32 };
+    let proc_of_point = |id: usize| -> u32 { assignment[partitioning.block_of(id)] as u32 };
 
     // Iterations per processor in (step, point) order.
     let mut per_proc_points: Vec<Vec<usize>> = vec![Vec::new(); num_procs];

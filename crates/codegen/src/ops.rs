@@ -82,9 +82,7 @@ impl SpmdProgram {
             for op in ops {
                 match *op {
                     Op::Send { to, tag } => *sends.entry((to, tag)).or_insert(0) += 1,
-                    Op::Recv { from: _, tag } => {
-                        *sends.entry((p as u32, tag)).or_insert(0) -= 1
-                    }
+                    Op::Recv { from: _, tag } => *sends.entry((p as u32, tag)).or_insert(0) -= 1,
                     Op::Compute { .. } => {}
                 }
             }
@@ -103,7 +101,10 @@ mod tests {
 
     #[test]
     fn counting_and_matching() {
-        let t = Tag { src_point: 0, dep: 1 };
+        let t = Tag {
+            src_point: 0,
+            dep: 1,
+        };
         let prog = SpmdProgram {
             points: vec![vec![0], vec![1]],
             per_proc: vec![
@@ -119,7 +120,10 @@ mod tests {
 
     #[test]
     fn unmatched_detected() {
-        let t = Tag { src_point: 3, dep: 0 };
+        let t = Tag {
+            src_point: 3,
+            dep: 0,
+        };
         let prog = SpmdProgram {
             points: vec![vec![0]],
             per_proc: vec![vec![Op::Send { to: 1, tag: t }], vec![]],

@@ -79,6 +79,7 @@ pub fn run_threaded(
 
     let results: Vec<Result<Memory, ThreadError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_procs);
+        #[allow(clippy::needless_range_loop)]
         for p in 0..n_procs {
             let rx = receivers[p].take().expect("receiver taken once");
             // Each worker gets senders to every *other* processor; the
@@ -115,7 +116,7 @@ pub fn run_threaded(
                                         return Err(ThreadError::MissingMessage {
                                             proc: p as u32,
                                             tag: *tag,
-                                        })
+                                        });
                                     }
                                 }
                             };
@@ -130,11 +131,7 @@ pub fn run_threaded(
                                     .map(|r| mem.read(r.array(), &r.element_at(pt), &init))
                                     .collect();
                                 let value = stmt.semantics().eval(&reads);
-                                mem.write(
-                                    stmt.write().array(),
-                                    stmt.write().element_at(pt),
-                                    value,
-                                );
+                                mem.write(stmt.write().array(), stmt.write().element_at(pt), value);
                             }
                             record_local_writes(nest, pt, *point, &mut versions);
                         }

@@ -30,6 +30,7 @@
 
 pub mod analytic;
 pub mod explore;
+pub mod obs_export;
 pub mod pipeline;
 pub mod report;
 

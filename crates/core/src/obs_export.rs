@@ -1,0 +1,134 @@
+//! Flattening a pipeline run's observability — recorder spans/counters
+//! and the simulator report — into the metrics JSON document that
+//! `loom --metrics-out` and the repro binaries write.
+
+use loom_machine::SimReport;
+use loom_obs::{Json, Recorder};
+
+/// The recorder's spans and counters as a JSON object.
+pub fn recorder_json(recorder: &Recorder) -> Json {
+    let spans = Json::Arr(
+        recorder
+            .spans()
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::from(s.name.as_str())),
+                    ("start_us", Json::from(s.start_us)),
+                    ("dur_us", Json::from(s.dur_us)),
+                ])
+            })
+            .collect(),
+    );
+    let counters = Json::Obj(
+        recorder
+            .counters()
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect(),
+    );
+    Json::obj(vec![("spans", spans), ("counters", counters)])
+}
+
+/// The simulator report — coarse occupancy, derived ratios, and (when
+/// collected) the rich [`SimMetrics`](loom_machine::SimMetrics) block —
+/// as a JSON object.
+pub fn sim_json(sim: &SimReport) -> Json {
+    let mut fields = vec![
+        ("makespan", Json::from(sim.makespan)),
+        (
+            "compute",
+            Json::Arr(sim.compute.iter().map(|&c| Json::from(c)).collect()),
+        ),
+        (
+            "comm",
+            Json::Arr(sim.comm.iter().map(|&c| Json::from(c)).collect()),
+        ),
+        (
+            "idle",
+            Json::Arr(sim.idle_ticks().iter().map(|&c| Json::from(c)).collect()),
+        ),
+        (
+            "utilization",
+            Json::Arr(
+                sim.per_proc_utilization()
+                    .iter()
+                    .map(|&u| Json::from(u))
+                    .collect(),
+            ),
+        ),
+        (
+            "comm_to_compute_ratio",
+            Json::from(sim.comm_to_compute_ratio()),
+        ),
+        ("messages", Json::from(sim.messages)),
+        ("words", Json::from(sim.words)),
+    ];
+    if let Some(m) = &sim.metrics {
+        fields.push(("telemetry", m.to_json()));
+    }
+    Json::obj(fields)
+}
+
+/// The full metrics document: a `recorder` section (phase spans and
+/// counters) plus a `sim` section when the pipeline simulated.
+pub fn metrics_json(recorder: &Recorder, sim: Option<&SimReport>) -> Json {
+    let mut fields = vec![("recorder", recorder_json(recorder))];
+    if let Some(s) = sim {
+        fields.push(("sim", sim_json(s)));
+    }
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MachineOptions;
+    use crate::{Pipeline, PipelineConfig};
+
+    #[test]
+    fn full_document_round_trips() {
+        let w = loom_workloads::matvec::workload(16);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest.clone())
+            .run_with(
+                &PipelineConfig {
+                    time_fn: Some(w.pi.clone()),
+                    cube_dim: 2,
+                    machine: Some(MachineOptions {
+                        collect_metrics: true,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        let doc = metrics_json(&rec, out.sim.as_ref());
+        // Recorder section carries the phase spans.
+        let spans = doc
+            .get("recorder")
+            .unwrap()
+            .get("spans")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert!(!spans.is_empty());
+        // Sim section carries occupancy vectors of machine size.
+        let sim = doc.get("sim").unwrap();
+        assert_eq!(sim.get("compute").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(sim.get("utilization").unwrap().as_arr().unwrap().len(), 4);
+        assert!(sim.get("telemetry").unwrap().get("procs").is_some());
+        // The whole document survives a render→parse round trip.
+        let rendered = doc.render_pretty();
+        assert_eq!(Json::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn no_sim_section_without_simulation() {
+        let rec = Recorder::enabled();
+        let doc = metrics_json(&rec, None);
+        assert!(doc.get("sim").is_none());
+        assert!(doc.get("recorder").is_some());
+    }
+}

@@ -3,9 +3,11 @@
 
 use loom_hyperplane::{SearchConfig, TimeFn};
 use loom_loopir::{DepOptions, LoopNest, Point};
+use loom_machine::trace::{verify_trace, TraceViolation};
 use loom_machine::{simulate, MachineParams, Program, SimConfig, SimReport, Topology};
 use loom_mapping::other_targets::{map_partitioning_mesh, map_partitioning_ring};
 use loom_mapping::{map_partitioning, Mapping};
+use loom_obs::Recorder;
 use loom_partition::comm::comm_stats;
 use loom_partition::{partition, CommStats, PartitionConfig, Partitioning, Tig};
 
@@ -61,6 +63,13 @@ pub struct MachineOptions {
     pub link_contention: bool,
     /// Record the execution trace.
     pub record_trace: bool,
+    /// Collect rich simulator telemetry
+    /// ([`loom_machine::SimMetrics`]).
+    pub collect_metrics: bool,
+    /// Check the execution trace against the program after simulation
+    /// (implies trace recording) and fail the pipeline with
+    /// [`PipelineError::Trace`] on any violation.
+    pub validate_trace: bool,
 }
 
 impl Default for MachineOptions {
@@ -71,6 +80,8 @@ impl Default for MachineOptions {
             batch_messages: false,
             link_contention: false,
             record_trace: false,
+            collect_metrics: false,
+            validate_trace: false,
         }
     }
 }
@@ -186,6 +197,10 @@ pub enum PipelineError {
     Mapping(loom_mapping::Error),
     /// Simulation failed.
     Sim(loom_machine::sim::SimError),
+    /// The simulated execution trace violated a structural property
+    /// (only produced when
+    /// [`MachineOptions::validate_trace`] is set).
+    Trace(Vec<TraceViolation>),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -196,6 +211,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Partition(e) => write!(f, "partitioning: {e}"),
             PipelineError::Mapping(e) => write!(f, "mapping: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+            PipelineError::Trace(v) => {
+                write!(f, "trace validation: {} violation(s): {v:?}", v.len())
+            }
         }
     }
 }
@@ -221,48 +239,79 @@ impl Pipeline {
 
     /// Run all stages.
     pub fn run(&self, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+        self.run_with(config, &Recorder::disabled())
+    }
+
+    /// [`run`](Pipeline::run) with instrumentation: when `recorder` is
+    /// enabled, each stage records a `pipeline.<stage>` span, and
+    /// structural counters (`pipeline.deps`, `pipeline.blocks`,
+    /// `pipeline.interblock_arcs`) are filled in along the way.
+    pub fn run_with(
+        &self,
+        config: &PipelineConfig,
+        recorder: &Recorder,
+    ) -> Result<PipelineOutput, PipelineError> {
+        let _total = recorder.span("pipeline.total");
+
         // 1. Dependence analysis.
-        let deps = loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
-            .map_err(PipelineError::Deps)?;
+        let deps = {
+            let _s = recorder.span("pipeline.deps");
+            loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
+                .map_err(PipelineError::Deps)?
+        };
+        recorder.add("pipeline.deps", deps.len() as u64);
 
         // 2. Time transformation (hyperplane method).
-        let pi = match &config.time_fn {
-            Some(coeffs) => {
-                let pi = TimeFn::new(coeffs.clone());
-                pi.check_legal(&deps).map_err(PipelineError::TimeFn)?;
-                pi
-            }
-            None => loom_hyperplane::find_optimal(&deps, self.nest.space(), config.search)
+        let pi = {
+            let _s = recorder.span("pipeline.time_fn");
+            match &config.time_fn {
+                Some(coeffs) => {
+                    let pi = TimeFn::new(coeffs.clone());
+                    pi.check_legal(&deps).map_err(PipelineError::TimeFn)?;
+                    pi
+                }
+                None => loom_hyperplane::find_optimal_with(
+                    &deps,
+                    self.nest.space(),
+                    config.search,
+                    recorder,
+                )
                 .map_err(PipelineError::TimeFn)?,
+            }
         };
 
         // 2b. Statement-level offsets (fine-grain schedule): derived
         // from the full per-statement dependence records including
         // intra-iteration ones.
-        let records = loom_loopir::deps::extract_dependences(
-            &self.nest,
-            DepOptions {
-                include_intra: true,
-                ..config.dep_options
-            },
-        )
-        .map_err(PipelineError::Deps)?;
-        let stmt_offsets =
+        let stmt_offsets = {
+            let _s = recorder.span("pipeline.stmt_offsets");
+            let records = loom_loopir::deps::extract_dependences(
+                &self.nest,
+                DepOptions {
+                    include_intra: true,
+                    ..config.dep_options
+                },
+            )
+            .map_err(PipelineError::Deps)?;
             loom_hyperplane::compute_offsets(self.nest.stmts().len(), &records, &pi)
-                .map_err(|_| {
-                    PipelineError::TimeFn(loom_hyperplane::Error::NotFound { bound: 0 })
-                })?;
+                .map_err(|_| PipelineError::TimeFn(loom_hyperplane::Error::NotFound { bound: 0 }))?
+        };
 
         // 3. Partitioning (Algorithm 1).
-        let partitioning = partition(
-            self.nest.space().clone(),
-            deps.clone(),
-            pi.clone(),
-            &config.partition,
-        )
-        .map_err(PipelineError::Partition)?;
+        let partitioning = {
+            let _s = recorder.span("pipeline.partition");
+            partition(
+                self.nest.space().clone(),
+                deps.clone(),
+                pi.clone(),
+                &config.partition,
+            )
+            .map_err(PipelineError::Partition)?
+        };
         let comm = comm_stats(&partitioning);
         let tig = Tig::from_partitioning(&partitioning);
+        recorder.add("pipeline.blocks", partitioning.num_blocks() as u64);
+        recorder.add("pipeline.interblock_arcs", comm.interblock_arcs as u64);
 
         // 4. Mapping: Algorithm 2 on hypercubes, the extension
         // allocators on meshes/rings. The hypercube mapping is always
@@ -272,23 +321,28 @@ impl Pipeline {
             Target::Hypercube(d) => d,
             _ => config.cube_dim,
         };
-        let mapping =
-            map_partitioning(&partitioning, cube_dim_for_alg2).map_err(PipelineError::Mapping)?;
-        let placement = match target {
-            Target::Hypercube(_) => Placement::Hypercube(mapping.clone()),
-            Target::Mesh { rows, cols } => Placement::Other(
-                map_partitioning_mesh(&partitioning, rows, cols)
-                    .map_err(PipelineError::Mapping)?,
-            ),
-            Target::Ring(n) => Placement::Other(
-                map_partitioning_ring(&partitioning, n).map_err(PipelineError::Mapping)?,
-            ),
+        let (mapping, placement) = {
+            let _s = recorder.span("pipeline.mapping");
+            let mapping = map_partitioning(&partitioning, cube_dim_for_alg2)
+                .map_err(PipelineError::Mapping)?;
+            let placement = match target {
+                Target::Hypercube(_) => Placement::Hypercube(mapping.clone()),
+                Target::Mesh { rows, cols } => Placement::Other(
+                    map_partitioning_mesh(&partitioning, rows, cols)
+                        .map_err(PipelineError::Mapping)?,
+                ),
+                Target::Ring(n) => Placement::Other(
+                    map_partitioning_ring(&partitioning, n).map_err(PipelineError::Mapping)?,
+                ),
+            };
+            (mapping, placement)
         };
 
         // 5. Machine simulation.
         let sim = match &config.machine {
             None => None,
             Some(opts) => {
+                let _s = recorder.span("pipeline.simulate");
                 let program = Program::from_partitioning(
                     &partitioning,
                     placement.assignment(),
@@ -301,9 +355,17 @@ impl Pipeline {
                     words_per_arc: opts.words_per_arc,
                     batch_messages: opts.batch_messages,
                     link_contention: opts.link_contention,
-                    record_trace: opts.record_trace,
+                    record_trace: opts.record_trace || opts.validate_trace,
+                    collect_metrics: opts.collect_metrics,
                 };
-                Some(simulate(&program, &sim_config).map_err(PipelineError::Sim)?)
+                let report = simulate(&program, &sim_config).map_err(PipelineError::Sim)?;
+                if opts.validate_trace {
+                    let violations = verify_trace(&program, report.trace.as_deref().unwrap_or(&[]));
+                    if !violations.is_empty() {
+                        return Err(PipelineError::Trace(violations));
+                    }
+                }
+                Some(report)
             }
         };
 
@@ -469,6 +531,99 @@ mod tests {
                 matches!(target, Target::Hypercube(_))
             );
         }
+    }
+
+    #[test]
+    fn instrumented_run_records_phases() {
+        let w = loom_workloads::l1::workload(4);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 1,
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        let names: Vec<String> = rec.spans().iter().map(|s| s.name.clone()).collect();
+        for phase in [
+            "pipeline.deps",
+            "pipeline.time_fn",
+            "hyperplane.search",
+            "pipeline.stmt_offsets",
+            "pipeline.partition",
+            "pipeline.mapping",
+            "pipeline.simulate",
+            "pipeline.total",
+        ] {
+            assert!(
+                names.contains(&phase.to_string()),
+                "missing {phase}: {names:?}"
+            );
+        }
+        let counters = rec.counters();
+        assert_eq!(counters.get("pipeline.deps"), Some(&3));
+        assert_eq!(
+            counters.get("pipeline.blocks"),
+            Some(&(out.partitioning.num_blocks() as u64))
+        );
+        assert!(counters.contains_key("hyperplane.candidates"));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let w = loom_workloads::l1::workload(4);
+        let rec = Recorder::disabled();
+        Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 1,
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        assert!(rec.spans().is_empty());
+        assert!(rec.counters().is_empty());
+    }
+
+    #[test]
+    fn validate_trace_accepts_clean_runs() {
+        let w = loom_workloads::sor::workload(8, 8);
+        let out = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim: 2,
+                machine: Some(MachineOptions {
+                    validate_trace: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .unwrap();
+        // validate_trace implies the trace was recorded.
+        assert!(out.sim.unwrap().trace.is_some());
+    }
+
+    #[test]
+    fn pipeline_metrics_flow_through() {
+        let w = loom_workloads::matvec::workload(16);
+        let out = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim: 2,
+                machine: Some(MachineOptions {
+                    collect_metrics: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .unwrap();
+        let sim = out.sim.unwrap();
+        let m = sim.metrics.as_ref().unwrap();
+        assert_eq!(m.procs.len(), 4);
+        assert_eq!(m.messages.len(), sim.messages as usize);
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl Memory {
 pub fn address_hash_init(array: &str, element: &[i64]) -> f64 {
     let mut h: i64 = array.bytes().map(|b| b as i64).sum::<i64>();
     for (k, &x) in element.iter().enumerate() {
-        h = h.wrapping_mul(31).wrapping_add(x.wrapping_mul(k as i64 + 7));
+        h = h
+            .wrapping_mul(31)
+            .wrapping_add(x.wrapping_mul(k as i64 + 7));
     }
     // Map into a small well-conditioned range.
     ((h.rem_euclid(1009)) as f64) / 64.0 + 1.0

@@ -167,7 +167,10 @@ mod tests {
         }
         let deps = w.verified_deps();
         let par = execute_in_order(&w.nest, &points, &order, &deps, &address_hash_init).unwrap();
-        assert_eq!(equivalent(&par, &sequential(&w.nest, &address_hash_init)), Ok(()));
+        assert_eq!(
+            equivalent(&par, &sequential(&w.nest, &address_hash_init)),
+            Ok(())
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod time;
 
 pub use offsets::{compute_offsets, validate_offsets, OffsetError};
 pub use schedule::Schedule;
-pub use search::{find_optimal, SearchConfig};
+pub use search::{find_optimal, find_optimal_with, SearchConfig};
 pub use time::TimeFn;
 
 /// Errors from time-transformation construction and search.

@@ -38,7 +38,10 @@ impl std::fmt::Display for OffsetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OffsetError::Infeasible { stmt } => {
-                write!(f, "no finite statement offsets exist (cycle through S{stmt})")
+                write!(
+                    f,
+                    "no finite statement offsets exist (cycle through S{stmt})"
+                )
             }
             OffsetError::BadStatement { stmt } => {
                 write!(f, "dependence references unknown statement S{stmt}")

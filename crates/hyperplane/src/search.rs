@@ -3,6 +3,7 @@
 use crate::time::TimeFn;
 use crate::Error;
 use loom_loopir::{IterSpace, Point};
+use loom_obs::Recorder;
 
 /// Configuration for [`find_optimal`].
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +54,22 @@ pub fn find_optimal(
     space: &IterSpace,
     config: SearchConfig,
 ) -> Result<TimeFn, Error> {
+    find_optimal_with(deps, space, config, &Recorder::disabled())
+}
+
+/// [`find_optimal`] with instrumentation: when `recorder` is enabled,
+/// the search records a `hyperplane.search` span and the counters
+/// `hyperplane.candidates` (coefficient vectors enumerated) and
+/// `hyperplane.legal` (candidates legal for `deps`).
+pub fn find_optimal_with(
+    deps: &[Point],
+    space: &IterSpace,
+    config: SearchConfig,
+    recorder: &Recorder,
+) -> Result<TimeFn, Error> {
+    let _span = recorder.span("hyperplane.search");
+    let mut candidates = 0u64;
+    let mut legal = 0u64;
     let n = space.dim();
     for d in deps {
         if d.len() != n {
@@ -72,8 +89,10 @@ pub fn find_optimal(
     let mut best: Option<(i64, i64, Vec<i64>)> = None; // (steps, l1, coeffs)
     let mut coeffs = vec![-config.bound; n];
     loop {
+        candidates += 1;
         let pi = TimeFn::new(coeffs.clone());
         if pi.is_legal_for(deps) {
+            legal += 1;
             let steps = if use_exact {
                 pi.steps(space)
             } else {
@@ -89,6 +108,8 @@ pub fn find_optimal(
         let mut k = n;
         loop {
             if k == 0 {
+                recorder.add("hyperplane.candidates", candidates);
+                recorder.add("hyperplane.legal", legal);
                 let Some((_, _, c)) = best else {
                     return Err(Error::NotFound {
                         bound: config.bound,
@@ -171,6 +192,23 @@ mod tests {
             find_optimal(&deps, &space, SearchConfig::default()),
             Err(Error::ZeroDependence)
         );
+    }
+
+    #[test]
+    fn instrumented_search_counts_candidates() {
+        let deps = vec![vec![0, 1], vec![1, 0], vec![1, 1]];
+        let space = IterSpace::rect(&[4, 4]).unwrap();
+        let rec = Recorder::enabled();
+        let pi = find_optimal_with(&deps, &space, SearchConfig::default(), &rec).unwrap();
+        assert_eq!(pi.coeffs(), &[1, 1]);
+        let counters = rec.counters();
+        // bound 3 → 7² coefficient vectors enumerated.
+        assert_eq!(counters.get("hyperplane.candidates"), Some(&49));
+        let &legal = counters.get("hyperplane.legal").unwrap();
+        assert!(legal > 0 && legal < 49, "legal = {legal}");
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "hyperplane.search");
     }
 
     #[test]

@@ -29,9 +29,7 @@ impl TimeFn {
     /// all dependences have positive coordinate sums, which holds for all
     /// the paper's example loops.
     pub fn wavefront(n: usize) -> TimeFn {
-        TimeFn {
-            coeffs: vec![1; n],
-        }
+        TimeFn { coeffs: vec![1; n] }
     }
 
     /// Coefficients.
@@ -152,10 +150,7 @@ mod tests {
     #[test]
     fn zero_dependence_rejected() {
         let pi = TimeFn::new(vec![1, 1]);
-        assert_eq!(
-            pi.check_legal(&[vec![0, 0]]),
-            Err(Error::ZeroDependence)
-        );
+        assert_eq!(pi.check_legal(&[vec![0, 0]]), Err(Error::ZeroDependence));
     }
 
     #[test]

@@ -155,8 +155,8 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
     type AccessesOfArray<'a> = Vec<(usize, &'a Access, bool)>;
     let mut by_array: Vec<(String, AccessesOfArray<'_>)> = Vec::new();
     for (si, stmt) in nest.stmts().iter().enumerate() {
-        for (acc, is_write) in std::iter::once((stmt.write(), true))
-            .chain(stmt.reads().iter().map(|r| (r, false)))
+        for (acc, is_write) in
+            std::iter::once((stmt.write(), true)).chain(stmt.reads().iter().map(|r| (r, false)))
         {
             match by_array.iter_mut().find(|(a, _)| a == acc.array()) {
                 Some((_, v)) => v.push((si, acc, is_write)),
@@ -199,11 +199,7 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
 
                 // Zero-distance conflicts between distinct statements:
                 // intra-iteration dependences, ordered textually.
-                if any_write
-                    && opts.include_intra
-                    && lex_sign(&d0) == Ordering::Equal
-                    && sx != sy
-                {
+                if any_write && opts.include_intra && lex_sign(&d0) == Ordering::Equal && sx != sy {
                     let (src, dst, kind) = if sx < sy {
                         (sx, sy, kind_of(wx, wy))
                     } else {
@@ -272,9 +268,8 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
 
     // Deduplicate and order deterministically.
     out.sort_by(|a, b| {
-        (&a.array, a.kind, &a.vector, a.src_stmt, a.dst_stmt).cmp(&(
-            &b.array, b.kind, &b.vector, b.src_stmt, b.dst_stmt,
-        ))
+        (&a.array, a.kind, &a.vector, a.src_stmt, a.dst_stmt)
+            .cmp(&(&b.array, b.kind, &b.vector, b.src_stmt, b.dst_stmt))
     });
     out.dedup();
     Ok(out)
@@ -464,7 +459,11 @@ mod tests {
         for nest in [l1(), matmul()] {
             let d = dependence_vectors(&nest, DepOptions::default()).unwrap();
             for v in &d {
-                assert_eq!(lex_sign(v), Ordering::Greater, "vector {v:?} not lex-positive");
+                assert_eq!(
+                    lex_sign(v),
+                    Ordering::Greater,
+                    "vector {v:?} not lex-positive"
+                );
             }
             let set: BTreeSet<_> = d.iter().collect();
             assert_eq!(set.len(), d.len());

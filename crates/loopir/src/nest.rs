@@ -239,10 +239,7 @@ mod tests {
         let bad = LoopNest::new(
             "bad",
             IterSpace::rect(&[4, 4]).unwrap(),
-            vec![Stmt::assign(
-                Access::simple("A", 3, &[(0, 0)]),
-                vec![],
-            )],
+            vec![Stmt::assign(Access::simple("A", 3, &[(0, 0)]), vec![])],
         );
         assert!(matches!(bad, Err(Error::DimMismatch { .. })));
     }

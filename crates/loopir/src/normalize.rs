@@ -98,16 +98,52 @@ mod tests {
 
     #[test]
     fn raw_level_counts() {
-        assert_eq!(RawLevel { lo: 0, hi: 9, step: 1 }.count(), 10);
-        assert_eq!(RawLevel { lo: 1, hi: 9, step: 2 }.count(), 5);
-        assert_eq!(RawLevel { lo: 5, hi: 4, step: 1 }.count(), 0);
-        assert_eq!(RawLevel { lo: -3, hi: 3, step: 3 }.count(), 3);
+        assert_eq!(
+            RawLevel {
+                lo: 0,
+                hi: 9,
+                step: 1
+            }
+            .count(),
+            10
+        );
+        assert_eq!(
+            RawLevel {
+                lo: 1,
+                hi: 9,
+                step: 2
+            }
+            .count(),
+            5
+        );
+        assert_eq!(
+            RawLevel {
+                lo: 5,
+                hi: 4,
+                step: 1
+            }
+            .count(),
+            0
+        );
+        assert_eq!(
+            RawLevel {
+                lo: -3,
+                hi: 3,
+                step: 3
+            }
+            .count(),
+            3
+        );
     }
 
     #[test]
     fn unit_stride_offset_bounds() {
         // for i = 1 to M: y[i] = y[i-1] + x[i]  →  normalized deps (1).
-        let levels = [RawLevel { lo: 1, hi: 8, step: 1 }];
+        let levels = [RawLevel {
+            lo: 1,
+            hi: 8,
+            step: 1,
+        }];
         let nest = normalize_rect(
             "offset",
             &levels,
@@ -122,8 +158,14 @@ mod tests {
         .unwrap();
         assert_eq!(nest.space().count(), 8);
         // y[I] with I = 1 + I' → subscript I' + 1.
-        assert_eq!(nest.stmts()[0].write().subscripts()[0], Aff::new(vec![1], 1));
-        assert_eq!(nest.stmts()[0].reads()[0].subscripts()[0], Aff::new(vec![1], 0));
+        assert_eq!(
+            nest.stmts()[0].write().subscripts()[0],
+            Aff::new(vec![1], 1)
+        );
+        assert_eq!(
+            nest.stmts()[0].reads()[0].subscripts()[0],
+            Aff::new(vec![1], 0)
+        );
         let d = crate::deps::dependence_vectors(&nest, crate::DepOptions::default()).unwrap();
         assert_eq!(d, vec![vec![1]]);
     }
@@ -132,7 +174,11 @@ mod tests {
     fn stride_two_scales_dependences() {
         // for i = 0 to 14 step 2: A[i+2] = A[i] — raw distance 2 becomes
         // normalized distance 1.
-        let levels = [RawLevel { lo: 0, hi: 14, step: 2 }];
+        let levels = [RawLevel {
+            lo: 0,
+            hi: 14,
+            step: 2,
+        }];
         let nest = normalize_rect(
             "strided",
             &levels,
@@ -152,8 +198,16 @@ mod tests {
         // for i = 2 to 10 step 2, for j = 1 to 4:
         //   B[i, j] = B[i-2, j] + B[i, j-1]
         let levels = [
-            RawLevel { lo: 2, hi: 10, step: 2 },
-            RawLevel { lo: 1, hi: 4, step: 1 },
+            RawLevel {
+                lo: 2,
+                hi: 10,
+                step: 2,
+            },
+            RawLevel {
+                lo: 1,
+                hi: 4,
+                step: 1,
+            },
         ];
         let nest = normalize_rect(
             "mixed",
@@ -175,7 +229,11 @@ mod tests {
     #[test]
     fn semantics_survive_normalization() {
         use crate::sem::Expr;
-        let levels = [RawLevel { lo: 1, hi: 4, step: 1 }];
+        let levels = [RawLevel {
+            lo: 1,
+            hi: 4,
+            step: 1,
+        }];
         let nest = normalize_rect(
             "sem",
             &levels,
@@ -196,10 +254,7 @@ mod tests {
 
     #[test]
     fn empty_levels_rejected() {
-        assert_eq!(
-            normalize_rect("x", &[], vec![]).unwrap_err(),
-            Error::Empty
-        );
+        assert_eq!(normalize_rect("x", &[], vec![]).unwrap_err(), Error::Empty);
     }
 
     #[test]
@@ -207,7 +262,11 @@ mod tests {
     fn bad_stride_panics() {
         let _ = normalize_rect(
             "x",
-            &[RawLevel { lo: 0, hi: 4, step: 0 }],
+            &[RawLevel {
+                lo: 0,
+                hi: 4,
+                step: 0,
+            }],
             vec![Stmt::assign(Access::simple("A", 1, &[(0, 0)]), vec![])],
         );
     }

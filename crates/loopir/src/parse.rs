@@ -161,7 +161,10 @@ impl Lin {
     fn var(n: usize, k: usize) -> Lin {
         let mut coeffs = vec![0; n];
         coeffs[k] = 1;
-        Lin { coeffs, constant: 0 }
+        Lin {
+            coeffs,
+            constant: 0,
+        }
     }
 
     fn add(mut self, o: &Lin, sign: i64) -> Lin {
@@ -377,9 +380,7 @@ impl Parser {
             }
         }
         let flops = count_ops(&expr).max(1);
-        Ok(Stmt::assign(write, reads)
-            .with_flops(flops)
-            .with_expr(expr))
+        Ok(Stmt::assign(write, reads).with_flops(flops).with_expr(expr))
     }
 }
 
@@ -738,11 +739,10 @@ mod tests {
         let nest = crate::LoopNest::new(
             "frac",
             crate::IterSpace::rect(&[2]).unwrap(),
-            vec![crate::Stmt::assign(
-                crate::Access::simple("A", 1, &[(0, 0)]),
-                vec![],
-            )
-            .with_expr(Expr::Const(0.5))],
+            vec![
+                crate::Stmt::assign(crate::Access::simple("A", 1, &[(0, 0)]), vec![])
+                    .with_expr(Expr::Const(0.5)),
+            ],
         )
         .unwrap();
         assert_eq!(to_source(&nest), None);

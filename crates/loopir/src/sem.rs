@@ -122,8 +122,14 @@ mod tests {
         let e = Expr::add(Expr::Read(0), Expr::mul(Expr::Read(1), Expr::Const(2.0)));
         assert_eq!(e.eval(&[1.0, 3.0]), 7.0);
         assert_eq!(Expr::sub(Expr::Const(5.0), Expr::Read(0)).eval(&[2.0]), 3.0);
-        assert_eq!(Expr::max(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]), 9.0);
-        assert_eq!(Expr::min(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]), 2.0);
+        assert_eq!(
+            Expr::max(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]),
+            9.0
+        );
+        assert_eq!(
+            Expr::min(Expr::Read(0), Expr::Read(1)).eval(&[2.0, 9.0]),
+            2.0
+        );
     }
 
     #[test]

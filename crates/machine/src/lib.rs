@@ -16,7 +16,10 @@
 //! * [`cost`] — the `(t_calc, t_start, t_comm)` machine parameters,
 //! * [`program`] — the executable form of a partitioned + mapped nest,
 //! * [`sim`] — the event-driven engine and its report,
-//! * [`trace`] — optional execution traces and a post-hoc validity check.
+//! * [`trace`] — optional execution traces, a post-hoc validity check,
+//!   and Chrome trace-event export,
+//! * [`metrics`] — rich opt-in telemetry (per-processor tick
+//!   breakdowns, per-link traffic, message logs).
 //!
 //! ```
 //! use loom_machine::{simulate, MachineParams, Program, SimConfig};
@@ -35,12 +38,14 @@
 #![deny(missing_docs)]
 
 pub mod cost;
+pub mod metrics;
 pub mod program;
 pub mod sim;
 pub mod topology;
 pub mod trace;
 
 pub use cost::MachineParams;
+pub use metrics::SimMetrics;
 pub use program::Program;
 pub use sim::{simulate, SimConfig, SimReport};
 pub use topology::Topology;

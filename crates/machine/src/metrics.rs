@@ -1,0 +1,223 @@
+//! Rich telemetry collected by the simulator when
+//! [`SimConfig::collect_metrics`](crate::SimConfig::collect_metrics) is
+//! on: per-processor tick breakdowns, per-link traffic, message hop
+//! histograms, and a full cross-processor message log.
+//!
+//! Collection is strictly additive — it never changes event timing — so
+//! a metered run and an unmetered run of the same program produce the
+//! same makespan.
+
+use loom_obs::{Histogram, Json};
+use std::collections::BTreeMap;
+
+/// Tick and event breakdown for one processor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcMetrics {
+    /// Ticks spent executing tasks.
+    pub compute_ticks: u64,
+    /// Ticks the processor was occupied issuing sends (including any
+    /// wait for a contended outgoing link).
+    pub send_ticks: u64,
+    /// Ticks spent in software receive processing (`t_recv`).
+    pub recv_ticks: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+}
+
+/// Traffic over one directed link `(from, to)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Messages that traversed the link.
+    pub messages: u64,
+    /// Words carried.
+    pub words: u64,
+    /// Ticks the link was transmitting.
+    pub busy_ticks: u64,
+    /// Ticks messages queued waiting for the link (only nonzero when
+    /// `link_contention` is modeled).
+    pub wait_ticks: u64,
+}
+
+/// One cross-processor message, from send issue to arrival.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sending processor.
+    pub src_proc: u32,
+    /// Receiving processor.
+    pub dst_proc: u32,
+    /// The completed task whose results the message carries.
+    pub src_task: u32,
+    /// Destination tasks unblocked by the message.
+    pub dst_tasks: Vec<u32>,
+    /// Words carried.
+    pub words: u64,
+    /// Tick the sender started issuing the message.
+    pub send_start: u64,
+    /// Tick the sender became free again.
+    pub send_end: u64,
+    /// Tick the message arrived at the destination.
+    pub arrival: u64,
+    /// Route length in links.
+    pub hops: u32,
+}
+
+/// Everything the simulator measures beyond the basic [`SimReport`]
+/// fields.
+///
+/// [`SimReport`]: crate::SimReport
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    /// Per-processor breakdowns, indexed by processor id.
+    pub procs: Vec<ProcMetrics>,
+    /// Per-directed-link traffic, keyed `(from, to)`.
+    pub links: BTreeMap<(usize, usize), LinkMetrics>,
+    /// Distribution of message route lengths (in links).
+    pub hops: Histogram,
+    /// Every cross-processor message, in send order.
+    pub messages: Vec<MsgRecord>,
+}
+
+impl SimMetrics {
+    /// A fresh metrics block for `n_procs` processors.
+    pub fn new(n_procs: usize) -> SimMetrics {
+        SimMetrics {
+            procs: vec![ProcMetrics::default(); n_procs],
+            ..SimMetrics::default()
+        }
+    }
+
+    /// Total ticks messages spent queued at busy links.
+    pub fn total_link_wait(&self) -> u64 {
+        self.links.values().map(|l| l.wait_ticks).sum()
+    }
+
+    /// The busiest directed link and its metrics, if any traffic flowed.
+    pub fn hottest_link(&self) -> Option<((usize, usize), &LinkMetrics)> {
+        self.links
+            .iter()
+            .max_by_key(|(_, l)| (l.busy_ticks, l.messages))
+            .map(|(&k, l)| (k, l))
+    }
+
+    /// Flatten to a JSON object (the shape `--metrics-out` writes).
+    pub fn to_json(&self) -> Json {
+        let procs = Json::Arr(
+            self.procs
+                .iter()
+                .enumerate()
+                .map(|(p, m)| {
+                    Json::obj(vec![
+                        ("proc", Json::from(p)),
+                        ("compute_ticks", Json::from(m.compute_ticks)),
+                        ("send_ticks", Json::from(m.send_ticks)),
+                        ("recv_ticks", Json::from(m.recv_ticks)),
+                        ("tasks", Json::from(m.tasks)),
+                        ("msgs_sent", Json::from(m.msgs_sent)),
+                        ("msgs_received", Json::from(m.msgs_received)),
+                    ])
+                })
+                .collect(),
+        );
+        let links = Json::Arr(
+            self.links
+                .iter()
+                .map(|(&(from, to), l)| {
+                    Json::obj(vec![
+                        ("from", Json::from(from)),
+                        ("to", Json::from(to)),
+                        ("messages", Json::from(l.messages)),
+                        ("words", Json::from(l.words)),
+                        ("busy_ticks", Json::from(l.busy_ticks)),
+                        ("wait_ticks", Json::from(l.wait_ticks)),
+                    ])
+                })
+                .collect(),
+        );
+        let hops = Json::Arr(
+            self.hops
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(lo, hi, n)| {
+                    Json::obj(vec![
+                        ("lo", Json::from(lo)),
+                        ("hi", Json::from(hi)),
+                        ("count", Json::from(n)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("procs", procs),
+            ("links", links),
+            ("hop_histogram", hops),
+            ("messages_logged", Json::from(self.messages.len())),
+            ("total_link_wait", Json::from(self.total_link_wait())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sizes_procs() {
+        let m = SimMetrics::new(4);
+        assert_eq!(m.procs.len(), 4);
+        assert!(m.links.is_empty());
+        assert_eq!(m.hops.count(), 0);
+    }
+
+    #[test]
+    fn hottest_link_picks_busiest() {
+        let mut m = SimMetrics::new(2);
+        m.links.insert(
+            (0, 1),
+            LinkMetrics {
+                messages: 1,
+                words: 1,
+                busy_ticks: 5,
+                wait_ticks: 0,
+            },
+        );
+        m.links.insert(
+            (1, 0),
+            LinkMetrics {
+                messages: 3,
+                words: 3,
+                busy_ticks: 15,
+                wait_ticks: 2,
+            },
+        );
+        let ((from, to), l) = m.hottest_link().unwrap();
+        assert_eq!((from, to), (1, 0));
+        assert_eq!(l.busy_ticks, 15);
+        assert_eq!(m.total_link_wait(), 2);
+        assert!(SimMetrics::new(1).hottest_link().is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = SimMetrics::new(1);
+        m.procs[0].compute_ticks = 7;
+        m.hops.record(1);
+        let j = m.to_json();
+        assert_eq!(
+            j.get("procs")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("compute_ticks")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert_eq!(j.get("hop_histogram").unwrap().as_arr().unwrap().len(), 1);
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+}

@@ -113,6 +113,7 @@ impl Program {
         let mut proc_of: Vec<u32> = Vec::new();
         let mut task_flops: Vec<u64> = Vec::new();
         let mut point_task: Vec<u32> = vec![0; cs.len()];
+        #[allow(clippy::needless_range_loop)]
         for id in 0..cs.len() {
             let b = p.block_of(id);
             let s = pi.time_of(&cs.points()[id]);

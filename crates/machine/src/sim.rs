@@ -1,6 +1,7 @@
 //! The deterministic discrete-event engine.
 
 use crate::cost::MachineParams;
+use crate::metrics::{MsgRecord, SimMetrics};
 use crate::program::Program;
 use crate::topology::Topology;
 use crate::trace::TaskRecord;
@@ -27,6 +28,10 @@ pub struct SimConfig {
     /// Record a full execution trace (costs memory proportional to the
     /// task count).
     pub record_trace: bool,
+    /// Collect rich telemetry ([`SimMetrics`]): per-processor tick
+    /// breakdowns, per-link traffic, hop histograms, and a message log.
+    /// Purely observational — never changes simulated timing.
+    pub collect_metrics: bool,
 }
 
 impl SimConfig {
@@ -39,6 +44,7 @@ impl SimConfig {
             batch_messages: false,
             link_contention: false,
             record_trace: false,
+            collect_metrics: false,
         }
     }
 }
@@ -58,6 +64,9 @@ pub struct SimReport {
     pub words: u64,
     /// Execution trace, if requested.
     pub trace: Option<Vec<TaskRecord>>,
+    /// Rich telemetry, if requested via
+    /// [`SimConfig::collect_metrics`].
+    pub metrics: Option<SimMetrics>,
 }
 
 impl SimReport {
@@ -70,6 +79,39 @@ impl SimReport {
             .map(|(&c, &m)| c + m)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-processor idle ticks: makespan minus compute and comm
+    /// occupancy.
+    pub fn idle_ticks(&self) -> Vec<u64> {
+        self.compute
+            .iter()
+            .zip(&self.comm)
+            .map(|(&c, &m)| self.makespan.saturating_sub(c + m))
+            .collect()
+    }
+
+    /// Total communication occupancy divided by total compute occupancy
+    /// across all processors (`0.0` for a compute-free program).
+    pub fn comm_to_compute_ratio(&self) -> f64 {
+        let compute: u64 = self.compute.iter().sum();
+        if compute == 0 {
+            return 0.0;
+        }
+        self.comm.iter().sum::<u64>() as f64 / compute as f64
+    }
+
+    /// Per-processor utilization: fraction of the makespan each
+    /// processor was busy (compute + comm), in `[0, 1]`.
+    pub fn per_proc_utilization(&self) -> Vec<f64> {
+        if self.makespan == 0 {
+            return vec![0.0; self.compute.len()];
+        }
+        self.compute
+            .iter()
+            .zip(&self.comm)
+            .map(|(&c, &m)| (c + m) as f64 / self.makespan as f64)
+            .collect()
     }
 }
 
@@ -99,7 +141,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock: {completed}/{total} tasks completed")
             }
             SimError::MachineTooSmall { needed, available } => {
-                write!(f, "program needs {needed} processors, machine has {available}")
+                write!(
+                    f,
+                    "program needs {needed} processors, machine has {available}"
+                )
             }
         }
     }
@@ -136,6 +181,7 @@ impl PartialOrd for Ev {
 
 struct PendingSend {
     dst_proc: u32,
+    src_task: u32,
     tasks: Vec<u32>,
     words: u64,
 }
@@ -199,6 +245,7 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
     let mut completed = 0usize;
     let mut makespan = 0u64;
     let mut trace = config.record_trace.then(Vec::new);
+    let mut metrics = config.collect_metrics.then(|| SimMetrics::new(n_procs));
     let mut link_free: std::collections::HashMap<(usize, usize), u64> =
         std::collections::HashMap::new();
 
@@ -213,13 +260,20 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                     let dst = send.dst_proc as usize;
                     let hops = config.topology.distance(p, dst) as u64;
                     debug_assert!(hops > 0, "send to self");
+                    // Only routed when someone needs the links.
+                    let route = (config.link_contention || metrics.is_some())
+                        .then(|| config.topology.route_links(p, dst));
                     let (sender_done, arrival) = if config.link_contention {
                         // Store-and-forward with one message per directed
                         // link at a time: queue at each busy link.
                         let mut cur = now;
                         let mut first_end = now + occ;
-                        for (i, link) in config.topology.route_links(p, dst).iter().enumerate() {
+                        for (i, link) in route.as_deref().unwrap().iter().enumerate() {
                             let start = cur.max(link_free.get(link).copied().unwrap_or(0));
+                            if let Some(m) = metrics.as_mut() {
+                                let lm = m.links.entry(*link).or_default();
+                                lm.wait_ticks += start - cur;
+                            }
                             let end = start + occ;
                             link_free.insert(*link, end);
                             if i == 0 {
@@ -231,6 +285,28 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                     } else {
                         (now + occ, now + occ * hops)
                     };
+                    if let Some(m) = metrics.as_mut() {
+                        for link in route.as_deref().unwrap() {
+                            let lm = m.links.entry(*link).or_default();
+                            lm.messages += 1;
+                            lm.words += send.words;
+                            lm.busy_ticks += occ;
+                        }
+                        m.procs[p].msgs_sent += 1;
+                        m.procs[p].send_ticks += sender_done - now;
+                        m.hops.record(hops);
+                        m.messages.push(MsgRecord {
+                            src_proc: p as u32,
+                            dst_proc: send.dst_proc,
+                            src_task: send.src_task,
+                            dst_tasks: send.tasks.clone(),
+                            words: send.words,
+                            send_start: now,
+                            send_end: sender_done,
+                            arrival,
+                            hops: hops as u32,
+                        });
+                    }
                     // A blocking send occupies the sender until its first
                     // hop (including any wait for the outgoing link).
                     procs[p].busy_until = sender_done;
@@ -253,6 +329,9 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                     let occ = config.params.t_recv;
                     procs[p].busy_until = now + occ;
                     comm[p] += occ;
+                    if let Some(m) = metrics.as_mut() {
+                        m.procs[p].recv_ticks += occ;
+                    }
                     seq += 1;
                     heap.push(Reverse(Ev {
                         time: now + occ,
@@ -266,6 +345,10 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                     let task_dur = dur_of(task);
                     procs[p].busy_until = now + task_dur;
                     compute[p] += task_dur;
+                    if let Some(m) = metrics.as_mut() {
+                        m.procs[p].compute_ticks += task_dur;
+                        m.procs[p].tasks += 1;
+                    }
                     seq += 1;
                     heap.push(Reverse(Ev {
                         time: now + task_dur,
@@ -328,6 +411,7 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                         }
                         procs[p].sends.push_back(PendingSend {
                             dst_proc: dst,
+                            src_task: task,
                             tasks,
                             words,
                         });
@@ -336,6 +420,7 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                     for (dst, w, arc_w) in remote {
                         procs[p].sends.push_back(PendingSend {
                             dst_proc: dst,
+                            src_task: task,
                             tasks: vec![w],
                             words: arc_w * config.words_per_arc,
                         });
@@ -347,6 +432,9 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
                 dispatch!(proc as usize, now);
             }
             Kind::Arrive { tasks } => {
+                if let Some(m) = metrics.as_mut() {
+                    m.procs[program.proc_of[tasks[0] as usize] as usize].msgs_received += 1;
+                }
                 if config.params.t_recv > 0 {
                     // All tasks of one message live on one processor.
                     let q = program.proc_of[tasks[0] as usize] as usize;
@@ -399,6 +487,7 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimE
         messages,
         words: words_sent,
         trace,
+        metrics,
     })
 }
 
@@ -423,19 +512,14 @@ mod tests {
             batch_messages: false,
             link_contention: false,
             record_trace: true,
+            collect_metrics: false,
         }
     }
 
     #[test]
     fn single_proc_chain_is_serial() {
         // 3 tasks in a chain on one processor, 2 flops each.
-        let prog = Program::from_parts(
-            vec![0, 1, 2],
-            vec![(0, 1), (1, 2)],
-            vec![0, 0, 0],
-            2,
-            1,
-        );
+        let prog = Program::from_parts(vec![0, 1, 2], vec![(0, 1), (1, 2)], vec![0, 0, 0], 2, 1);
         let r = simulate(&prog, &config(0)).unwrap();
         assert_eq!(r.makespan, 6);
         assert_eq!(r.compute, vec![6]);
@@ -601,6 +685,109 @@ mod tests {
             assert!(r.makespan >= prev, "t_recv={t_recv}");
             prev = r.makespan;
         }
+    }
+
+    #[test]
+    fn metrics_breakdown_matches_report() {
+        // task0 (proc0) → task1 (proc1): one message, one hop.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 2);
+        let mut cfg = config(1);
+        cfg.collect_metrics = true;
+        let r = simulate(&prog, &cfg).unwrap();
+        let m = r.metrics.as_ref().unwrap();
+        assert_eq!(m.procs.len(), 2);
+        // Tick breakdowns agree with the coarse report.
+        for p in 0..2 {
+            assert_eq!(m.procs[p].compute_ticks, r.compute[p]);
+            assert_eq!(m.procs[p].send_ticks + m.procs[p].recv_ticks, r.comm[p]);
+        }
+        assert_eq!(m.procs[0].msgs_sent, 1);
+        assert_eq!(m.procs[1].msgs_received, 1);
+        assert_eq!(m.procs.iter().map(|p| p.tasks).sum::<u64>(), 2);
+        // One message logged, one hop, over link (0,1).
+        assert_eq!(m.messages.len(), 1);
+        let msg = &m.messages[0];
+        assert_eq!((msg.src_proc, msg.dst_proc), (0, 1));
+        assert_eq!(msg.src_task, 0);
+        assert_eq!(msg.dst_tasks, vec![1]);
+        assert_eq!(msg.hops, 1);
+        assert_eq!(msg.send_start, 1);
+        assert_eq!(msg.send_end, 13);
+        assert_eq!(msg.arrival, 13);
+        assert_eq!(m.hops.count(), 1);
+        assert_eq!(m.links.get(&(0, 1)).unwrap().messages, 1);
+        assert_eq!(m.links.get(&(0, 1)).unwrap().busy_ticks, 12);
+    }
+
+    #[test]
+    fn metrics_do_not_change_timing() {
+        let prog = Program::from_parts(
+            vec![0, 0, 1, 1],
+            vec![(0, 2), (0, 3), (1, 2), (1, 3)],
+            vec![0, 1, 0, 1],
+            3,
+            2,
+        );
+        for contention in [false, true] {
+            let mut plain = config(1);
+            plain.link_contention = contention;
+            let mut metered = plain;
+            metered.collect_metrics = true;
+            let a = simulate(&prog, &plain).unwrap();
+            let b = simulate(&prog, &metered).unwrap();
+            assert_eq!(a.makespan, b.makespan, "contention={contention}");
+            assert_eq!(a.compute, b.compute);
+            assert_eq!(a.comm, b.comm);
+            assert!(a.metrics.is_none());
+            assert!(b.metrics.is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_record_link_wait_under_contention() {
+        // Two senders share the (0b01, 0b11) link under e-cube routing.
+        let prog = Program::from_parts(
+            vec![0, 0, 1, 1],
+            vec![(0, 2), (1, 3)],
+            vec![0, 1, 3, 3],
+            1,
+            4,
+        );
+        let mut cfg = config(2);
+        cfg.link_contention = true;
+        cfg.collect_metrics = true;
+        let r = simulate(&prog, &cfg).unwrap();
+        let m = r.metrics.as_ref().unwrap();
+        let shared = m.links.get(&(0b01, 0b11)).unwrap();
+        assert_eq!(shared.messages, 2);
+        assert!(shared.wait_ticks > 0, "shared link should queue");
+        assert_eq!(m.total_link_wait(), shared.wait_ticks);
+        assert_eq!(m.hottest_link().unwrap().0, (0b01, 0b11));
+    }
+
+    #[test]
+    fn derived_report_helpers() {
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 2);
+        let r = simulate(&prog, &config(1)).unwrap();
+        // makespan 14; proc0 busy 1+12, proc1 busy 1.
+        assert_eq!(r.idle_ticks(), vec![1, 13]);
+        assert_eq!(r.comm_to_compute_ratio(), 6.0); // 12 comm / 2 compute
+        let util = r.per_proc_utilization();
+        assert!((util[0] - 13.0 / 14.0).abs() < 1e-12);
+        assert!((util[1] - 1.0 / 14.0).abs() < 1e-12);
+        // Degenerate empty report.
+        let empty = SimReport {
+            makespan: 0,
+            compute: vec![0],
+            comm: vec![0],
+            messages: 0,
+            words: 0,
+            trace: None,
+            metrics: None,
+        };
+        assert_eq!(empty.idle_ticks(), vec![0]);
+        assert_eq!(empty.comm_to_compute_ratio(), 0.0);
+        assert_eq!(empty.per_proc_utilization(), vec![0.0]);
     }
 
     #[test]

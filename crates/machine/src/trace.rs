@@ -1,6 +1,10 @@
-//! Execution traces and post-hoc validity checking.
+//! Execution traces, post-hoc validity checking, and Chrome
+//! trace-event export.
 
 use crate::program::Program;
+use crate::sim::SimReport;
+use loom_obs::chrome::TraceBuilder;
+use loom_obs::Json;
 
 /// One task's execution interval.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +110,44 @@ pub fn to_chrome_json(trace: &[TaskRecord]) -> String {
     out
 }
 
+/// Render a full simulator report as a Chrome trace-event JSON value
+/// (`chrome://tracing`, Perfetto, or Speedscope all open it): one
+/// thread track per processor carrying nested `B`/`E` slices per task,
+/// plus — when [`SimMetrics`](crate::metrics::SimMetrics) were
+/// collected — an `X` slice per message send and `s`/`f` flow arrows
+/// from each send to its arrival processor. Ticks map 1:1 onto µs.
+///
+/// Returns `None` when the report carries no trace
+/// (`record_trace: false`).
+pub fn chrome_trace(report: &SimReport, num_procs: usize) -> Option<Json> {
+    let trace = report.trace.as_ref()?;
+    let mut tb = TraceBuilder::new();
+    tb.process_name(0, "loom simulator");
+    for p in 0..num_procs {
+        tb.thread_name(0, p as u64, &format!("P{p}"));
+    }
+    // Tasks never overlap on one processor, so emitting each task's
+    // B/E pair contiguously yields correctly nested tracks.
+    for r in trace {
+        tb.begin(0, r.proc as u64, r.start, &format!("task {}", r.task));
+        tb.end(0, r.proc as u64, r.end);
+    }
+    if let Some(m) = &report.metrics {
+        for (i, msg) in m.messages.iter().enumerate() {
+            tb.complete(
+                0,
+                msg.src_proc as u64,
+                msg.send_start,
+                msg.send_end - msg.send_start,
+                &format!("send to P{}", msg.dst_proc),
+            );
+            tb.flow_start(i as u64, 0, msg.src_proc as u64, msg.send_start, "msg");
+            tb.flow_finish(i as u64, 0, msg.dst_proc as u64, msg.arrival, "msg");
+        }
+    }
+    Some(tb.build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +168,7 @@ mod tests {
             batch_messages: false,
             link_contention: false,
             record_trace: true,
+            collect_metrics: false,
         }
     }
 
@@ -161,7 +204,11 @@ mod tests {
             },
         ];
         let v = verify_trace(&prog, &bad);
-        assert!(v.contains(&TraceViolation::Overlap { a: 0, b: 1, proc: 0 }));
+        assert!(v.contains(&TraceViolation::Overlap {
+            a: 0,
+            b: 1,
+            proc: 0
+        }));
     }
 
     #[test]
@@ -188,8 +235,18 @@ mod tests {
     #[test]
     fn chrome_json_shape() {
         let trace = vec![
-            TaskRecord { task: 0, proc: 0, start: 0, end: 5 },
-            TaskRecord { task: 1, proc: 1, start: 2, end: 9 },
+            TaskRecord {
+                task: 0,
+                proc: 0,
+                start: 0,
+                end: 5,
+            },
+            TaskRecord {
+                task: 1,
+                proc: 1,
+                start: 2,
+                end: 9,
+            },
         ];
         let json = to_chrome_json(&trace);
         assert!(json.starts_with('['));
@@ -200,6 +257,50 @@ mod tests {
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n]"));
         assert_eq!(to_chrome_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn chrome_trace_has_per_proc_tracks_and_flows() {
+        // A diamond across processors, with metrics for flow arrows.
+        let prog = Program::from_parts(
+            vec![0, 1, 1, 2],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![0, 1, 2, 3],
+            2,
+            4,
+        );
+        let mut cfg = traced_config();
+        cfg.collect_metrics = true;
+        let r = simulate(&prog, &cfg).unwrap();
+        let json = chrome_trace(&r, 4).unwrap();
+        let evs = json.as_arr().unwrap();
+        // 1 process + 4 thread metadata events.
+        let meta = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(meta, 5);
+        // Each of the 4 tasks opens and closes exactly once.
+        let begins = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .count();
+        let ends = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("E"))
+            .count();
+        assert_eq!((begins, ends), (4, 4));
+        // 4 remote arcs → 4 messages, each with a flow start + finish.
+        let flows = evs
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("msg"))
+            .count();
+        assert_eq!(flows, 8);
+        // Without a trace there is nothing to export.
+        let mut no_trace = traced_config();
+        no_trace.record_trace = false;
+        let r2 = simulate(&prog, &no_trace).unwrap();
+        assert!(chrome_trace(&r2, 4).is_none());
     }
 
     #[test]

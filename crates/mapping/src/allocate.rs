@@ -79,7 +79,10 @@ pub fn map_partitioning(p: &Partitioning, cube_dim: usize) -> Result<Mapping, Er
             .map(|b| vec![Ratio::int(b as i64)])
             .collect()
     } else {
-        let dirs: Vec<_> = omega.iter().map(|&i| p.projected().deps()[i].clone()).collect();
+        let dirs: Vec<_> = omega
+            .iter()
+            .map(|&i| p.projected().deps()[i].clone())
+            .collect();
         p.grouping()
             .groups
             .iter()

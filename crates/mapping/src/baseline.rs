@@ -1,8 +1,6 @@
 //! Baseline block→processor mappings for comparison against Algorithm 2.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use loom_obs::SplitMix64;
 
 /// Contiguous ("naive") mapping: block `b` of `B` goes to processor
 /// `⌊b·N/B⌋` — chunks of consecutive block ids per processor, ignoring
@@ -26,8 +24,8 @@ pub fn round_robin(num_blocks: usize, num_procs: usize) -> Vec<usize> {
 /// arbitrary. Deterministic for a given seed.
 pub fn random(num_blocks: usize, num_procs: usize, seed: u64) -> Vec<usize> {
     let mut assignment = round_robin(num_blocks, num_procs);
-    let mut rng = StdRng::seed_from_u64(seed);
-    assignment.shuffle(&mut rng);
+    let mut rng = SplitMix64::new(seed);
+    rng.shuffle(&mut assignment);
     assignment
 }
 
@@ -53,7 +51,9 @@ mod tests {
         let a = naive(10, 4);
         assert_eq!(a.len(), 10);
         assert!(a.iter().all(|&p| p < 4));
-        let counts: Vec<usize> = (0..4).map(|p| a.iter().filter(|&&x| x == p).count()).collect();
+        let counts: Vec<usize> = (0..4)
+            .map(|p| a.iter().filter(|&&x| x == p).count())
+            .collect();
         assert!(counts.iter().all(|&c| (2..=3).contains(&c)));
     }
 

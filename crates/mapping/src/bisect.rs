@@ -32,10 +32,7 @@ pub struct ClusterFormation {
 ///
 /// Per the paper's assumption the number of blocks must be at least the
 /// number of processors; otherwise `Error::CubeTooLarge` is returned.
-pub fn form_clusters(
-    positions: &[Vec<Ratio>],
-    cube_dim: usize,
-) -> Result<ClusterFormation, Error> {
+pub fn form_clusters(positions: &[Vec<Ratio>], cube_dim: usize) -> Result<ClusterFormation, Error> {
     let ndirs = positions.first().map_or(0, Vec::len);
     let schedule: Vec<usize> = (0..cube_dim).map(|j| j % ndirs.max(1)).collect();
     form_clusters_with_schedule(positions, &schedule)
@@ -62,10 +59,7 @@ pub fn form_clusters_with_schedule(
         return Err(Error::BadPositions);
     }
     if blocks < (1usize << cube_dim) {
-        return Err(Error::CubeTooLarge {
-            blocks,
-            cube_dim,
-        });
+        return Err(Error::CubeTooLarge { blocks, cube_dim });
     }
 
     // Each in-flight cluster carries its ids and per-direction bit path.

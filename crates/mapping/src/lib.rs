@@ -40,9 +40,9 @@ pub mod other_targets;
 
 pub use allocate::{map_partitioning, map_positions, Mapping};
 pub use bisect::{form_clusters, form_clusters_with_schedule, ClusterFormation};
-pub use other_targets::{map_partitioning_mesh, map_partitioning_ring, TargetMapping};
 pub use hypercube::Hypercube;
 pub use metrics::MappingQuality;
+pub use other_targets::{map_partitioning_mesh, map_partitioning_ring, TargetMapping};
 
 /// Errors raised by the mapping phase.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -58,7 +58,11 @@ impl fmt::Display for MappingQuality {
 /// block→processor assignment. Panics if the assignment length differs
 /// from the TIG size or names a processor outside the cube.
 pub fn evaluate(tig: &Tig, assignment: &[usize], cube: Hypercube) -> MappingQuality {
-    evaluate_on(tig, assignment, &loom_machine::Topology::Hypercube(cube.dim()))
+    evaluate_on(
+        tig,
+        assignment,
+        &loom_machine::Topology::Hypercube(cube.dim()),
+    )
 }
 
 /// Evaluate a mapping of `tig` onto *any* machine topology (mesh, ring,

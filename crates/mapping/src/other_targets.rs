@@ -106,7 +106,11 @@ pub fn map_positions_mesh(
         order.sort_by_key(|&ci| formation.coords[ci][0]);
         for (k, &ci) in order.iter().enumerate() {
             let r = k / cols;
-            let c = if r.is_multiple_of(2) { k % cols } else { cols - 1 - (k % cols) };
+            let c = if r.is_multiple_of(2) {
+                k % cols
+            } else {
+                cols - 1 - (k % cols)
+            };
             let proc = r * cols + c;
             for &b in &formation.clusters[ci] {
                 proc_of_block[b] = proc;
@@ -243,10 +247,7 @@ mod tests {
         }
         // Balanced: two blocks per node.
         for node in 0..8 {
-            assert_eq!(
-                m.assignment().iter().filter(|&&p| p == node).count(),
-                2
-            );
+            assert_eq!(m.assignment().iter().filter(|&&p| p == node).count(), 2);
         }
     }
 

@@ -1,0 +1,146 @@
+//! A minimal wall-clock micro-benchmark harness — the offline
+//! replacement for criterion used by the `loom-bench` bench targets
+//! (`harness = false`).
+//!
+//! Each benchmark is auto-calibrated so one sample lasts roughly
+//! [`Bench::TARGET_SAMPLE_NS`], then timed over a fixed number of
+//! samples; the report prints min/median/mean nanoseconds per
+//! iteration. Set `LOOM_BENCH_SAMPLES` to change the sample count
+//! (e.g. `LOOM_BENCH_SAMPLES=3` for a smoke run).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-benchmark timing statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchStats {
+    /// Benchmark name (`group/case` by convention).
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: u64,
+    /// Median sample, ns/iter.
+    pub median_ns: u64,
+    /// Mean over all samples, ns/iter.
+    pub mean_ns: u64,
+}
+
+/// A bench runner: call [`Bench::run`] once per benchmark, then
+/// [`Bench::report`] to print the aligned results table.
+#[derive(Debug, Default)]
+pub struct Bench {
+    samples: u64,
+    results: Vec<BenchStats>,
+}
+
+impl Bench {
+    /// Calibration target: iterate until one sample takes about this long.
+    pub const TARGET_SAMPLE_NS: u64 = 20_000_000;
+
+    /// A runner with the default sample count (10), overridable via the
+    /// `LOOM_BENCH_SAMPLES` environment variable.
+    pub fn from_env() -> Bench {
+        let samples = std::env::var("LOOM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Bench::with_samples(samples)
+    }
+
+    /// A runner taking exactly `samples` timed samples per benchmark.
+    pub fn with_samples(samples: u64) -> Bench {
+        Bench {
+            samples: samples.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, auto-calibrating the iteration count so each sample
+    /// lasts about [`Bench::TARGET_SAMPLE_NS`]. The closure's result is
+    /// passed through [`black_box`], so callers don't need to.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchStats {
+        // Calibrate: one untimed warm-up doubles as the cost probe.
+        let t = Instant::now();
+        black_box(f());
+        let once_ns = (t.elapsed().as_nanos() as u64).max(1);
+        let iters = (Self::TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000);
+
+        let mut per_iter: Vec<u64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                (t.elapsed().as_nanos() as u64) / iters
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let stats = BenchStats {
+            name: name.to_string(),
+            iters,
+            samples: self.samples,
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            mean_ns: per_iter.iter().sum::<u64>() / self.samples,
+        };
+        self.results.push(stats);
+        self.results.last().unwrap()
+    }
+
+    /// All collected results, in run order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// The results as an aligned text table.
+    pub fn report(&self) -> String {
+        let name_w = self
+            .results
+            .iter()
+            .map(|s| s.name.len())
+            .chain([9])
+            .max()
+            .unwrap();
+        let mut out = format!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>9}\n",
+            "benchmark", "min ns/iter", "median", "mean", "iters"
+        );
+        for s in &self.results {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>9}\n",
+                s.name, s.min_ns, s.median_ns, s.mean_ns, s.iters
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut b = Bench::with_samples(2);
+        let stats = b.run("sum/1k", || (0..1000u64).sum::<u64>()).clone();
+        assert_eq!(stats.name, "sum/1k");
+        assert_eq!(stats.samples, 2);
+        assert!(stats.iters >= 1);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.mean_ns.max(stats.median_ns));
+        let report = b.report();
+        assert!(report.contains("sum/1k"));
+        assert!(report.starts_with("benchmark"));
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn sample_count_is_clamped_to_one() {
+        let mut b = Bench::with_samples(0);
+        let stats = b.run("noop", || 1u8);
+        assert_eq!(stats.samples, 1);
+    }
+}

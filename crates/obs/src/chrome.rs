@@ -1,0 +1,195 @@
+//! Chrome trace-event JSON, loadable in Perfetto, `chrome://tracing`,
+//! or Speedscope.
+//!
+//! Implements the subset of the [trace-event format] the simulator
+//! needs: metadata (`M`) events to name processes/threads, duration
+//! (`B`/`E`) and complete (`X`) events for slices, and flow (`s`/`f`)
+//! events for the arrows that connect a message's send slice to its
+//! receive site on another track.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! ```
+//! use loom_obs::chrome::TraceBuilder;
+//!
+//! let mut tb = TraceBuilder::new();
+//! tb.thread_name(0, 0, "P0");
+//! tb.begin(0, 0, 0, "task 0");
+//! tb.end(0, 0, 5);
+//! let json = tb.render();
+//! assert!(json.contains("\"ph\": \"B\""));
+//! ```
+
+use crate::json::Json;
+
+/// Builds a trace-event array. All timestamps are microseconds (the
+/// simulator maps its abstract ticks 1:1 onto µs).
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Json>,
+}
+
+fn base_event(ph: &str, pid: u64, tid: u64) -> Vec<(String, Json)> {
+    vec![
+        ("ph".to_string(), Json::from(ph)),
+        ("pid".to_string(), Json::from(pid)),
+        ("tid".to_string(), Json::from(tid)),
+    ]
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name a process track.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        let mut ev = base_event("M", pid, 0);
+        ev.insert(0, ("name".to_string(), Json::from("process_name")));
+        ev.push((
+            "args".to_string(),
+            Json::obj(vec![("name", Json::from(name))]),
+        ));
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// Name a thread track (one simulator processor = one thread).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut ev = base_event("M", pid, tid);
+        ev.insert(0, ("name".to_string(), Json::from("thread_name")));
+        ev.push((
+            "args".to_string(),
+            Json::obj(vec![("name", Json::from(name))]),
+        ));
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// Open a duration slice (`ph: "B"`).
+    pub fn begin(&mut self, pid: u64, tid: u64, ts_us: u64, name: &str) {
+        let mut ev = base_event("B", pid, tid);
+        ev.insert(0, ("name".to_string(), Json::from(name)));
+        ev.push(("ts".to_string(), Json::from(ts_us)));
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// Close the innermost open slice on a track (`ph: "E"`).
+    pub fn end(&mut self, pid: u64, tid: u64, ts_us: u64) {
+        let mut ev = base_event("E", pid, tid);
+        ev.push(("ts".to_string(), Json::from(ts_us)));
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// A complete slice (`ph: "X"`) with an explicit duration.
+    pub fn complete(&mut self, pid: u64, tid: u64, ts_us: u64, dur_us: u64, name: &str) {
+        let mut ev = base_event("X", pid, tid);
+        ev.insert(0, ("name".to_string(), Json::from(name)));
+        ev.push(("ts".to_string(), Json::from(ts_us)));
+        ev.push(("dur".to_string(), Json::from(dur_us)));
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// Start of a flow arrow (`ph: "s"`); `id` pairs it with its finish.
+    pub fn flow_start(&mut self, id: u64, pid: u64, tid: u64, ts_us: u64, name: &str) {
+        self.flow(id, "s", pid, tid, ts_us, name);
+    }
+
+    /// Finish of a flow arrow (`ph: "f"`, binding to the enclosing
+    /// slice, `bp: "e"`).
+    pub fn flow_finish(&mut self, id: u64, pid: u64, tid: u64, ts_us: u64, name: &str) {
+        self.flow(id, "f", pid, tid, ts_us, name);
+    }
+
+    fn flow(&mut self, id: u64, ph: &str, pid: u64, tid: u64, ts_us: u64, name: &str) {
+        let mut ev = base_event(ph, pid, tid);
+        ev.insert(0, ("name".to_string(), Json::from(name)));
+        ev.insert(1, ("cat".to_string(), Json::from("msg")));
+        ev.push(("id".to_string(), Json::from(id)));
+        ev.push(("ts".to_string(), Json::from(ts_us)));
+        if ph == "f" {
+            ev.push(("bp".to_string(), Json::from("e")));
+        }
+        self.events.push(Json::Obj(ev));
+    }
+
+    /// The events as a JSON array value.
+    pub fn build(self) -> Json {
+        Json::Arr(self.events)
+    }
+
+    /// Render the trace as a JSON array document.
+    pub fn render(self) -> String {
+        self.build().render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_metadata_and_slices() {
+        let mut tb = TraceBuilder::new();
+        tb.process_name(0, "loom simulator");
+        tb.thread_name(0, 1, "P1");
+        tb.complete(0, 1, 10, 5, "task 3");
+        let v = Json::parse(&tb.render()).unwrap();
+        let evs = v.as_arr().unwrap();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            evs[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("P1")
+        );
+        let x = &evs[2];
+        assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(x.get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(x.get("dur").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn begin_end_pair_on_one_track() {
+        let mut tb = TraceBuilder::new();
+        tb.begin(0, 2, 100, "task 7");
+        tb.end(0, 2, 130);
+        let v = Json::parse(&tb.render()).unwrap();
+        let evs = v.as_arr().unwrap();
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(evs[0].get("tid"), evs[1].get("tid"));
+        assert!(evs[0].get("ts").unwrap().as_u64() <= evs[1].get("ts").unwrap().as_u64());
+    }
+
+    #[test]
+    fn flow_events_share_id_and_bind_to_enclosing() {
+        let mut tb = TraceBuilder::new();
+        tb.flow_start(9, 0, 0, 5, "msg");
+        tb.flow_finish(9, 0, 1, 17, "msg");
+        let v = tb.build();
+        let evs = v.as_arr().unwrap();
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(evs[0].get("id"), evs[1].get("id"));
+        assert_eq!(evs[1].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(evs[0].get("cat").unwrap().as_str(), Some("msg"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        assert!(TraceBuilder::new().is_empty());
+        assert_eq!(
+            Json::parse(&TraceBuilder::new().render()).unwrap(),
+            Json::Arr(vec![])
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Spans, counters, and the recorder that collects them.
+//!
+//! A [`Recorder`] is either *enabled* (it owns shared storage) or
+//! *disabled* (it owns nothing). Every operation on the disabled
+//! recorder is a single `Option` check, so instrumentation can stay
+//! compiled into hot paths — `loom_core::pipeline` always calls through
+//! a recorder and the default one is disabled.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: a named wall-clock interval, in microseconds
+/// relative to the recorder's creation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"pipeline.partition"`).
+    pub name: String,
+    /// Start time, µs since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+}
+
+struct Inner {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Collects [`Span`]s and [`Counter`]s. Cloning shares the underlying
+/// store, so a recorder can be handed down through pipeline stages.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Recorder(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Recorder({} spans, {} counters)",
+                inner.spans.lock().unwrap().len(),
+                inner.counters.lock().unwrap().len()
+            ),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A recorder that records nothing, at near-zero cost.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder; its epoch (span time zero) is the moment of
+    /// this call.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// `true` iff this recorder stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span; it records itself when dropped (or on
+    /// [`Span::finish`]).
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            slot: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// A handle to the named counter (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            slot: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), name.to_string())),
+        }
+    }
+
+    /// Add to the named counter directly.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .counters
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert(0) += n;
+        }
+    }
+
+    /// Microseconds since the recorder's epoch (0 when disabled).
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.epoch.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all finished spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map(|i| i.spans.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.counters.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+}
+
+/// An open span. Dropping it records the elapsed interval into the
+/// recorder that created it; spans from a disabled recorder are free.
+#[must_use = "a span measures the interval until it is dropped"]
+pub struct Span {
+    slot: Option<(Arc<Inner>, String, Instant)>,
+}
+
+impl Span {
+    /// Close the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.slot.take() {
+            let start_us = start.duration_since(inner.epoch).as_micros() as u64;
+            let dur_us = start.elapsed().as_micros() as u64;
+            inner.spans.lock().unwrap().push(SpanRecord {
+                name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+/// A handle to one named counter of a [`Recorder`].
+pub struct Counter {
+    slot: Option<(Arc<Inner>, String)>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some((inner, name)) = &self.slot {
+            *inner
+                .counters
+                .lock()
+                .unwrap()
+                .entry(name.clone())
+                .or_insert(0) += n;
+        }
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span("phase");
+            rec.add("n", 3);
+            rec.counter("m").incr();
+        }
+        assert!(rec.spans().is_empty());
+        assert!(rec.counters().is_empty());
+    }
+
+    #[test]
+    fn spans_record_on_drop_in_completion_order() {
+        let rec = Recorder::enabled();
+        {
+            let outer = rec.span("outer");
+            rec.span("inner").finish();
+            outer.finish();
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        // The outer span covers the inner one.
+        assert!(spans[1].start_us <= spans[0].start_us);
+        assert!(
+            spans[1].start_us + spans[1].dur_us >= spans[0].start_us + spans[0].dur_us,
+            "outer must end no earlier than inner"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = Recorder::enabled();
+        let c = rec.counter("candidates");
+        c.add(10);
+        c.incr();
+        rec.add("candidates", 5);
+        rec.add("other", 1);
+        let counters = rec.counters();
+        assert_eq!(counters["candidates"], 16);
+        assert_eq!(counters["other"], 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.add("x", 2);
+        assert_eq!(rec.counters()["x"], 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! A deterministic pseudo-random generator (SplitMix64).
+//!
+//! Replaces the `rand` crate for everything the workspace needs
+//! randomness for — seeded baseline mappings and property-style tests —
+//! with a generator whose entire state is one `u64`, so results are
+//! reproducible across platforms and releases by construction.
+
+/// Steele, Lea & Flood's SplitMix64: one 64-bit state, full period,
+/// passes BigCrush. Not cryptographic (nothing here needs to be).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. Panics if `n == 0`. Uses rejection sampling,
+    /// so the distribution is exactly uniform.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Rejection zone keeps u64::MAX+1 ≡ 0 (mod n) leftovers out.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform in the half-open range `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let width = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(width) as i64)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        // First outputs for seed 1234567, from the published SplitMix64
+        // reference implementation.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        let mut r = SplitMix64::new(43);
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn range_i64_inclusive_exclusive() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..200 {
+            let v = rng.range_i64(-3, 3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(5);
+        let mut xs: Vec<u32> = (0..16).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>());
+        assert_ne!(
+            xs,
+            (0..16).collect::<Vec<u32>>(),
+            "16 elements virtually never fixed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

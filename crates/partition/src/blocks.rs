@@ -2,7 +2,7 @@
 //! top-level [`partition`] entry point.
 
 use crate::grouping::{select_vectors, GroupingVectors};
-use crate::grow::{grow, GrowConfig, Grouping};
+use crate::grow::{grow, Grouping, GrowConfig};
 use crate::project::{ComputationalStructure, ProjectedStructure};
 use crate::Error;
 use loom_hyperplane::TimeFn;

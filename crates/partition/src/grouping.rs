@@ -108,7 +108,11 @@ pub fn select_vectors(
             auxiliary.push(i);
         }
     }
-    debug_assert_eq!(auxiliary.len() + 1, beta, "rank-β independent set must exist");
+    debug_assert_eq!(
+        auxiliary.len() + 1,
+        beta,
+        "rank-β independent set must exist"
+    );
 
     Ok(GroupingVectors {
         grouping: Some(grouping),
@@ -125,11 +129,7 @@ mod tests {
     use loom_hyperplane::TimeFn;
     use loom_loopir::IterSpace;
 
-    fn project(
-        sizes: &[i64],
-        deps: Vec<Vec<i64>>,
-        pi: Vec<i64>,
-    ) -> ProjectedStructure {
+    fn project(sizes: &[i64], deps: Vec<Vec<i64>>, pi: Vec<i64>) -> ProjectedStructure {
         let cs = ComputationalStructure::new(IterSpace::rect(sizes).unwrap(), deps).unwrap();
         ProjectedStructure::project(&cs, &TimeFn::new(pi))
     }
@@ -138,7 +138,11 @@ mod tests {
     fn l1_selection_matches_paper() {
         // L1: D^p = {(−1/2,1/2), 0, (1/2,−1/2)} → r = 2, β = 1,
         // no auxiliary vectors.
-        let qp = project(&[4, 4], vec![vec![0, 1], vec![1, 1], vec![1, 0]], vec![1, 1]);
+        let qp = project(
+            &[4, 4],
+            vec![vec![0, 1], vec![1, 1], vec![1, 0]],
+            vec![1, 1],
+        );
         let gv = select_vectors(&qp, None).unwrap();
         assert_eq!(gv.r, 2);
         assert_eq!(gv.beta, 1);
@@ -185,7 +189,11 @@ mod tests {
         // Matvec: d_x = (1,0) → (1/2,−1/2) has r = 2; d_y = (0,1) →
         // (−1/2,1/2) also r = 2. Mixed-r example: use L1 where d2
         // projects to zero (multiplier treated as 1).
-        let qp = project(&[4, 4], vec![vec![0, 1], vec![1, 1], vec![1, 0]], vec![1, 1]);
+        let qp = project(
+            &[4, 4],
+            vec![vec![0, 1], vec![1, 1], vec![1, 0]],
+            vec![1, 1],
+        );
         let err = select_vectors(&qp, Some(1)).unwrap_err();
         assert_eq!(
             err,

@@ -59,11 +59,7 @@ pub struct GrowConfig {
 /// ungrouped. When an island is exhausted but ungrouped points remain
 /// (disconnected or irregular regions), growth reseeds at the smallest
 /// ungrouped point.
-pub fn grow(
-    qp: &ProjectedStructure,
-    gv: &GroupingVectors,
-    config: &GrowConfig,
-) -> Grouping {
+pub fn grow(qp: &ProjectedStructure, gv: &GroupingVectors, config: &GrowConfig) -> Grouping {
     const UNASSIGNED: usize = usize::MAX;
     let n_points = qp.len();
     let mut group_of = vec![UNASSIGNED; n_points];

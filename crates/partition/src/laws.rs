@@ -64,12 +64,23 @@ impl fmt::Display for LawViolation {
                 group,
                 degree,
                 bound,
-            } => write!(f, "group {group}: out-degree {degree} exceeds 2m−β = {bound}"),
-            LawViolation::MultiTargetAlongOmega { group, dep, targets } => write!(
+            } => write!(
+                f,
+                "group {group}: out-degree {degree} exceeds 2m−β = {bound}"
+            ),
+            LawViolation::MultiTargetAlongOmega {
+                group,
+                dep,
+                targets,
+            } => write!(
                 f,
                 "group {group}: depends on {targets:?} along grouping/auxiliary dep {dep}"
             ),
-            LawViolation::TooManyTargetsOffOmega { group, dep, targets } => write!(
+            LawViolation::TooManyTargetsOffOmega {
+                group,
+                dep,
+                targets,
+            } => write!(
                 f,
                 "group {group}: sends to {targets:?} (>2) along non-grouping dep {dep}"
             ),

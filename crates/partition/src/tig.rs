@@ -95,10 +95,7 @@ impl Tig {
         if a == b {
             return 0;
         }
-        self.edges
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(0)
+        self.edges.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
     }
 
     /// Total communication volume (sum of edge weights).

@@ -49,7 +49,11 @@ impl IMat {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
         }
-        IMat { rows: r, cols: c, data }
+        IMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -242,7 +246,7 @@ pub fn integer_nullspace(a: &IMat) -> Vec<Vec<i64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use loom_obs::SplitMix64;
 
     #[test]
     fn echelon_reproduces_product() {
@@ -310,45 +314,58 @@ mod tests {
         assert_eq!(ns.len(), 3);
     }
 
-    fn small_mat(r: usize, c: usize) -> impl Strategy<Value = IMat> {
-        proptest::collection::vec(-4i64..=4, r * c).prop_map(move |vals| {
-            let mut m = IMat::zero(r, c);
-            for i in 0..r {
-                for j in 0..c {
-                    m[(i, j)] = vals[i * c + j];
-                }
+    /// Deterministic property harness: random integer matrices with
+    /// entries in [-4, 4].
+    fn small_mat(rng: &mut SplitMix64, r: usize, c: usize) -> IMat {
+        let mut m = IMat::zero(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                m[(i, j)] = rng.range_i64(-4, 5);
             }
-            m
-        })
+        }
+        m
     }
 
-    proptest! {
-        #[test]
-        fn echelon_transform_is_consistent(a in small_mat(3, 4)) {
+    fn for_random_mats(seed: u64, check: impl Fn(&mut SplitMix64, IMat)) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..128 {
+            let m = small_mat(&mut rng, 3, 4);
+            check(&mut rng, m);
+        }
+    }
+
+    #[test]
+    fn echelon_transform_is_consistent() {
+        for_random_mats(1, |_, a| {
             let e = col_echelon(&a);
             for j in 0..4 {
-                prop_assert_eq!(a.mul_vec(&e.u.col(j)), e.h.col(j));
+                assert_eq!(a.mul_vec(&e.u.col(j)), e.h.col(j), "{a:?}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn solutions_verify(a in small_mat(3, 4), x in proptest::collection::vec(-4i64..=4, 4)) {
+    #[test]
+    fn solutions_verify() {
+        for_random_mats(2, |rng, a| {
             // Construct b so a solution is guaranteed, then verify what we find.
+            let x: Vec<i64> = (0..4).map(|_| rng.range_i64(-4, 5)).collect();
             let b = a.mul_vec(&x);
             let (x0, basis) = solve_integer(&a, &b).expect("constructed system must be solvable");
-            prop_assert_eq!(a.mul_vec(&x0), b.clone());
+            assert_eq!(a.mul_vec(&x0), b.clone(), "{a:?}");
             for g in &basis {
-                prop_assert_eq!(a.mul_vec(g), vec![0; 3]);
+                assert_eq!(a.mul_vec(g), vec![0; 3], "{a:?}");
                 // Shifted solutions remain solutions.
                 let shifted: Vec<i64> = x0.iter().zip(g).map(|(a, b)| a + b).collect();
-                prop_assert_eq!(a.mul_vec(&shifted), b.clone());
+                assert_eq!(a.mul_vec(&shifted), b.clone(), "{a:?}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn nullspace_rank_complement(a in small_mat(3, 4)) {
+    #[test]
+    fn nullspace_rank_complement() {
+        for_random_mats(3, |_, a| {
             let e = col_echelon(&a);
-            prop_assert_eq!(integer_nullspace(&a).len(), 4 - e.pivots.len());
-        }
+            assert_eq!(integer_nullspace(&a).len(), 4 - e.pivots.len(), "{a:?}");
+        });
     }
 }

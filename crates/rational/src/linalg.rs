@@ -189,7 +189,7 @@ pub fn coordinates_in(basis: &[QVec], target: &QVec) -> Option<QVec> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use loom_obs::SplitMix64;
 
     fn q(n: i64, d: i64) -> Ratio {
         Ratio::new(n, d)
@@ -295,78 +295,105 @@ mod tests {
         assert_eq!(inverse(&QMat::identity(4)), Some(QMat::identity(4)));
     }
 
-    fn small_mat(r: usize, c: usize) -> impl Strategy<Value = QMat> {
-        proptest::collection::vec(-5i64..=5, r * c).prop_map(move |vals| {
-            let mut m = QMat::zero(r, c);
-            for i in 0..r {
-                for j in 0..c {
-                    m[(i, j)] = Ratio::int(vals[i * c + j]);
-                }
+    /// Deterministic property harness: random integer matrices with
+    /// entries in [-5, 5].
+    fn small_mat(rng: &mut SplitMix64, r: usize, c: usize) -> QMat {
+        let mut m = QMat::zero(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                m[(i, j)] = Ratio::int(rng.range_i64(-5, 6));
             }
-            m
-        })
+        }
+        m
     }
 
-    proptest! {
-        #[test]
-        fn rank_bounds(m in small_mat(3, 4)) {
+    fn for_random_mats(seed: u64, r: usize, c: usize, check: impl Fn(QMat)) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..128 {
+            check(small_mat(&mut rng, r, c));
+        }
+    }
+
+    #[test]
+    fn rank_bounds() {
+        for_random_mats(1, 3, 4, |m| {
             let r = rank(&m);
-            prop_assert!(r <= 3);
-            prop_assert_eq!(r, rank(&m.transpose()));
-        }
+            assert!(r <= 3);
+            assert_eq!(r, rank(&m.transpose()), "{m:?}");
+        });
+    }
 
-        #[test]
-        fn rank_plus_nullity(m in small_mat(3, 4)) {
-            prop_assert_eq!(rank(&m) + nullspace(&m).len(), 4);
-        }
+    #[test]
+    fn rank_plus_nullity() {
+        for_random_mats(2, 3, 4, |m| {
+            assert_eq!(rank(&m) + nullspace(&m).len(), 4, "{m:?}");
+        });
+    }
 
-        #[test]
-        fn nullspace_vectors_are_null(m in small_mat(3, 4)) {
+    #[test]
+    fn nullspace_vectors_are_null() {
+        for_random_mats(3, 3, 4, |m| {
             for v in nullspace(&m) {
-                prop_assert!(m.mul_vec(&v).is_zero());
+                assert!(m.mul_vec(&v).is_zero(), "{m:?} · {v}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn solve_verifies(m in small_mat(3, 3), b in proptest::collection::vec(-5i64..=5, 3)) {
-            let b = QVec::from_ints(&b);
+    #[test]
+    fn solve_verifies() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..128 {
+            let m = small_mat(&mut rng, 3, 3);
+            let b = QVec::from_ints(&[
+                rng.range_i64(-5, 6),
+                rng.range_i64(-5, 6),
+                rng.range_i64(-5, 6),
+            ]);
             if let Some(x) = solve(&m, &b) {
-                prop_assert_eq!(m.mul_vec(&x), b);
+                assert_eq!(m.mul_vec(&x), b, "{m:?}");
             }
         }
+    }
 
-        #[test]
-        fn det_nonzero_iff_full_rank(m in small_mat(3, 3)) {
+    #[test]
+    fn det_nonzero_iff_full_rank() {
+        for_random_mats(5, 3, 3, |m| {
             let d = determinant(&m);
-            prop_assert_eq!(d.is_zero(), rank(&m) < 3);
-            prop_assert_eq!(inverse(&m).is_some(), !d.is_zero());
-        }
+            assert_eq!(d.is_zero(), rank(&m) < 3, "{m:?}");
+            assert_eq!(inverse(&m).is_some(), !d.is_zero(), "{m:?}");
+        });
+    }
 
-        #[test]
-        fn inverse_roundtrips(m in small_mat(3, 3)) {
+    #[test]
+    fn inverse_roundtrips() {
+        for_random_mats(6, 3, 3, |m| {
             if let Some(inv) = inverse(&m) {
                 for j in 0..3 {
                     let col = inv.col(j);
                     let prod = m.mul_vec(&col);
                     for i in 0..3 {
                         let expect = if i == j { Ratio::ONE } else { Ratio::ZERO };
-                        prop_assert_eq!(prod[i], expect);
+                        assert_eq!(prod[i], expect, "{m:?}");
                     }
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn det_multiplicative_on_transpose(m in small_mat(3, 3)) {
-            prop_assert_eq!(determinant(&m), determinant(&m.transpose()));
-        }
+    #[test]
+    fn det_multiplicative_on_transpose() {
+        for_random_mats(7, 3, 3, |m| {
+            assert_eq!(determinant(&m), determinant(&m.transpose()), "{m:?}");
+        });
+    }
 
-        #[test]
-        fn rref_idempotent(m in small_mat(3, 4)) {
+    #[test]
+    fn rref_idempotent() {
+        for_random_mats(8, 3, 4, |m| {
             let e1 = rref(&m);
             let e2 = rref(&e1.rref);
-            prop_assert_eq!(e1.rref, e2.rref);
-            prop_assert_eq!(e1.pivots, e2.pivots);
-        }
+            assert_eq!(e1.rref, e2.rref, "{m:?}");
+            assert_eq!(e1.pivots, e2.pivots, "{m:?}");
+        });
     }
 }

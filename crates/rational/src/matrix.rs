@@ -44,7 +44,11 @@ impl QMat {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend(row.iter().map(|&x| Ratio::int(x)));
         }
-        QMat { rows: r, cols: c, data }
+        QMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix whose *columns* are the given vectors

@@ -234,7 +234,7 @@ impl Ord for Ratio {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use loom_obs::SplitMix64;
 
     #[test]
     fn normalization() {
@@ -305,54 +305,86 @@ mod tests {
         assert_eq!(Ratio::ZERO.to_string(), "0");
     }
 
-    fn small_ratio() -> impl Strategy<Value = Ratio> {
-        (-1000i64..1000, 1i64..1000).prop_map(|(n, d)| Ratio::new(n, d))
+    /// Deterministic property harness: 256 random small ratios per seed.
+    fn small_ratio(rng: &mut SplitMix64) -> Ratio {
+        Ratio::new(rng.range_i64(-1000, 1000), rng.range_i64(1, 1000))
     }
 
-    proptest! {
-        #[test]
-        fn add_commutes(a in small_ratio(), b in small_ratio()) {
-            prop_assert_eq!(a + b, b + a);
+    fn for_random_ratios(seed: u64, check: impl Fn(Ratio, Ratio, Ratio)) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..256 {
+            let (a, b, c) = (
+                small_ratio(&mut rng),
+                small_ratio(&mut rng),
+                small_ratio(&mut rng),
+            );
+            check(a, b, c);
         }
+    }
 
-        #[test]
-        fn add_associates(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
-            prop_assert_eq!((a + b) + c, a + (b + c));
-        }
+    #[test]
+    fn add_commutes() {
+        for_random_ratios(1, |a, b, _| assert_eq!(a + b, b + a, "{a} + {b}"));
+    }
 
-        #[test]
-        fn mul_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
-            prop_assert_eq!(a * (b + c), a * b + a * c);
-        }
+    #[test]
+    fn add_associates() {
+        for_random_ratios(2, |a, b, c| {
+            assert_eq!((a + b) + c, a + (b + c), "{a} {b} {c}");
+        });
+    }
 
-        #[test]
-        fn sub_then_add_roundtrips(a in small_ratio(), b in small_ratio()) {
-            prop_assert_eq!(a - b + b, a);
-        }
+    #[test]
+    fn mul_distributes() {
+        for_random_ratios(3, |a, b, c| {
+            assert_eq!(a * (b + c), a * b + a * c, "{a} {b} {c}");
+        });
+    }
 
-        #[test]
-        fn div_inverts_mul(a in small_ratio(), b in small_ratio()) {
-            prop_assume!(!b.is_zero());
-            prop_assert_eq!(a * b / b, a);
-        }
+    #[test]
+    fn sub_then_add_roundtrips() {
+        for_random_ratios(4, |a, b, _| assert_eq!(a - b + b, a, "{a} {b}"));
+    }
 
-        #[test]
-        fn normalized_invariant(a in small_ratio()) {
-            prop_assert!(a.den() > 0);
-            prop_assert_eq!(crate::int::gcd(a.num(), a.den()), if a.is_zero() { a.den() } else { 1 });
-        }
+    #[test]
+    fn div_inverts_mul() {
+        for_random_ratios(5, |a, b, _| {
+            if !b.is_zero() {
+                assert_eq!(a * b / b, a, "{a} {b}");
+            }
+        });
+    }
 
-        #[test]
-        fn floor_ceil_bracket(a in small_ratio()) {
-            prop_assert!(Ratio::int(a.floor()) <= a);
-            prop_assert!(a <= Ratio::int(a.ceil()));
-            prop_assert!(a.ceil() - a.floor() <= 1);
-        }
+    #[test]
+    fn normalized_invariant() {
+        for_random_ratios(6, |a, _, _| {
+            assert!(a.den() > 0, "{a}");
+            assert_eq!(
+                crate::int::gcd(a.num(), a.den()),
+                if a.is_zero() { a.den() } else { 1 },
+                "{a}"
+            );
+        });
+    }
 
-        #[test]
-        fn ord_matches_f64(a in small_ratio(), b in small_ratio()) {
-            // f64 is exact for these small values, so orderings must agree.
-            prop_assert_eq!(a.cmp(&b), a.to_f64().partial_cmp(&b.to_f64()).unwrap());
-        }
+    #[test]
+    fn floor_ceil_bracket() {
+        for_random_ratios(7, |a, _, _| {
+            assert!(Ratio::int(a.floor()) <= a, "{a}");
+            assert!(a <= Ratio::int(a.ceil()), "{a}");
+            assert!(a.ceil() - a.floor() <= 1, "{a}");
+        });
+    }
+
+    #[test]
+    fn ord_matches_f64() {
+        // f64 is exact for these small values, so orderings must agree.
+        for_random_ratios(8, |a, b, _| {
+            assert_eq!(
+                a.cmp(&b),
+                a.to_f64().partial_cmp(&b.to_f64()).unwrap(),
+                "{a} vs {b}"
+            );
+        });
     }
 }

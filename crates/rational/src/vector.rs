@@ -210,7 +210,7 @@ impl fmt::Display for QVec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use loom_obs::SplitMix64;
 
     #[test]
     fn paper_example1_projection() {
@@ -229,11 +229,7 @@ mod tests {
         let da = QVec::from_ints(&[0, 1, 0]).project(&pi);
         assert_eq!(
             da,
-            QVec::new(vec![
-                Ratio::new(-1, 3),
-                Ratio::new(2, 3),
-                Ratio::new(-1, 3)
-            ])
+            QVec::new(vec![Ratio::new(-1, 3), Ratio::new(2, 3), Ratio::new(-1, 3)])
         );
         assert_eq!(da.least_integer_multiplier(), 3);
     }
@@ -283,49 +279,65 @@ mod tests {
         assert_eq!(v.to_string(), "(-1/3, 2)");
     }
 
-    fn small_ivec(n: usize) -> impl Strategy<Value = Vec<i64>> {
-        proptest::collection::vec(-20i64..20, n)
+    /// Deterministic property harness: random small integer 3-vectors,
+    /// with a non-zero projection direction.
+    fn for_random_vecs(seed: u64, check: impl Fn(QVec, QVec, QVec)) {
+        let mut rng = SplitMix64::new(seed);
+        let small_ivec = |rng: &mut SplitMix64| {
+            QVec::from_ints(&[
+                rng.range_i64(-20, 20),
+                rng.range_i64(-20, 20),
+                rng.range_i64(-20, 20),
+            ])
+        };
+        for _ in 0..256 {
+            let a = small_ivec(&mut rng);
+            let b = small_ivec(&mut rng);
+            let p = loop {
+                let p = small_ivec(&mut rng);
+                if !p.is_zero() {
+                    break p;
+                }
+            };
+            check(a, b, p);
+        }
     }
 
-    proptest! {
-        #[test]
-        fn projection_lands_on_zero_hyperplane(j in small_ivec(3), p in small_ivec(3)) {
-            let p = QVec::from_ints(&p);
-            prop_assume!(!p.is_zero());
-            let j = QVec::from_ints(&j);
-            prop_assert!(j.project(&p).dot(&p).is_zero());
-        }
+    #[test]
+    fn projection_lands_on_zero_hyperplane() {
+        for_random_vecs(1, |j, _, p| {
+            assert!(j.project(&p).dot(&p).is_zero(), "{j} onto {p}");
+        });
+    }
 
-        #[test]
-        fn projection_is_idempotent(j in small_ivec(3), p in small_ivec(3)) {
-            let p = QVec::from_ints(&p);
-            prop_assume!(!p.is_zero());
-            let once = QVec::from_ints(&j).project(&p);
-            prop_assert_eq!(once.project(&p), once);
-        }
+    #[test]
+    fn projection_is_idempotent() {
+        for_random_vecs(2, |j, _, p| {
+            let once = j.project(&p);
+            assert_eq!(once.project(&p), once, "{j} onto {p}");
+        });
+    }
 
-        #[test]
-        fn projection_is_linear(a in small_ivec(3), b in small_ivec(3), p in small_ivec(3)) {
-            let p = QVec::from_ints(&p);
-            prop_assume!(!p.is_zero());
-            let (a, b) = (QVec::from_ints(&a), QVec::from_ints(&b));
+    #[test]
+    fn projection_is_linear() {
+        for_random_vecs(3, |a, b, p| {
             let lhs = (&a + &b).project(&p);
             let rhs = &a.project(&p) + &b.project(&p);
-            prop_assert_eq!(lhs, rhs);
-        }
+            assert_eq!(lhs, rhs, "{a} {b} onto {p}");
+        });
+    }
 
-        #[test]
-        fn lim_scales_to_integral(j in small_ivec(3), p in small_ivec(3)) {
-            let p = QVec::from_ints(&p);
-            prop_assume!(!p.is_zero());
-            let v = QVec::from_ints(&j).project(&p);
+    #[test]
+    fn lim_scales_to_integral() {
+        for_random_vecs(4, |j, _, p| {
+            let v = j.project(&p);
             let r = v.least_integer_multiplier();
-            prop_assert!(r >= 1);
-            prop_assert!(v.scale(Ratio::int(r)).is_integral());
+            assert!(r >= 1);
+            assert!(v.scale(Ratio::int(r)).is_integral(), "{j} onto {p}");
             // Minimality: no smaller positive multiplier works.
             for s in 1..r {
-                prop_assert!(!v.scale(Ratio::int(s)).is_integral());
+                assert!(!v.scale(Ratio::int(s)).is_integral(), "{j} onto {p}, s={s}");
             }
-        }
+        });
     }
 }

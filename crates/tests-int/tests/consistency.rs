@@ -53,7 +53,12 @@ fn simulator_and_codegen_agree_on_message_counts() {
                 w.nest.name()
             );
         }
-        assert_eq!(sim.messages as usize, prog.remote_arcs(), "{}", w.nest.name());
+        assert_eq!(
+            sim.messages as usize,
+            prog.remote_arcs(),
+            "{}",
+            w.nest.name()
+        );
     }
 }
 

@@ -25,7 +25,11 @@ fn run(nest: &loom_loopir::LoopNest, pi: &[i64], cube_dim: usize) -> loom_core::
 #[test]
 fn all_workloads_full_pipeline_on_2cube() {
     for w in loom_workloads::all_default() {
-        let out = run(&w.nest, &w.pi, 1.min(w.nest.space().count().ilog2() as usize));
+        let out = run(
+            &w.nest,
+            &w.pi,
+            1.min(w.nest.space().count().ilog2() as usize),
+        );
         // Laws hold for every partitioning the pipeline produces.
         assert!(
             laws::check_all(&out.partitioning).is_empty(),

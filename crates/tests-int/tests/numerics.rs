@@ -29,9 +29,8 @@ fn simulated_trace_order_reproduces_sequential_results_all_workloads() {
         let trace = out.sim.unwrap().trace.unwrap();
         let order = trace_order(&trace);
         let points: Vec<Point> = w.nest.space().points().collect();
-        let parallel =
-            execute_in_order(&w.nest, &points, &order, &out.deps, &address_hash_init)
-                .unwrap_or_else(|e| panic!("{}: bad order {e:?}", w.nest.name()));
+        let parallel = execute_in_order(&w.nest, &points, &order, &out.deps, &address_hash_init)
+            .unwrap_or_else(|e| panic!("{}: bad order {e:?}", w.nest.name()));
         let serial = sequential(&w.nest, &address_hash_init);
         assert_eq!(
             equivalent(&parallel, &serial),

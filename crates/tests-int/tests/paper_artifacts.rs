@@ -38,10 +38,7 @@ fn paper_matmul() -> loom_partition::Partitioning {
 #[test]
 fn example1_dependence_vectors() {
     let w = loom_workloads::l1::workload(4);
-    assert_eq!(
-        w.verified_deps(),
-        vec![vec![0, 1], vec![1, 0], vec![1, 1]]
-    );
+    assert_eq!(w.verified_deps(), vec![vec![0, 1], vec![1, 0], vec![1, 1]]);
 }
 
 #[test]
@@ -58,7 +55,15 @@ fn fig3_seven_projected_points_and_specific_coordinates() {
     // The paper lists V^p = {(-3/2,3/2), (-1,1), (-1/2,1/2), (0,0),
     // (1/2,-1/2), (1,-1), (3/2,-3/2)}.
     let h = |a: i64, b: i64| QVec::new(vec![Ratio::new(a, 2), Ratio::new(b, 2)]);
-    for v in [h(-3, 3), h(-2, 2), h(-1, 1), h(0, 0), h(1, -1), h(2, -2), h(3, -3)] {
+    for v in [
+        h(-3, 3),
+        h(-2, 2),
+        h(-1, 1),
+        h(0, 0),
+        h(1, -1),
+        h(2, -2),
+        h(3, -3),
+    ] {
         assert!(qp.id_of(&v).is_some(), "missing projected point {v}");
     }
 }
@@ -68,7 +73,12 @@ fn fig3b_four_groups_of_two_lines() {
     let p = l1_partitioning();
     assert_eq!(p.num_blocks(), 4);
     assert_eq!(p.vectors().r, 2);
-    let mut sizes: Vec<usize> = p.grouping().groups.iter().map(|g| g.members.len()).collect();
+    let mut sizes: Vec<usize> = p
+        .grouping()
+        .groups
+        .iter()
+        .map(|g| g.members.len())
+        .collect();
     sizes.sort();
     assert_eq!(sizes, vec![1, 2, 2, 2], "boundary group G4 has one line");
 }

@@ -1,77 +1,114 @@
 //! Property-based integration tests: random uniform dependence sets and
 //! spaces must always yield partitionings that satisfy the paper's laws,
-//! and mappings/simulations that conserve work.
+//! and mappings/simulations that conserve work. Randomness comes from a
+//! seeded [`SplitMix64`] so every run checks the same cases.
 
 use loom_hyperplane::{find_optimal, SearchConfig, TimeFn};
 use loom_loopir::IterSpace;
 use loom_machine::{simulate, MachineParams, Program, SimConfig, Topology};
 use loom_mapping::{baseline, map_partitioning};
+use loom_obs::SplitMix64;
 use loom_partition::comm::comm_stats;
 use loom_partition::{laws, partition, PartitionConfig};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// Random 2-D dependence sets with strictly positive wavefront sums, so
 /// Π = (1,1) is always legal and partitioning always applies.
-fn dep_set_2d() -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::btree_set((0i64..=2, -2i64..=2), 1..4).prop_filter_map(
-        "lex-positive and wavefront-positive",
-        |set| {
-            let deps: Vec<Vec<i64>> = set
-                .into_iter()
-                .filter(|&(a, b)| a + b > 0 && (a, b) > (0, 0))
-                .map(|(a, b)| vec![a, b])
-                .collect();
-            (!deps.is_empty()).then_some(deps)
-        },
-    )
+fn dep_set_2d(rng: &mut SplitMix64) -> Vec<Vec<i64>> {
+    loop {
+        let n = 1 + rng.below(3) as usize;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert((rng.range_i64(0, 3), rng.range_i64(-2, 3)));
+        }
+        let deps: Vec<Vec<i64>> = set
+            .into_iter()
+            .filter(|&(a, b)| a + b > 0 && (a, b) > (0, 0))
+            .map(|(a, b)| vec![a, b])
+            .collect();
+        if !deps.is_empty() {
+            return deps;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// 64 random `(deps, rows, cols)` cases per seed.
+fn for_random_cases(seed: u64, mut check: impl FnMut(&mut SplitMix64, Vec<Vec<i64>>, i64, i64)) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..64 {
+        let deps = dep_set_2d(&mut rng);
+        let rows = rng.range_i64(3, 8);
+        let cols = rng.range_i64(3, 8);
+        check(&mut rng, deps, rows, cols);
+    }
+}
 
-    #[test]
-    fn partitioning_always_lawful(deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8) {
+#[test]
+fn partitioning_always_lawful() {
+    for_random_cases(1, |_, deps, rows, cols| {
         let space = IterSpace::rect(&[rows, cols]).unwrap();
-        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
-            .unwrap();
+        let p = partition(
+            space,
+            deps.clone(),
+            TimeFn::new(vec![1, 1]),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
         // Disjoint cover.
         let covered: usize = p.blocks().iter().map(Vec::len).sum();
-        prop_assert_eq!(covered, (rows * cols) as usize);
+        assert_eq!(covered, (rows * cols) as usize, "{deps:?}");
         // All laws hold.
         let violations = laws::check_all(&p);
-        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
-    }
+        assert!(
+            violations.is_empty(),
+            "{deps:?}: violations: {violations:?}"
+        );
+    });
+}
 
-    #[test]
-    fn interblock_never_exceeds_total(deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8) {
+#[test]
+fn interblock_never_exceeds_total() {
+    for_random_cases(2, |_, deps, rows, cols| {
         let space = IterSpace::rect(&[rows, cols]).unwrap();
-        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
-            .unwrap();
+        let p = partition(
+            space,
+            deps.clone(),
+            TimeFn::new(vec![1, 1]),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
         let stats = comm_stats(&p);
-        prop_assert!(stats.interblock_arcs <= stats.total_arcs);
-    }
+        assert!(stats.interblock_arcs <= stats.total_arcs, "{deps:?}");
+    });
+}
 
-    #[test]
-    fn searched_pi_is_legal_and_minimal_among_wavefronts(
-        deps in dep_set_2d(), rows in 3i64..8, cols in 3i64..8
-    ) {
+#[test]
+fn searched_pi_is_legal_and_minimal_among_wavefronts() {
+    for_random_cases(3, |_, deps, rows, cols| {
         let space = IterSpace::rect(&[rows, cols]).unwrap();
         let pi = find_optimal(&deps, &space, SearchConfig::default()).unwrap();
-        prop_assert!(pi.is_legal_for(&deps));
+        assert!(pi.is_legal_for(&deps), "{deps:?}");
         // Never worse than the plain wavefront, which is legal for this
         // strategy by construction.
         let wf = TimeFn::new(vec![1, 1]);
-        prop_assert!(pi.steps(&space) <= wf.steps(&space));
-    }
+        assert!(pi.steps(&space) <= wf.steps(&space), "{deps:?}");
+    });
+}
 
-    #[test]
-    fn simulation_conserves_work_on_any_mapping(
-        deps in dep_set_2d(), rows in 3i64..7, cols in 3i64..7, seed in 0u64..32
-    ) {
+#[test]
+fn simulation_conserves_work_on_any_mapping() {
+    for_random_cases(4, |rng, deps, rows, cols| {
+        let (rows, cols) = (rows.min(6), cols.min(6));
         let space = IterSpace::rect(&[rows, cols]).unwrap();
-        let p = partition(space, deps, TimeFn::new(vec![1, 1]), &PartitionConfig::default())
-            .unwrap();
+        let p = partition(
+            space,
+            deps.clone(),
+            TimeFn::new(vec![1, 1]),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
         let n_procs = 2usize;
+        let seed = rng.below(32);
         let assignment = baseline::random(p.num_blocks(), n_procs, seed);
         let prog = Program::from_partitioning(&p, &assignment, n_procs, 2);
         let sim = simulate(
@@ -83,33 +120,41 @@ proptest! {
                 batch_messages: false,
                 link_contention: false,
                 record_trace: false,
+                collect_metrics: false,
             },
         )
         .unwrap();
         let total: u64 = sim.compute.iter().sum();
-        prop_assert_eq!(total, (rows * cols) as u64 * 2);
+        assert_eq!(total, (rows * cols) as u64 * 2, "{deps:?}");
         // Makespan at least the serial work divided by processors.
-        prop_assert!(sim.makespan >= total / n_procs as u64);
-        prop_assert_eq!(sim.messages as usize, prog.remote_arcs());
-    }
+        assert!(sim.makespan >= total / n_procs as u64, "{deps:?}");
+        assert_eq!(sim.messages as usize, prog.remote_arcs(), "{deps:?}");
+    });
+}
 
-    #[test]
-    fn gray_mapping_never_unbalances_by_more_than_one_cluster(
-        m in 8i64..24
-    ) {
+#[test]
+fn gray_mapping_never_unbalances_by_more_than_one_cluster() {
+    for m in 8i64..24 {
         let w = loom_workloads::matvec::workload(m);
         let p = partition(
             w.nest.space().clone(),
             w.verified_deps(),
             TimeFn::new(w.pi.clone()),
             &PartitionConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let cube_dim = 2usize;
-        prop_assume!(p.num_blocks() >= 1 << cube_dim);
+        if p.num_blocks() < 1 << cube_dim {
+            continue;
+        }
         let mapping = map_partitioning(&p, cube_dim).unwrap();
         let per = mapping.blocks_per_proc();
         let min = per.iter().map(Vec::len).min().unwrap();
         let max = per.iter().map(Vec::len).max().unwrap();
-        prop_assert!(max - min <= 1, "cluster sizes {:?}", per.iter().map(Vec::len).collect::<Vec<_>>());
+        assert!(
+            max - min <= 1,
+            "m={m}: cluster sizes {:?}",
+            per.iter().map(Vec::len).collect::<Vec<_>>()
+        );
     }
 }

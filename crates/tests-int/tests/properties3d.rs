@@ -9,22 +9,40 @@ use loom_exec::{equivalent, sequential};
 use loom_hyperplane::TimeFn;
 use loom_loopir::sem::Expr;
 use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+use loom_obs::SplitMix64;
 use loom_partition::{laws, partition, PartitionConfig};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// Random 3-D dependence sets legal under Π = (1,1,1).
-fn dep_set_3d() -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::btree_set((0i64..=1, -1i64..=1, -1i64..=1), 1..4).prop_filter_map(
-        "wavefront-positive",
-        |set| {
-            let deps: Vec<Vec<i64>> = set
-                .into_iter()
-                .filter(|&(a, b, c)| a + b + c > 0)
-                .map(|(a, b, c)| vec![a, b, c])
-                .collect();
-            (!deps.is_empty()).then_some(deps)
-        },
-    )
+fn dep_set_3d(rng: &mut SplitMix64) -> Vec<Vec<i64>> {
+    loop {
+        let n = 1 + rng.below(3) as usize;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert((
+                rng.range_i64(0, 2),
+                rng.range_i64(-1, 2),
+                rng.range_i64(-1, 2),
+            ));
+        }
+        let deps: Vec<Vec<i64>> = set
+            .into_iter()
+            .filter(|&(a, b, c)| a + b + c > 0)
+            .map(|(a, b, c)| vec![a, b, c])
+            .collect();
+        if !deps.is_empty() {
+            return deps;
+        }
+    }
+}
+
+/// 32 random dependence sets per seed.
+fn for_random_deps(seed: u64, mut check: impl FnMut(&mut SplitMix64, Vec<Vec<i64>>)) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..32 {
+        let deps = dep_set_3d(&mut rng);
+        check(&mut rng, deps);
+    }
 }
 
 /// A synthetic single-statement nest whose flow dependences are exactly
@@ -36,17 +54,7 @@ fn nest_with_deps(deps: &[Vec<i64>], sizes: &[i64]) -> LoopNest {
     let write = Access::simple("A", n, &[(0, 0), (1, 0), (2, 0)]);
     let reads: Vec<Access> = deps
         .iter()
-        .map(|d| {
-            Access::simple(
-                "A",
-                n,
-                &[
-                    (0, -d[0]),
-                    (1, -d[1]),
-                    (2, -d[2]),
-                ],
-            )
-        })
+        .map(|d| Access::simple("A", n, &[(0, -d[0]), (1, -d[1]), (2, -d[2])]))
         .collect();
     let expr = Expr::sum_of_reads(reads.len());
     LoopNest::new(
@@ -57,32 +65,49 @@ fn nest_with_deps(deps: &[Vec<i64>], sizes: &[i64]) -> LoopNest {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn laws_hold_in_3d(deps in dep_set_3d(), a in 3i64..6, b in 3i64..6, c in 3i64..6) {
+#[test]
+fn laws_hold_in_3d() {
+    for_random_deps(1, |rng, deps| {
+        let (a, b, c) = (
+            rng.range_i64(3, 6),
+            rng.range_i64(3, 6),
+            rng.range_i64(3, 6),
+        );
         let space = IterSpace::rect(&[a, b, c]).unwrap();
-        let p = partition(space, deps, TimeFn::wavefront(3), &PartitionConfig::default())
-            .unwrap();
+        let p = partition(
+            space,
+            deps.clone(),
+            TimeFn::wavefront(3),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
         let covered: usize = p.blocks().iter().map(Vec::len).sum();
-        prop_assert_eq!(covered, (a * b * c) as usize);
+        assert_eq!(covered, (a * b * c) as usize, "{deps:?}");
         let violations = laws::check_all(&p);
-        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
-    }
+        assert!(
+            violations.is_empty(),
+            "{deps:?}: violations: {violations:?}"
+        );
+    });
+}
 
-    #[test]
-    fn spmd_is_deadlock_free_and_exact_in_3d(
-        deps in dep_set_3d(), size in 3i64..5, procs in 2usize..5, salt in 0usize..8
-    ) {
+#[test]
+fn spmd_is_deadlock_free_and_exact_in_3d() {
+    for_random_deps(2, |rng, deps| {
+        let size = rng.range_i64(3, 5);
+        let procs = rng.range_i64(2, 5) as usize;
+        let salt = rng.below(8) as usize;
         let nest = nest_with_deps(&deps, &[size, size, size]);
-        let extracted = loom_loopir::deps::dependence_vectors(
-            &nest, loom_loopir::DepOptions::default()).unwrap();
+        let extracted =
+            loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default())
+                .unwrap();
         // The synthetic construction must reproduce the wanted flow deps
         // (extraction may add anti deps between read pairs — all are
         // handled by the partitioner as long as Π stays legal).
         let pi = TimeFn::wavefront(3);
-        prop_assume!(pi.is_legal_for(&extracted));
+        if !pi.is_legal_for(&extracted) {
+            return;
+        }
         let p = partition(
             nest.space().clone(),
             extracted,
@@ -94,21 +119,29 @@ proptest! {
         // The synthetic write A[i,j,k] has full-rank subscripts, so
         // codegen always applies here.
         let cg = generate(&nest, &p, &assignment, procs).expect("chain-writable");
-        prop_assert!(cg.program.unmatched_messages().is_empty());
+        assert!(cg.program.unmatched_messages().is_empty(), "{deps:?}");
         let result = loom_codegen::run(&nest, &cg, &address_hash_init)
             .expect("generated programs never deadlock");
         let serial = sequential(&nest, &address_hash_init);
-        prop_assert_eq!(equivalent(&result.gathered, &serial), Ok(()));
-    }
+        assert_eq!(equivalent(&result.gathered, &serial), Ok(()), "{deps:?}");
+    });
+}
 
-    #[test]
-    fn group_size_r_is_respected_in_3d(deps in dep_set_3d(), size in 4i64..6) {
+#[test]
+fn group_size_r_is_respected_in_3d() {
+    for_random_deps(3, |rng, deps| {
+        let size = rng.range_i64(4, 6);
         let space = IterSpace::rect(&[size, size, size]).unwrap();
-        let p = partition(space, deps, TimeFn::wavefront(3), &PartitionConfig::default())
-            .unwrap();
+        let p = partition(
+            space,
+            deps.clone(),
+            TimeFn::wavefront(3),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
         let r = p.vectors().r as usize;
         for g in &p.grouping().groups {
-            prop_assert!(g.members.len() <= r, "group exceeds r = {r}");
+            assert!(g.members.len() <= r, "{deps:?}: group exceeds r = {r}");
         }
-    }
+    });
 }

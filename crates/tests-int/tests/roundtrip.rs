@@ -44,7 +44,13 @@ fn workloads_round_trip_through_source() {
 
 #[test]
 fn sample_files_parse_and_pipeline() {
-    for sample in ["l1.loom", "heat1d.loom", "strided.loom", "matmul.loom", "wavefront_dp.loom"] {
+    for sample in [
+        "l1.loom",
+        "heat1d.loom",
+        "strided.loom",
+        "matmul.loom",
+        "wavefront_dp.loom",
+    ] {
         let path = format!("{}/../../samples/{sample}", env!("CARGO_MANIFEST_DIR"));
         let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let nest = parse_nest(sample, &src).unwrap_or_else(|e| panic!("{sample}: {e}"));

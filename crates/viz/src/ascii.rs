@@ -65,6 +65,51 @@ pub fn wavefront_grid(schedule: &Schedule, space: &IterSpace) -> Option<String> 
     Some(out)
 }
 
+/// Render per-processor utilization as an ASCII bar chart: one row per
+/// processor, `#` for compute occupancy, `+` for communication, `.` for
+/// idle time, scaled to `width` characters of makespan. Takes plain
+/// occupancy slices (the shape of
+/// [`SimReport`](../../loom_machine/sim/struct.SimReport.html)'s
+/// `compute`/`comm` vectors) so any caller can chart any breakdown.
+///
+/// ```
+/// let chart = loom_viz::utilization_chart(&[8, 2], &[2, 0], 10, 10);
+/// assert_eq!(chart.lines().next().unwrap(), "P0 |########++| 100% (80% compute, 20% comm)");
+/// ```
+pub fn utilization_chart(compute: &[u64], comm: &[u64], makespan: u64, width: usize) -> String {
+    assert_eq!(compute.len(), comm.len(), "occupancy vectors must match");
+    let width = width.max(1);
+    let scale = |v: u64| {
+        if makespan == 0 {
+            0
+        } else {
+            ((v as u128 * width as u128) / makespan as u128) as usize
+        }
+    };
+    let pct = |v: u64| {
+        if makespan == 0 {
+            0
+        } else {
+            (v as u128 * 100 / makespan as u128) as u64
+        }
+    };
+    let mut out = String::new();
+    for (p, (&c, &m)) in compute.iter().zip(comm).enumerate() {
+        let nc = scale(c).min(width);
+        let nm = scale(m).min(width - nc);
+        out.push_str(&format!(
+            "P{p} |{}{}{}| {}% ({}% compute, {}% comm)\n",
+            "#".repeat(nc),
+            "+".repeat(nm),
+            ".".repeat(width - nc - nm),
+            pct(c + m),
+            pct(c),
+            pct(m),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +165,34 @@ mod tests {
         )
         .unwrap();
         assert!(block_grid(&p).is_none());
+    }
+
+    #[test]
+    fn utilization_chart_bars_scale() {
+        let chart = utilization_chart(&[10, 0, 5], &[0, 10, 0], 10, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "P0 |####################| 100% (100% compute, 0% comm)"
+        );
+        assert_eq!(
+            lines[1],
+            "P1 |++++++++++++++++++++| 100% (0% compute, 100% comm)"
+        );
+        assert_eq!(
+            lines[2],
+            "P2 |##########..........| 50% (50% compute, 0% comm)"
+        );
+    }
+
+    #[test]
+    fn utilization_chart_degenerate_inputs() {
+        // Zero makespan never divides by zero.
+        let chart = utilization_chart(&[0], &[0], 0, 8);
+        assert_eq!(chart, "P0 |........| 0% (0% compute, 0% comm)\n");
+        // Empty machine renders nothing.
+        assert_eq!(utilization_chart(&[], &[], 10, 8), "");
     }
 
     #[test]

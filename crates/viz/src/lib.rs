@@ -7,5 +7,5 @@
 pub mod ascii;
 pub mod dot;
 
-pub use ascii::{block_grid, wavefront_grid};
+pub use ascii::{block_grid, utilization_chart, wavefront_grid};
 pub use dot::{group_graph_dot, tig_dot};

@@ -19,8 +19,7 @@ pub fn workload(steps: i64, size: i64) -> Workload {
     let n = 3;
     let nest = LoopNest::new(
         "heat2d",
-        IterSpace::rect_bounds(&[0, 1, 1], &[steps - 1, size, size])
-            .expect("positive extents"),
+        IterSpace::rect_bounds(&[0, 1, 1], &[steps - 1, size, size]).expect("positive extents"),
         vec![Stmt::assign(
             Access::simple("u", n, &[(0, 1), (1, 0), (2, 0)]),
             vec![

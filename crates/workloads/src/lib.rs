@@ -44,11 +44,11 @@ impl Workload {
     /// the documented one. Panics on mismatch (programming error in the
     /// generator).
     pub fn verified_deps(&self) -> Vec<Point> {
-        let extracted =
-            loom_loopir::deps::dependence_vectors(&self.nest, DepOptions::default())
-                .expect("workload nests are uniform by construction");
+        let extracted = loom_loopir::deps::dependence_vectors(&self.nest, DepOptions::default())
+            .expect("workload nests are uniform by construction");
         assert_eq!(
-            extracted, self.deps,
+            extracted,
+            self.deps,
             "workload `{}`: documented deps diverge from extraction",
             self.nest.name()
         );

@@ -33,7 +33,13 @@ fn main() {
         params.t_calc, params.t_start, params.t_comm
     );
     let w = loom_workloads::matvec::workload(m);
-    let mut t = Table::new(["N", "analytic T_exec", "sim makespan", "sim busiest proc", "messages"]);
+    let mut t = Table::new([
+        "N",
+        "analytic T_exec",
+        "sim makespan",
+        "sim busiest proc",
+        "messages",
+    ]);
     let mut cube_dim = 0usize;
     while 1usize << cube_dim <= (m as usize) / 4 {
         let out = Pipeline::new(w.nest.clone())

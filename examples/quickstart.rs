@@ -23,7 +23,11 @@ fn main() {
         .expect("L1 is uniform and the pipeline handles it");
 
     println!("dependence vectors D = {:?}", out.deps);
-    println!("time transformation {} ({} steps)", out.pi, out.pi.steps(w.nest.space()));
+    println!(
+        "time transformation {} ({} steps)",
+        out.pi,
+        out.pi.steps(w.nest.space())
+    );
     println!();
 
     let p = &out.partitioning;
@@ -48,9 +52,15 @@ fn main() {
     );
     println!();
 
-    println!("Algorithm 2: block -> processor map on a {}-cube:", out.mapping.cube().dim());
+    println!(
+        "Algorithm 2: block -> processor map on a {}-cube:",
+        out.mapping.cube().dim()
+    );
     for (b, &proc) in out.mapping.assignment().iter().enumerate() {
-        println!("  B{b} -> P{proc:0width$b}", width = out.mapping.cube().dim().max(1));
+        println!(
+            "  B{b} -> P{proc:0width$b}",
+            width = out.mapping.cube().dim().max(1)
+        );
     }
     println!();
 

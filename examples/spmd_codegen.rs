@@ -29,7 +29,10 @@ fn main() {
     let cg = generate(&w.nest, &p, mapping.assignment(), mapping.cube().len())
         .expect("L1 is within the value-routable class");
     println!("{}", w.nest);
-    println!("generated SPMD program ({} processors):\n", cg.program.num_procs());
+    println!(
+        "generated SPMD program ({} processors):\n",
+        cg.program.num_procs()
+    );
     println!("{}", render(&w.nest, &cg));
     println!(
         "ops: {} computes, {} messages; unmatched sends/recvs: {}",

@@ -37,7 +37,12 @@ fn main() {
     let flops = w.nest.flops_per_iteration();
 
     let mut t = Table::new([
-        "cube", "mapping", "remote", "dilation", "congestion", "makespan",
+        "cube",
+        "mapping",
+        "remote",
+        "dilation",
+        "congestion",
+        "makespan",
     ]);
     for cube_dim in [1usize, 2, 3] {
         if (1 << cube_dim) > p.num_blocks() {
