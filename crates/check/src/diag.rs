@@ -1,0 +1,474 @@
+//! The diagnostics model: rule ids, severities, spans into the loop IR,
+//! and the [`Report`] that collects them with human and JSON renderers.
+
+use loom_obs::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identifiers for every rule the checker knows. The numeric
+/// codes (`LC001`…) are part of the tool's output contract: tests
+/// snapshot them, CI greps them, and the JSON schema keys counters by
+/// them, so codes are never reused or renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `LC001` — schedule legality: `Π·dᵢ ≥ 1` for every dependence.
+    ScheduleLegality,
+    /// `LC002` — Lemma 1: no two iterations of one block share a step.
+    BlockSharedStep,
+    /// `LC003` — Theorem 2: group out-degree is at most `2m − β`.
+    NeighborBound,
+    /// `LC004` — Gray-code mapping: TIG edges map to unit hypercube hops.
+    GrayAdjacency,
+    /// `LC005` — static data race between concurrently-schedulable
+    /// computes of the SPMD program.
+    DataRace,
+    /// `LC006` — grouping-vector selection: the chosen set must be a
+    /// rank-β independent set (the invariant previously guarded only by
+    /// a `debug_assert!` in `loom-partition`).
+    GroupingRank,
+    /// `LC007` — SPMD program consistency: every receive has a matching
+    /// send that can reach it (no deadlock, no orphan message).
+    UnmatchedMessage,
+}
+
+impl RuleId {
+    /// The stable code, e.g. `"LC001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::ScheduleLegality => "LC001",
+            RuleId::BlockSharedStep => "LC002",
+            RuleId::NeighborBound => "LC003",
+            RuleId::GrayAdjacency => "LC004",
+            RuleId::DataRace => "LC005",
+            RuleId::GroupingRank => "LC006",
+            RuleId::UnmatchedMessage => "LC007",
+        }
+    }
+
+    /// The short kebab-case name, e.g. `"schedule-legality"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ScheduleLegality => "schedule-legality",
+            RuleId::BlockSharedStep => "block-shared-step",
+            RuleId::NeighborBound => "neighbor-bound",
+            RuleId::GrayAdjacency => "gray-adjacency",
+            RuleId::DataRace => "data-race",
+            RuleId::GroupingRank => "grouping-rank",
+            RuleId::UnmatchedMessage => "unmatched-message",
+        }
+    }
+
+    /// Every rule, in code order.
+    pub fn all() -> [RuleId; 7] {
+        [
+            RuleId::ScheduleLegality,
+            RuleId::BlockSharedStep,
+            RuleId::NeighborBound,
+            RuleId::GrayAdjacency,
+            RuleId::DataRace,
+            RuleId::GroupingRank,
+            RuleId::UnmatchedMessage,
+        ]
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// How bad a diagnostic is. `Error` fails the pipeline stage and makes
+/// the CLI exit nonzero; `Warning` and `Info` are reported but pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note (e.g. a check that could not run here).
+    Info,
+    /// Suspicious but not a proven correctness violation.
+    Warning,
+    /// A violated invariant: the transformed program is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Where in the loop IR / pipeline artifacts a diagnostic points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Span {
+    /// The whole nest (no finer locus applies).
+    Nest,
+    /// Dependence `index` of the dependence set `D`.
+    Dep {
+        /// Index into `D`.
+        index: usize,
+        /// The dependence vector.
+        vector: Vec<i64>,
+    },
+    /// Block `block` of the partitioning.
+    Block {
+        /// Block id.
+        block: usize,
+    },
+    /// Group `group` of the projected grouping.
+    Group {
+        /// Group id.
+        group: usize,
+    },
+    /// The TIG edge between blocks `a` and `b`.
+    TigEdge {
+        /// Smaller endpoint.
+        a: usize,
+        /// Larger endpoint.
+        b: usize,
+    },
+    /// A pair of iteration points.
+    PointPair {
+        /// First point.
+        a: Vec<i64>,
+        /// Second point.
+        b: Vec<i64>,
+    },
+    /// An array element.
+    Element {
+        /// Array name.
+        array: String,
+        /// Element indices.
+        element: Vec<i64>,
+    },
+    /// Operation `op` of processor `proc`'s SPMD program.
+    ProgramOp {
+        /// Processor number.
+        proc: u32,
+        /// Index into the processor's op list.
+        op: usize,
+    },
+}
+
+fn ints(v: &[i64]) -> String {
+    let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("({})", parts.join(","))
+}
+
+fn ints_json(v: &[i64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Int(x)).collect())
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Nest => write!(f, "nest"),
+            Span::Dep { index, vector } => write!(f, "dep[{index}]={}", ints(vector)),
+            Span::Block { block } => write!(f, "block B{block}"),
+            Span::Group { group } => write!(f, "group G{group}"),
+            Span::TigEdge { a, b } => write!(f, "tig edge B{a}-B{b}"),
+            Span::PointPair { a, b } => write!(f, "points {} and {}", ints(a), ints(b)),
+            Span::Element { array, element } => write!(f, "element {array}{}", ints(element)),
+            Span::ProgramOp { proc, op } => write!(f, "P{proc} op {op}"),
+        }
+    }
+}
+
+impl Span {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Span::Nest => Json::obj(vec![("kind", Json::from("nest"))]),
+            Span::Dep { index, vector } => Json::obj(vec![
+                ("kind", Json::from("dep")),
+                ("index", Json::from(*index)),
+                ("vector", ints_json(vector)),
+            ]),
+            Span::Block { block } => Json::obj(vec![
+                ("kind", Json::from("block")),
+                ("block", Json::from(*block)),
+            ]),
+            Span::Group { group } => Json::obj(vec![
+                ("kind", Json::from("group")),
+                ("group", Json::from(*group)),
+            ]),
+            Span::TigEdge { a, b } => Json::obj(vec![
+                ("kind", Json::from("tig_edge")),
+                ("a", Json::from(*a)),
+                ("b", Json::from(*b)),
+            ]),
+            Span::PointPair { a, b } => Json::obj(vec![
+                ("kind", Json::from("point_pair")),
+                ("a", ints_json(a)),
+                ("b", ints_json(b)),
+            ]),
+            Span::Element { array, element } => Json::obj(vec![
+                ("kind", Json::from("element")),
+                ("array", Json::from(array.as_str())),
+                ("element", ints_json(element)),
+            ]),
+            Span::ProgramOp { proc, op } => Json::obj(vec![
+                ("kind", Json::from("program_op")),
+                ("proc", Json::from(*proc as u64)),
+                ("op", Json::from(*op)),
+            ]),
+        }
+    }
+}
+
+/// One finding: a violated (or suspicious) invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it points.
+    pub span: Span,
+    /// The human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An `Error`-severity diagnostic.
+    pub fn error(rule: RuleId, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// A `Warning`-severity diagnostic.
+    pub fn warning(rule: RuleId, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// An `Info`-severity diagnostic.
+    pub fn info(rule: RuleId, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Info,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rule", Json::from(self.rule.code())),
+            ("name", Json::from(self.rule.name())),
+            ("severity", Json::from(self.severity.to_string())),
+            ("span", self.span.to_json()),
+            ("message", Json::from(self.message.as_str())),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.span, self.message
+        )
+    }
+}
+
+/// Every diagnostic a checking run produced, in rule-execution order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// A report holding the given diagnostics.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Report {
+        Report { diagnostics }
+    }
+
+    /// Append one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append many diagnostics.
+    pub fn extend(&mut self, ds: Vec<Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// All diagnostics.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` iff the report holds no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` iff any diagnostic is an `Error`.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Diagnostics per rule code (only rules that fired).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule.code()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Downgrade every `Error` of the listed rule codes to `Warning`
+    /// (the CLI's `--allow LC004,LC005` suppression mechanism).
+    pub fn allow(&mut self, codes: &[String]) {
+        for d in &mut self.diagnostics {
+            if d.severity == Severity::Error && codes.iter().any(|c| c == d.rule.code()) {
+                d.severity = Severity::Warning;
+            }
+        }
+    }
+
+    /// The human rendering: one line per diagnostic plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "check: {} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// The machine rendering: diagnostics, per-rule counts, and totals.
+    pub fn to_json(&self) -> Json {
+        let counts = self
+            .rule_counts()
+            .into_iter()
+            .map(|(code, n)| (code.to_string(), Json::from(n)))
+            .collect();
+        Json::obj(vec![
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("counts", Json::Obj(counts)),
+            ("errors", Json::from(self.count(Severity::Error))),
+            ("warnings", Json::from(self.count(Severity::Warning))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes: Vec<&str> = RuleId::all().iter().map(|r| r.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007"]
+        );
+    }
+
+    #[test]
+    fn report_counts_and_errors() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error(
+            RuleId::ScheduleLegality,
+            Span::Nest,
+            "bad",
+        ));
+        r.push(Diagnostic::warning(
+            RuleId::GrayAdjacency,
+            Span::TigEdge { a: 0, b: 1 },
+            "far",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.rule_counts()["LC001"], 1);
+        assert_eq!(r.rule_counts()["LC004"], 1);
+    }
+
+    #[test]
+    fn allow_downgrades_errors() {
+        let mut r = Report::from_diagnostics(vec![Diagnostic::error(
+            RuleId::GrayAdjacency,
+            Span::TigEdge { a: 0, b: 1 },
+            "far",
+        )]);
+        r.allow(&["LC004".to_string()]);
+        assert!(!r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn human_line_format() {
+        let d = Diagnostic::error(
+            RuleId::ScheduleLegality,
+            Span::Dep {
+                index: 2,
+                vector: vec![1, 0],
+            },
+            "\u{3a0}\u{b7}d = -1 < 1",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[LC001] dep[2]=(1,0): \u{3a0}\u{b7}d = -1 < 1"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut r = Report::new();
+        r.push(Diagnostic::info(
+            RuleId::DataRace,
+            Span::Element {
+                array: "A".into(),
+                element: vec![1, 2],
+            },
+            "skipped",
+        ));
+        let rendered = r.to_json().render_pretty();
+        let parsed = Json::parse(&rendered).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("diagnostics")
+                .and_then(|d| d.idx(0))
+                .and_then(|d| d.get("rule")),
+            Some(&Json::from("LC005"))
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Rule `LC001` — schedule legality: `Π·dᵢ ≥ 1` for every dependence.
+//!
+//! This is the hyperplane method's fundamental constraint: the time
+//! transformation must strictly advance across every dependence, or the
+//! transformed program consumes values before they are produced. The
+//! dot product is taken in `i128`, so coefficient/vector magnitudes up
+//! to `i64` can never wrap into a false verdict.
+
+use crate::diag::{Diagnostic, RuleId, Span};
+use loom_hyperplane::TimeFn;
+use loom_loopir::Point;
+
+/// Check `Π·d ≥ 1` for every dependence vector.
+pub fn check_legality(pi: &TimeFn, deps: &[Point]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (index, d) in deps.iter().enumerate() {
+        let span = Span::Dep {
+            index,
+            vector: d.clone(),
+        };
+        if d.len() != pi.dim() {
+            out.push(Diagnostic::error(
+                RuleId::ScheduleLegality,
+                span,
+                format!(
+                    "dependence has dimension {}, but \u{3a0} has dimension {}",
+                    d.len(),
+                    pi.dim()
+                ),
+            ));
+            continue;
+        }
+        if d.iter().all(|&x| x == 0) {
+            out.push(Diagnostic::error(
+                RuleId::ScheduleLegality,
+                span,
+                "zero dependence vector: an iteration cannot depend on itself",
+            ));
+            continue;
+        }
+        let dot: i128 = pi
+            .coeffs()
+            .iter()
+            .zip(d)
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum();
+        if dot < 1 {
+            out.push(Diagnostic::error(
+                RuleId::ScheduleLegality,
+                span,
+                format!(
+                    "\u{3a0}\u{b7}d = {dot} < 1; the schedule does not advance \
+                     across this dependence"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn legal_pi_is_clean() {
+        let pi = TimeFn::new(vec![1, 1]);
+        let deps = vec![vec![0, 1], vec![1, 1], vec![1, 0]];
+        assert!(check_legality(&pi, &deps).is_empty());
+    }
+
+    #[test]
+    fn illegal_pi_flags_exactly_the_bad_deps() {
+        let pi = TimeFn::new(vec![1, -1]);
+        let deps = vec![vec![1, 0], vec![0, 1], vec![1, 1]];
+        let ds = check_legality(&pi, &deps);
+        // Π·(0,1) = −1 and Π·(1,1) = 0 are illegal; Π·(1,0) = 1 is fine.
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.severity == Severity::Error));
+        assert_eq!(
+            ds[0].span,
+            Span::Dep {
+                index: 1,
+                vector: vec![0, 1]
+            }
+        );
+        assert_eq!(
+            ds[1].span,
+            Span::Dep {
+                index: 2,
+                vector: vec![1, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn zero_and_mismatched_vectors_rejected() {
+        let pi = TimeFn::new(vec![1, 1]);
+        let ds = check_legality(&pi, &[vec![0, 0], vec![1]]);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn huge_coefficients_do_not_wrap() {
+        // i64 arithmetic would overflow and could report a positive dot
+        // product; the i128 path must still see the violation.
+        let pi = TimeFn::new(vec![i64::MAX, i64::MAX]);
+        let ds = check_legality(&pi, &[vec![1, -2]]);
+        assert_eq!(ds.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! `loom-check` — a static verifier and race detector for the
+//! partition/map/codegen pipeline.
+//!
+//! The paper's correctness argument is a chain of theorems: the time
+//! transformation Π is legal (`Π·d ≥ 1`), iterations merged into one
+//! block never share a step (Lemma 1), each group talks to at most
+//! `2m − β` others (Theorem 2), and the Gray-coded hypercube mapping
+//! puts communicating neighbors one hop apart. This crate turns each
+//! link of that chain — plus a happens-before data-race analysis of
+//! the generated SPMD program — into an executable lint that inspects
+//! the pipeline's artifacts *without running them* and reports every
+//! violation as a structured [`Diagnostic`]: stable rule id, severity,
+//! a span into the loop IR or the derived structures, a human message,
+//! and machine-readable JSON.
+//!
+//! Rule catalogue (see `docs/CHECKS.md`):
+//!
+//! | id      | name               | checks                                  |
+//! |---------|--------------------|-----------------------------------------|
+//! | `LC001` | schedule-legality  | `Π·dᵢ ≥ 1` for every dependence         |
+//! | `LC002` | block-shared-step  | Lemma 1, by exact rational arithmetic   |
+//! | `LC003` | neighbor-bound     | Theorem 2's `2m − β` out-degree bound   |
+//! | `LC004` | gray-adjacency     | unit-hop mapping of Ω-neighbor blocks   |
+//! | `LC005` | data-race          | happens-before race scan of SPMD code   |
+//! | `LC006` | grouping-rank      | Ω is a rank-β independent set           |
+//! | `LC007` | unmatched-message  | every `Recv` is satisfiable, no orphans |
+//!
+//! The checks run standalone (each `check_*` function takes exactly
+//! the artifacts it inspects), through [`check_pipeline`] on a bundle
+//! of everything the pipeline produced, via `loom check` on the CLI,
+//! or as a gated `loom-core` pipeline stage
+//! (`MachineOptions::static_check`).
+
+#![deny(missing_docs)]
+
+mod diag;
+mod gray;
+mod legality;
+mod lemma1;
+mod races;
+mod theorem2;
+
+pub use diag::{Diagnostic, Report, RuleId, Severity, Span};
+pub use gray::check_gray;
+pub use legality::check_legality;
+pub use lemma1::check_lemma1;
+pub use races::check_races;
+pub use theorem2::{check_grouping_vectors, check_neighbor_bound, check_theorem2};
+
+use loom_hyperplane::TimeFn;
+use loom_loopir::{LoopNest, Point};
+use loom_obs::Recorder;
+use loom_partition::{Partitioning, Tig};
+
+/// Everything the pipeline produced, bundled for [`check_pipeline`].
+pub struct PipelineCheck<'a> {
+    /// The source nest.
+    pub nest: &'a LoopNest,
+    /// The extracted dependence vectors `D`.
+    pub deps: &'a [Point],
+    /// The chosen time transformation Π.
+    pub pi: &'a TimeFn,
+    /// Algorithm 1's partitioning.
+    pub partitioning: &'a Partitioning,
+    /// The Task Interaction Graph of the blocks.
+    pub tig: &'a Tig,
+    /// The block → processor assignment (Algorithm 2's Gray mapping).
+    pub assignment: &'a [usize],
+    /// Hypercube dimension the assignment targets.
+    pub cube_dim: usize,
+}
+
+/// Run every check against a pipeline's artifacts.
+///
+/// The race scan (`LC005`/`LC007`) needs an SPMD program; it is
+/// generated here from the partitioning and assignment. Nests outside
+/// the value-routable class (e.g. multi-dimensional accumulations like
+/// conv2d) cannot be code-generated, and the race scan is skipped with
+/// an `Info` diagnostic instead of an error — the remaining rules
+/// still run.
+pub fn check_pipeline(input: &PipelineCheck<'_>) -> Report {
+    check_pipeline_with(input, &Recorder::disabled())
+}
+
+/// [`check_pipeline`] with instrumentation: when `recorder` is enabled,
+/// the run records a `check.total` span and one `check.<code>` counter
+/// per diagnostic.
+pub fn check_pipeline_with(input: &PipelineCheck<'_>, recorder: &Recorder) -> Report {
+    let _total = recorder.span("check.total");
+    let mut report = Report::new();
+    report.extend(check_legality(input.pi, input.deps));
+    report.extend(check_lemma1(
+        input.pi,
+        input.partitioning.structure().points(),
+        input.partitioning.blocks(),
+    ));
+    report.extend(check_theorem2(input.partitioning));
+    report.extend(check_grouping_vectors(
+        input.partitioning.projected(),
+        input.partitioning.vectors(),
+    ));
+    report.extend(check_gray(
+        input.partitioning,
+        input.tig,
+        input.assignment,
+        input.cube_dim,
+    ));
+    match loom_codegen::generate(
+        input.nest,
+        input.partitioning,
+        input.assignment,
+        1usize << input.cube_dim,
+    ) {
+        Ok(cg) => report.extend(check_races(input.nest, &cg.program)),
+        Err(e) => report.push(Diagnostic::info(
+            RuleId::DataRace,
+            Span::Nest,
+            format!("race analysis skipped: no SPMD program ({e})"),
+        )),
+    }
+    for (code, n) in report.rule_counts() {
+        recorder.add(&format!("check.{code}"), n);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_mapping::map_partitioning;
+    use loom_partition::{partition, PartitionConfig};
+
+    fn bundle_of(w: &loom_workloads::Workload, cube_dim: usize) -> Report {
+        let deps = w.verified_deps();
+        let pi = w.time_fn();
+        let p = partition(
+            w.nest.space().clone(),
+            deps.clone(),
+            pi.clone(),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let tig = Tig::from_partitioning(&p);
+        let m = map_partitioning(&p, cube_dim).unwrap();
+        check_pipeline(&PipelineCheck {
+            nest: &w.nest,
+            deps: &deps,
+            pi: &pi,
+            partitioning: &p,
+            tig: &tig,
+            assignment: m.assignment(),
+            cube_dim,
+        })
+    }
+
+    #[test]
+    fn l1_pipeline_is_clean() {
+        let w = loom_workloads::l1::workload(4);
+        let r = bundle_of(&w, 1);
+        assert!(!r.has_errors(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn conv2d_skips_races_with_info() {
+        let w = loom_workloads::conv2d::workload(4, 2);
+        let r = bundle_of(&w, 1);
+        assert!(!r.has_errors(), "{}", r.render_human());
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.rule == RuleId::DataRace));
+    }
+
+    #[test]
+    fn counters_flow_through_recorder() {
+        let w = loom_workloads::l1::workload(4);
+        let deps = w.verified_deps();
+        let pi = loom_hyperplane::TimeFn::new(vec![1, 1]);
+        let p = partition(
+            w.nest.space().clone(),
+            deps.clone(),
+            pi.clone(),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let tig = Tig::from_partitioning(&p);
+        let m = map_partitioning(&p, 1).unwrap();
+        let mut scrambled = m.assignment().to_vec();
+        scrambled.reverse();
+        let rec = Recorder::enabled();
+        let report = check_pipeline_with(
+            &PipelineCheck {
+                nest: &w.nest,
+                deps: &deps,
+                pi: &pi,
+                partitioning: &p,
+                tig: &tig,
+                assignment: &scrambled,
+                cube_dim: 1,
+            },
+            &rec,
+        );
+        let counters = rec.counters();
+        for (code, n) in report.rule_counts() {
+            assert_eq!(counters.get(&format!("check.{code}")), Some(&n));
+        }
+        assert!(rec.spans().iter().any(|s| s.name == "check.total"));
+    }
+}

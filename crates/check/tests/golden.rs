@@ -1,0 +1,401 @@
+//! Golden-output tests: one scenario per rule id, asserting the exact
+//! human rendering and the exact JSON document. These strings are the
+//! stable output contract — `loom check --json` consumers and the CI
+//! smoke step both parse them, so a change here is a breaking change
+//! and must be deliberate.
+
+use loom_check::{
+    check_gray, check_grouping_vectors, check_legality, check_lemma1, check_neighbor_bound,
+    check_races, Report,
+};
+use loom_codegen::{generate, Op};
+use loom_hyperplane::TimeFn;
+use loom_mapping::map_partitioning;
+use loom_partition::grouping::GroupingVectors;
+use loom_partition::{partition, PartitionConfig, Partitioning, Tig};
+use std::collections::BTreeSet;
+
+fn l1_partition() -> (loom_workloads::Workload, Partitioning) {
+    let w = loom_workloads::l1::workload(4);
+    let p = partition(
+        w.nest.space().clone(),
+        w.deps.clone(),
+        TimeFn::new(w.pi.clone()),
+        &PartitionConfig::default(),
+    )
+    .unwrap();
+    (w, p)
+}
+
+/// Compare both renderings against their goldens. To regenerate after a
+/// deliberate format change, run
+/// `GOLDEN_DUMP=1 cargo test -p loom-check --test golden -- --nocapture`
+/// and paste the printed blocks back into the expectations.
+fn snapshot(name: &str, report: &Report, expected_human: &str, expected_json: &str) {
+    if std::env::var("GOLDEN_DUMP").is_ok() {
+        println!(
+            "=== {name} HUMAN ===\n{}=== {name} JSON ===\n{}\n",
+            report.render_human(),
+            report.to_json().render_pretty()
+        );
+        return;
+    }
+    assert_eq!(
+        report.render_human(),
+        expected_human,
+        "{name}: human rendering drifted"
+    );
+    assert_eq!(
+        report.to_json().render_pretty(),
+        expected_json,
+        "{name}: JSON rendering drifted"
+    );
+}
+
+#[test]
+fn golden_lc001_schedule_legality() {
+    let w = loom_workloads::l1::workload(4);
+    let report = Report::from_diagnostics(check_legality(&TimeFn::new(vec![1, -1]), &w.deps));
+    snapshot(
+        "LC001",
+        &report,
+        r#"error[LC001] dep[0]=(0,1): Π·d = -1 < 1; the schedule does not advance across this dependence
+error[LC001] dep[2]=(1,1): Π·d = 0 < 1; the schedule does not advance across this dependence
+check: 2 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC001",
+      "name": "schedule-legality",
+      "severity": "error",
+      "span": {
+        "kind": "dep",
+        "index": 0,
+        "vector": [
+          0,
+          1
+        ]
+      },
+      "message": "Π·d = -1 < 1; the schedule does not advance across this dependence"
+    },
+    {
+      "rule": "LC001",
+      "name": "schedule-legality",
+      "severity": "error",
+      "span": {
+        "kind": "dep",
+        "index": 2,
+        "vector": [
+          1,
+          1
+        ]
+      },
+      "message": "Π·d = 0 < 1; the schedule does not advance across this dependence"
+    }
+  ],
+  "counts": {
+    "LC001": 2
+  },
+  "errors": 2,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc002_block_shared_step() {
+    let (w, p) = l1_partition();
+    let mut blocks = p.blocks().to_vec();
+    let moved = blocks.pop().unwrap();
+    blocks[0].extend(moved);
+    let report = Report::from_diagnostics(check_lemma1(
+        &TimeFn::new(w.pi.clone()),
+        p.structure().points(),
+        &blocks,
+    ));
+    snapshot(
+        "LC002",
+        &report,
+        r#"error[LC002] points (0,3) and (3,0): both iterations of block B0 execute at step 3; Lemma 1 requires distinct steps within a block
+check: 1 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC002",
+      "name": "block-shared-step",
+      "severity": "error",
+      "span": {
+        "kind": "point_pair",
+        "a": [
+          0,
+          3
+        ],
+        "b": [
+          3,
+          0
+        ]
+      },
+      "message": "both iterations of block B0 execute at step 3; Lemma 1 requires distinct steps within a block"
+    }
+  ],
+  "counts": {
+    "LC002": 1
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc003_neighbor_bound() {
+    // One dependence (m = 1) of full rank (β = 1): bound 2·1−1 = 1.
+    // Group 0 sends to two targets — one over the bound.
+    let graph = vec![BTreeSet::from([1, 2]), BTreeSet::from([2]), BTreeSet::new()];
+    let report = Report::from_diagnostics(check_neighbor_bound(&graph, 1, 1));
+    snapshot(
+        "LC003",
+        &report,
+        r#"error[LC003] group G0: group sends data to 2 other groups, exceeding 2m−β = 2·1−1 = 1 (Theorem 2)
+check: 1 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC003",
+      "name": "neighbor-bound",
+      "severity": "error",
+      "span": {
+        "kind": "group",
+        "group": 0
+      },
+      "message": "group sends data to 2 other groups, exceeding 2m−β = 2·1−1 = 1 (Theorem 2)"
+    }
+  ],
+  "counts": {
+    "LC003": 1
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc004_gray_adjacency() {
+    // 4 chain blocks on a full 2-cube; binary allocation puts chain
+    // neighbors B1(01)–B2(10) two hops apart.
+    let w = loom_workloads::matvec::workload(4);
+    let p = partition(
+        w.nest.space().clone(),
+        w.deps.clone(),
+        TimeFn::new(w.pi.clone()),
+        &PartitionConfig::default(),
+    )
+    .unwrap();
+    let tig = Tig::from_partitioning(&p);
+    let binary: Vec<usize> = (0..p.num_blocks()).collect();
+    let report = Report::from_diagnostics(check_gray(&p, &tig, &binary, 2));
+    snapshot(
+        "LC004",
+        &report,
+        r#"error[LC004] tig edge B1-B2: Ω-neighbor blocks mapped to processors 1 and 2, 2 hops apart; Gray-code allocation guarantees 1
+check: 1 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC004",
+      "name": "gray-adjacency",
+      "severity": "error",
+      "span": {
+        "kind": "tig_edge",
+        "a": 1,
+        "b": 2
+      },
+      "message": "Ω-neighbor blocks mapped to processors 1 and 2, 2 hops apart; Gray-code allocation guarantees 1"
+    }
+  ],
+  "counts": {
+    "LC004": 1
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc005_data_race() {
+    let (w, p) = l1_partition();
+    let m = map_partitioning(&p, 1).unwrap();
+    let cg = generate(&w.nest, &p, m.assignment(), 2).unwrap();
+    let mut program = cg.program;
+    let point = program.per_proc[0]
+        .iter()
+        .find_map(|op| match op {
+            Op::Compute { point } => Some(*point),
+            _ => None,
+        })
+        .unwrap();
+    program.per_proc[1].insert(0, Op::Compute { point });
+    let report = Report::from_diagnostics(check_races(&w.nest, &program));
+    snapshot(
+        "LC005",
+        &report,
+        r#"error[LC005] element A(1,1): write at iteration (0,0) on P0 and write at iteration (0,0) on P1 are concurrent: no synchronization orders them
+error[LC005] element B(1,0): write at iteration (0,0) on P0 and write at iteration (0,0) on P1 are concurrent: no synchronization orders them
+check: 2 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC005",
+      "name": "data-race",
+      "severity": "error",
+      "span": {
+        "kind": "element",
+        "array": "A",
+        "element": [
+          1,
+          1
+        ]
+      },
+      "message": "write at iteration (0,0) on P0 and write at iteration (0,0) on P1 are concurrent: no synchronization orders them"
+    },
+    {
+      "rule": "LC005",
+      "name": "data-race",
+      "severity": "error",
+      "span": {
+        "kind": "element",
+        "array": "B",
+        "element": [
+          1,
+          0
+        ]
+      },
+      "message": "write at iteration (0,0) on P0 and write at iteration (0,0) on P1 are concurrent: no synchronization orders them"
+    }
+  ],
+  "counts": {
+    "LC005": 2
+  },
+  "errors": 2,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc006_grouping_rank() {
+    let (_, p) = l1_partition();
+    let fabricated = GroupingVectors {
+        beta: 2,
+        ..p.vectors().clone()
+    };
+    let report = Report::from_diagnostics(check_grouping_vectors(p.projected(), &fabricated));
+    snapshot(
+        "LC006",
+        &report,
+        r#"error[LC006] nest: recorded β = 2 disagrees with rank(mat(D^p)) = 1
+error[LC006] nest: Ω holds 1 vector(s) where β = 2 requires a rank-β independent set
+check: 2 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC006",
+      "name": "grouping-rank",
+      "severity": "error",
+      "span": {
+        "kind": "nest"
+      },
+      "message": "recorded β = 2 disagrees with rank(mat(D^p)) = 1"
+    },
+    {
+      "rule": "LC006",
+      "name": "grouping-rank",
+      "severity": "error",
+      "span": {
+        "kind": "nest"
+      },
+      "message": "Ω holds 1 vector(s) where β = 2 requires a rank-β independent set"
+    }
+  ],
+  "counts": {
+    "LC006": 2
+  },
+  "errors": 2,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc007_unmatched_message() {
+    let (w, p) = l1_partition();
+    let m = map_partitioning(&p, 1).unwrap();
+    let cg = generate(&w.nest, &p, m.assignment(), 2).unwrap();
+    let mut program = cg.program;
+    let (proc, i) = program
+        .per_proc
+        .iter()
+        .enumerate()
+        .find_map(|(p, ops)| {
+            ops.iter()
+                .position(|op| matches!(op, Op::Send { .. }))
+                .map(|i| (p, i))
+        })
+        .unwrap();
+    program.per_proc[proc].remove(i);
+    let report = Report::from_diagnostics(check_races(&w.nest, &program));
+    snapshot(
+        "LC007",
+        &report,
+        r#"error[LC007] P0 op 2: receive of message (source point 1, dep 1) from P1 can never be satisfied; the program deadlocks here
+error[LC007] P1 op 0: receive of message (source point 0, dep 0) from P0 can never be satisfied; the program deadlocks here
+check: 2 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC007",
+      "name": "unmatched-message",
+      "severity": "error",
+      "span": {
+        "kind": "program_op",
+        "proc": 0,
+        "op": 2
+      },
+      "message": "receive of message (source point 1, dep 1) from P1 can never be satisfied; the program deadlocks here"
+    },
+    {
+      "rule": "LC007",
+      "name": "unmatched-message",
+      "severity": "error",
+      "span": {
+        "kind": "program_op",
+        "proc": 1,
+        "op": 0
+      },
+      "message": "receive of message (source point 0, dep 0) from P0 can never be satisfied; the program deadlocks here"
+    }
+  ],
+  "counts": {
+    "LC007": 2
+  },
+  "errors": 2,
+  "warnings": 0
+}
+"#,
+    );
+}

@@ -8,6 +8,7 @@
 //! loom simulate  --workload sor --size 16 --cube 3
 //!                [--t-calc 1 --t-start 50 --t-comm 5] [--batch] [--contention]
 //! loom codegen   --workload l1 --size 4 --cube 1 [--run]
+//! loom check     --workload sor --size 8 --cube 2 [--json] [--allow LC004]
 //! loom viz       --workload sor --size 8 [--dot]
 //! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
 //! loom table1    [--m 1024]
@@ -33,6 +34,7 @@ fn usage() -> ! {
          \x20 map       --workload W --cube N   run Algorithms 1+2, print placement\n\
          \x20 simulate  --workload W --cube N   full pipeline + machine simulation\n\
          \x20 codegen   --workload W --cube N   emit SPMD pseudo-code [--run verifies]\n\
+         \x20 check     --workload W --cube N   static verifier [--json] [--allow IDS]\n\
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
          \x20 table1    [--m M]                 the paper's Table I\n\
@@ -389,6 +391,64 @@ fn cmd_codegen(a: &Args) {
     }
 }
 
+fn cmd_check(a: &Args) {
+    let w = pick_workload(a);
+    let pi = loom_hyperplane::TimeFn::new(a.int_list_flag("pi").unwrap_or_else(|| w.pi.clone()));
+    let cube_dim = a.int_flag("cube", 1).max(0) as usize;
+
+    // Stage the pipeline by hand rather than through `run_pipeline`: an
+    // illegal Π must come back as an LC001 diagnostic on stdout, not as
+    // a partitioner error on stderr.
+    let mut report = loom_check::Report::from_diagnostics(loom_check::check_legality(&pi, &w.deps));
+    if !report.has_errors() {
+        let config = loom_partition::PartitionConfig {
+            grouping_choice: a.flags.get("grouping").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --grouping expects an index");
+                    std::process::exit(2)
+                })
+            }),
+            seed: None,
+        };
+        let partitioning =
+            loom_partition::partition(w.nest.space().clone(), w.deps.clone(), pi.clone(), &config)
+                .unwrap_or_else(|e| {
+                    eprintln!("partitioning failed: {e}");
+                    std::process::exit(1)
+                });
+        let tig = loom_partition::Tig::from_partitioning(&partitioning);
+        let mapping = loom_mapping::map_partitioning(&partitioning, cube_dim).unwrap_or_else(|e| {
+            eprintln!("mapping failed: {e}");
+            std::process::exit(1)
+        });
+        report = loom_check::check_pipeline(&loom_check::PipelineCheck {
+            nest: &w.nest,
+            deps: &w.deps,
+            pi: &pi,
+            partitioning: &partitioning,
+            tig: &tig,
+            assignment: mapping.assignment(),
+            cube_dim: mapping.cube().dim(),
+        });
+    }
+    if let Some(allow) = a.flags.get("allow") {
+        let codes: Vec<String> = allow
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        report.allow(&codes);
+    }
+    if a.switch("json") {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_viz(a: &Args) {
     let w = pick_workload(a);
     let out = run_pipeline(a, &w, false);
@@ -473,6 +533,7 @@ fn main() {
         Some("map") => cmd_map(&a),
         Some("simulate") => cmd_simulate(&a),
         Some("codegen") => cmd_codegen(&a),
+        Some("check") => cmd_check(&a),
         Some("viz") => cmd_viz(&a),
         Some("explore") => cmd_explore(&a),
         Some("table1") => cmd_table1(&a),

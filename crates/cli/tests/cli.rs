@@ -141,6 +141,68 @@ fn bad_file_fails_cleanly() {
 }
 
 #[test]
+fn check_clean_pipeline_exits_zero() {
+    let (out, _, ok) = loom(&["check", "--workload", "sor", "--size", "8", "--cube", "2"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("check: 0 error(s)"), "{out}");
+}
+
+#[test]
+fn check_illegal_pi_reports_lc001_and_fails() {
+    let (out, _, ok) = loom(&["check", "--workload", "l1", "--size", "4", "--pi", "1,-1"]);
+    assert!(!ok);
+    assert!(out.contains("error[LC001]"), "{out}");
+    assert!(out.contains("Π·d"), "{out}");
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let (out, _, ok) = loom(&[
+        "check",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--pi",
+        "1,-1",
+        "--json",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("\"rule\": \"LC001\""), "{out}");
+    assert!(out.contains("\"severity\": \"error\""), "{out}");
+    assert!(out.contains("\"counts\""), "{out}");
+}
+
+#[test]
+fn check_allow_downgrades_to_warning() {
+    let (out, _, ok) = loom(&[
+        "check",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--pi",
+        "1,-1",
+        "--allow",
+        "LC001",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("warning[LC001]"), "{out}");
+    assert!(out.contains("check: 0 error(s)"), "{out}");
+}
+
+#[test]
+fn check_file_frontend_works() {
+    let dir = std::env::temp_dir().join("loom-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("check.loom");
+    std::fs::write(&path, "for i = 0 to 7\n A[i+1] = A[i] + 1;\n").unwrap();
+    let (out, _, ok) = loom(&["check", "--file", path.to_str().unwrap(), "--cube", "0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("check: 0 error(s)"), "{out}");
+}
+
+#[test]
 fn explore_ranks() {
     let (out, _, ok) = loom(&[
         "explore",

@@ -4,7 +4,7 @@ use crate::ops::{Op, SpmdProgram, Tag};
 use loom_loopir::deps::{extract_dependences, DepKind, DepOptions};
 use loom_loopir::{LoopNest, Point};
 use loom_partition::Partitioning;
-use loom_rational::intlinalg::{integer_nullspace, IMat};
+use loom_rational::intlinalg::{try_integer_nullspace, IMat};
 
 /// Why SPMD code cannot be generated for a nest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,14 @@ pub enum CodegenError {
         /// Rank of the per-element writer lattice.
         rank: usize,
     },
+    /// Integer arithmetic overflowed while analyzing a write access's
+    /// subscript lattice (pathological subscript coefficients).
+    Numeric {
+        /// The array whose subscripts triggered the overflow.
+        array: String,
+        /// The failing operation.
+        error: loom_rational::NumericError,
+    },
 }
 
 impl std::fmt::Display for CodegenError {
@@ -32,6 +40,9 @@ impl std::fmt::Display for CodegenError {
                 "array `{array}` is accumulated over a {rank}-dimensional iteration \
                  lattice per element; SPMD value forwarding supports chains (rank <= 1)"
             ),
+            CodegenError::Numeric { array, error } => {
+                write!(f, "subscript analysis of array `{array}` failed: {error}")
+            }
         }
     }
 }
@@ -104,7 +115,12 @@ pub fn generate(
             continue;
         }
         let rows: Vec<&[i64]> = w.subscripts().iter().map(|a| a.coeffs()).collect();
-        let rank = integer_nullspace(&IMat::from_rows(&rows)).len();
+        let rank = try_integer_nullspace(&IMat::from_rows(&rows))
+            .map_err(|error| CodegenError::Numeric {
+                array: w.array().to_string(),
+                error,
+            })?
+            .len();
         if rank >= 2 {
             return Err(CodegenError::MultiDimensionalAccumulation {
                 array: w.array().to_string(),

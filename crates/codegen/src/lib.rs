@@ -30,5 +30,5 @@ pub mod threads;
 
 pub use gen::{generate, CodegenError};
 pub use interp::{run, InterpError};
-pub use ops::{Op, SpmdProgram};
+pub use ops::{Op, SpmdProgram, Tag};
 pub use threads::{run_threaded, run_threaded_gathered, ThreadError};

@@ -70,6 +70,10 @@ pub struct MachineOptions {
     /// (implies trace recording) and fail the pipeline with
     /// [`PipelineError::Trace`] on any violation.
     pub validate_trace: bool,
+    /// Run the `loom-check` static verifier over the pipeline's
+    /// artifacts after mapping (before simulation) and fail with
+    /// [`PipelineError::StaticCheck`] on any error-severity diagnostic.
+    pub static_check: bool,
 }
 
 impl Default for MachineOptions {
@@ -82,6 +86,7 @@ impl Default for MachineOptions {
             record_trace: false,
             collect_metrics: false,
             validate_trace: false,
+            static_check: false,
         }
     }
 }
@@ -201,6 +206,11 @@ pub enum PipelineError {
     /// (only produced when
     /// [`MachineOptions::validate_trace`] is set).
     Trace(Vec<TraceViolation>),
+    /// The `loom-check` static verifier reported error-severity
+    /// diagnostics (only produced when
+    /// [`MachineOptions::static_check`] is set). The full report —
+    /// warnings included — rides along for rendering.
+    StaticCheck(loom_check::Report),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -213,6 +223,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
             PipelineError::Trace(v) => {
                 write!(f, "trace validation: {} violation(s): {v:?}", v.len())
+            }
+            PipelineError::StaticCheck(report) => {
+                write!(f, "static check: {}", report.render_human().trim_end())
             }
         }
     }
@@ -337,6 +350,29 @@ impl Pipeline {
             };
             (mapping, placement)
         };
+
+        // 4b. Static verification (loom-check), when requested: every
+        // rule runs against the artifacts just produced, counters land
+        // as `check.<code>`, and error-severity diagnostics abort the
+        // pipeline before any simulation is paid for.
+        if config.machine.as_ref().is_some_and(|o| o.static_check) {
+            let _s = recorder.span("pipeline.check");
+            let report = loom_check::check_pipeline_with(
+                &loom_check::PipelineCheck {
+                    nest: &self.nest,
+                    deps: &deps,
+                    pi: &pi,
+                    partitioning: &partitioning,
+                    tig: &tig,
+                    assignment: mapping.assignment(),
+                    cube_dim: mapping.cube().dim(),
+                },
+                recorder,
+            );
+            if report.has_errors() {
+                return Err(PipelineError::StaticCheck(report));
+            }
+        }
 
         // 5. Machine simulation.
         let sim = match &config.machine {
@@ -624,6 +660,35 @@ mod tests {
         let m = sim.metrics.as_ref().unwrap();
         assert_eq!(m.procs.len(), 4);
         assert_eq!(m.messages.len(), sim.messages as usize);
+    }
+
+    #[test]
+    fn static_check_passes_clean_pipelines_and_records_counters() {
+        let w = loom_workloads::l1::workload(4);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 1,
+                    machine: Some(MachineOptions {
+                        static_check: true,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        assert!(out.sim.is_some());
+        let names: Vec<String> = rec.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"pipeline.check".to_string()));
+        assert!(names.contains(&"check.total".to_string()));
+    }
+
+    #[test]
+    fn static_check_off_by_default() {
+        let opts = MachineOptions::default();
+        assert!(!opts.static_check);
     }
 
     #[test]

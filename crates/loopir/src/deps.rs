@@ -24,7 +24,7 @@ use crate::access::Access;
 use crate::nest::LoopNest;
 use crate::{Error, Point};
 use loom_rational::int::gcd_all;
-use loom_rational::intlinalg::{solve_integer, IMat};
+use loom_rational::intlinalg::{try_solve_integer, IMat};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -193,7 +193,10 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
                     .zip(offsets(ay))
                     .map(|(a, b)| a - b)
                     .collect();
-                let Some((d0, generators)) = solve_integer(&u, &c) else {
+                let solved = try_solve_integer(&u, &c).map_err(|_| Error::Overflow {
+                    array: array.clone(),
+                })?;
+                let Some((d0, generators)) = solved else {
                     continue; // no integer solution: the accesses never conflict
                 };
 

@@ -65,6 +65,12 @@ pub enum Error {
         /// Array whose accesses produce the non-uniform dependence.
         array: String,
     },
+    /// Dependence analysis overflowed `i64` while solving the subscript
+    /// equations (pathological subscript coefficients).
+    Overflow {
+        /// Array whose subscripts triggered the overflow.
+        array: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -83,6 +89,10 @@ impl std::fmt::Display for Error {
             Error::NonUniform { array } => write!(
                 f,
                 "accesses to array `{array}` induce a non-uniform dependence"
+            ),
+            Error::Overflow { array } => write!(
+                f,
+                "dependence analysis of array `{array}` overflowed 64-bit arithmetic"
             ),
         }
     }

@@ -108,11 +108,17 @@ pub fn select_vectors(
             auxiliary.push(i);
         }
     }
-    debug_assert_eq!(
-        auxiliary.len() + 1,
-        beta,
-        "rank-β independent set must exist"
-    );
+    // A rank-β matrix always contains β independent columns, so the
+    // greedy scan above must find them; if it ever does not (a rank
+    // computation bug), fail loudly in every build profile instead of
+    // silently producing a short Ω set — `loom-check` surfaces this as
+    // an LC006 diagnostic.
+    if auxiliary.len() + 1 != beta {
+        return Err(Error::GroupingRankDeficit {
+            found: auxiliary.len() + 1,
+            beta,
+        });
+    }
 
     Ok(GroupingVectors {
         grouping: Some(grouping),

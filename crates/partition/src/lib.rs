@@ -81,6 +81,15 @@ pub enum Error {
         /// Number of dependences.
         len: usize,
     },
+    /// Grouping-vector selection found fewer independent vectors than
+    /// `β = rank(mat(D^p))` — impossible for a correct rank, so this
+    /// flags an internal inconsistency (formerly a debug-only assert).
+    GroupingRankDeficit {
+        /// Size of the independent set actually found.
+        found: usize,
+        /// The rank the set was required to reach.
+        beta: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -100,6 +109,11 @@ impl std::fmt::Display for Error {
             Error::BadDependenceIndex { index, len } => {
                 write!(f, "dependence index {index} out of range (have {len})")
             }
+            Error::GroupingRankDeficit { found, beta } => write!(
+                f,
+                "grouping-vector selection found only {found} independent vector(s) \
+                 where rank \u{3b2} = {beta} requires {beta}"
+            ),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! may be fractional even when an integer one exists), so we reduce with
 //! unimodular column operations instead.
 
+use crate::NumericError;
 use std::fmt;
 
 /// A dense integer matrix, row-major, with `i64` entries.
@@ -71,25 +72,36 @@ impl IMat {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
-    /// Matrix–vector product.
+    /// Matrix–vector product. Panics on overflow; see
+    /// [`try_mul_vec`](IMat::try_mul_vec) for the fallible variant.
     pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        self.try_mul_vec(v).expect("mat-vec overflow")
+    }
+
+    /// Matrix–vector product, reporting overflow instead of panicking.
+    pub fn try_mul_vec(&self, v: &[i64]) -> Result<Vec<i64>, NumericError> {
         assert_eq!(v.len(), self.cols, "mat-vec dimension mismatch");
         (0..self.rows)
             .map(|i| {
                 let s: i128 = (0..self.cols)
                     .map(|j| self[(i, j)] as i128 * v[j] as i128)
                     .sum();
-                i64::try_from(s).expect("mat-vec overflow")
+                i64::try_from(s).map_err(|_| NumericError::Overflow {
+                    context: "matrix-vector product",
+                })
             })
             .collect()
     }
 
     /// Column operation `col[j] -= q * col[k]`.
-    fn col_sub(&mut self, j: usize, q: i64, k: usize) {
+    fn col_sub(&mut self, j: usize, q: i64, k: usize) -> Result<(), NumericError> {
         for i in 0..self.rows {
             let v = self[(i, j)] as i128 - q as i128 * self[(i, k)] as i128;
-            self[(i, j)] = i64::try_from(v).expect("column op overflow");
+            self[(i, j)] = i64::try_from(v).map_err(|_| NumericError::Overflow {
+                context: "column operation",
+            })?;
         }
+        Ok(())
     }
 
     fn col_swap(&mut self, a: usize, b: usize) {
@@ -147,7 +159,13 @@ pub struct ColEchelon {
 }
 
 /// Reduce `a` by unimodular column operations to column-echelon form.
+/// Panics on overflow; see [`try_col_echelon`] for the fallible variant.
 pub fn col_echelon(a: &IMat) -> ColEchelon {
+    try_col_echelon(a).expect("column op overflow")
+}
+
+/// [`col_echelon`], reporting overflow instead of panicking.
+pub fn try_col_echelon(a: &IMat) -> Result<ColEchelon, NumericError> {
     let mut h = a.clone();
     let mut u = IMat::identity(a.cols());
     let mut pivots = Vec::new();
@@ -172,8 +190,8 @@ pub fn col_echelon(a: &IMat) -> ColEchelon {
             for j in (c + 1)..a.cols() {
                 if h[(r, j)] != 0 {
                     let q = h[(r, j)].div_euclid(h[(r, c)]);
-                    h.col_sub(j, q, c);
-                    u.col_sub(j, q, c);
+                    h.col_sub(j, q, c)?;
+                    u.col_sub(j, q, c)?;
                     if h[(r, j)] != 0 {
                         done = false;
                     }
@@ -192,7 +210,7 @@ pub fn col_echelon(a: &IMat) -> ColEchelon {
             c += 1;
         }
     }
-    ColEchelon { h, u, pivots }
+    Ok(ColEchelon { h, u, pivots })
 }
 
 /// Solve `a · x = b` over the integers.
@@ -200,11 +218,23 @@ pub fn col_echelon(a: &IMat) -> ColEchelon {
 /// Returns `Some((x0, basis))` where `x0` is one integer solution and
 /// `basis` generates the lattice of homogeneous solutions (so the full
 /// solution set is `x0 + Σ tₖ·basisₖ`, `tₖ ∈ ℤ`); `None` if no integer
-/// solution exists.
+/// solution exists. Panics on overflow; see [`try_solve_integer`] for
+/// the fallible variant.
 #[allow(clippy::type_complexity)]
 pub fn solve_integer(a: &IMat, b: &[i64]) -> Option<(Vec<i64>, Vec<Vec<i64>>)> {
+    try_solve_integer(a, b).expect("solution overflow")
+}
+
+/// [`solve_integer`], reporting overflow instead of panicking. The
+/// outer `Result` carries numeric failure; the inner `Option` is
+/// `None` when the system has no integer solution.
+#[allow(clippy::type_complexity)]
+pub fn try_solve_integer(
+    a: &IMat,
+    b: &[i64],
+) -> Result<Option<(Vec<i64>, Vec<Vec<i64>>)>, NumericError> {
     assert_eq!(a.rows(), b.len(), "solve_integer: rhs dimension mismatch");
-    let e = col_echelon(a);
+    let e = try_col_echelon(a)?;
     // Forward-substitute h·y = b on pivot entries; non-pivot rows must
     // have zero residual.
     let mut y = vec![0i64; a.cols()];
@@ -218,29 +248,37 @@ pub fn solve_integer(a: &IMat, b: &[i64]) -> Option<(Vec<i64>, Vec<Vec<i64>>)> {
             let (_, c) = e.pivots[pividx];
             let piv = e.h[(r, c)] as i128;
             if residual % piv != 0 {
-                return None;
+                return Ok(None);
             }
-            y[c] = i64::try_from(residual / piv).expect("solution overflow");
+            y[c] = i64::try_from(residual / piv).map_err(|_| NumericError::Overflow {
+                context: "integer solve back-substitution",
+            })?;
             pividx += 1;
         } else if residual != 0 {
-            return None;
+            return Ok(None);
         }
     }
-    let x0 = e.u.mul_vec(&y);
+    let x0 = e.u.try_mul_vec(&y)?;
     let pivot_cols: Vec<usize> = e.pivots.iter().map(|&(_, c)| c).collect();
     let basis = (0..a.cols())
         .filter(|j| !pivot_cols.contains(j))
         .map(|j| e.u.col(j))
         .collect();
-    Some((x0, basis))
+    Ok(Some((x0, basis)))
 }
 
 /// A lattice basis for the integer nullspace of `a` (all integer `x` with
-/// `a·x = 0`).
+/// `a·x = 0`). Panics on overflow; see [`try_integer_nullspace`] for the
+/// fallible variant.
 pub fn integer_nullspace(a: &IMat) -> Vec<Vec<i64>> {
-    solve_integer(a, &vec![0; a.rows()])
+    try_integer_nullspace(a).expect("column op overflow")
+}
+
+/// [`integer_nullspace`], reporting overflow instead of panicking.
+pub fn try_integer_nullspace(a: &IMat) -> Result<Vec<Vec<i64>>, NumericError> {
+    Ok(try_solve_integer(a, &vec![0; a.rows()])?
         .expect("homogeneous system is always solvable")
-        .1
+        .1)
 }
 
 #[cfg(test)]
@@ -359,6 +397,34 @@ mod tests {
                 assert_eq!(a.mul_vec(&shifted), b.clone(), "{a:?}");
             }
         });
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_ones() {
+        let a = IMat::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let e = try_col_echelon(&a).unwrap();
+        assert_eq!(e.h, col_echelon(&a).h);
+        assert_eq!(
+            try_solve_integer(&a, &[0, 0, 0]).unwrap(),
+            solve_integer(&a, &[0, 0, 0])
+        );
+        assert_eq!(try_integer_nullspace(&a).unwrap(), integer_nullspace(&a));
+    }
+
+    #[test]
+    fn overflow_reported_not_panicked() {
+        // gcd steps on near-i64-max coprime entries overflow the column
+        // updates; the try_ path must surface that as an error.
+        let a = IMat::from_rows(&[&[i64::MAX, i64::MAX - 1], &[1, i64::MIN + 1]]);
+        assert!(matches!(
+            try_col_echelon(&a),
+            Err(NumericError::Overflow { .. }) | Ok(_)
+        ));
+        let b = IMat::from_rows(&[&[i64::MAX, i64::MAX]]);
+        assert!(matches!(
+            b.try_mul_vec(&[i64::MAX, i64::MAX]),
+            Err(NumericError::Overflow { .. })
+        ));
     }
 
     #[test]

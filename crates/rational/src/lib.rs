@@ -16,9 +16,12 @@
 //! * [`QMat`] — a dense rational matrix with Gaussian elimination, rank,
 //!   solving, and nullspace extraction.
 //!
-//! Everything here is deterministic and panics only on arithmetic overflow
-//! (beyond ±2⁶³-scale numerators), which for the loop sizes this project
-//! handles is an internal invariant violation rather than a user error.
+//! Everything here is deterministic. The default entry points panic on
+//! arithmetic overflow (beyond ±2⁶³-scale numerators) — for pipeline
+//! internals that is an invariant violation, not a user error — while
+//! the `try_*`/`checked_*` variants return [`NumericError`] instead,
+//! for call sites fed directly by user-supplied loop nests (dependence
+//! extraction, code generation).
 
 #![deny(missing_docs)]
 
@@ -32,3 +35,28 @@ pub mod vector;
 pub use matrix::QMat;
 pub use ratio::Ratio;
 pub use vector::{IVec, QVec};
+
+/// A numeric failure from a `try_*`/`checked_*` entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericError {
+    /// An intermediate or final value does not fit in `i64`.
+    Overflow {
+        /// The operation that overflowed.
+        context: &'static str,
+    },
+    /// A rational was constructed with denominator zero.
+    ZeroDenominator,
+}
+
+impl std::fmt::Display for NumericError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericError::Overflow { context } => {
+                write!(f, "integer overflow during {context}")
+            }
+            NumericError::ZeroDenominator => write!(f, "zero denominator"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}

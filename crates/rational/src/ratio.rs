@@ -1,5 +1,6 @@
 //! A normalized rational number over `i64`.
 
+use crate::NumericError;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -37,12 +38,27 @@ impl Ratio {
         Self::norm128(num as i128, den as i128)
     }
 
+    /// Construct and normalize a rational, reporting a zero denominator
+    /// or overflow (e.g. `i64::MIN` with a negative denominator, whose
+    /// sign flip leaves `2⁶³`) as a [`NumericError`] instead of
+    /// panicking — for call sites fed directly by user input.
+    pub fn checked_new(num: i64, den: i64) -> Result<Ratio, NumericError> {
+        if den == 0 {
+            return Err(NumericError::ZeroDenominator);
+        }
+        Self::checked_norm128(num as i128, den as i128)
+    }
+
     /// A whole number `n/1`.
     pub const fn int(n: i64) -> Ratio {
         Ratio { num: n, den: 1 }
     }
 
     fn norm128(num: i128, den: i128) -> Ratio {
+        Self::checked_norm128(num, den).expect("rational overflow")
+    }
+
+    fn checked_norm128(num: i128, den: i128) -> Result<Ratio, NumericError> {
         debug_assert!(den != 0);
         let sign = if den < 0 { -1 } else { 1 };
         let (mut n, mut d) = (num * sign as i128, den * sign as i128);
@@ -51,10 +67,14 @@ impl Ratio {
             n /= g;
             d /= g;
         }
-        Ratio {
-            num: i64::try_from(n).expect("rational numerator overflow"),
-            den: i64::try_from(d).expect("rational denominator overflow"),
-        }
+        Ok(Ratio {
+            num: i64::try_from(n).map_err(|_| NumericError::Overflow {
+                context: "rational numerator normalization",
+            })?,
+            den: i64::try_from(d).map_err(|_| NumericError::Overflow {
+                context: "rational denominator normalization",
+            })?,
+        })
     }
 
     /// Numerator (sign-carrying).
@@ -249,6 +269,17 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn checked_new_reports_instead_of_panicking() {
+        assert_eq!(Ratio::checked_new(1, 0), Err(NumericError::ZeroDenominator));
+        assert_eq!(Ratio::checked_new(2, 4), Ok(Ratio::new(1, 2)));
+        // −(i64::MIN) = 2⁶³ does not fit: overflow, not a panic.
+        assert!(matches!(
+            Ratio::checked_new(i64::MIN, -1),
+            Err(NumericError::Overflow { .. })
+        ));
     }
 
     #[test]
