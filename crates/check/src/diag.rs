@@ -29,6 +29,10 @@ pub enum RuleId {
     /// `LC007` — SPMD program consistency: every receive has a matching
     /// send that can reach it (no deadlock, no orphan message).
     UnmatchedMessage,
+    /// `LC008` — fault-plan validity: every injected fault references a
+    /// live processor or physical link, windows are well-ordered, and
+    /// the plan survives a JSON round trip unchanged.
+    FaultPlan,
 }
 
 impl RuleId {
@@ -42,6 +46,7 @@ impl RuleId {
             RuleId::DataRace => "LC005",
             RuleId::GroupingRank => "LC006",
             RuleId::UnmatchedMessage => "LC007",
+            RuleId::FaultPlan => "LC008",
         }
     }
 
@@ -55,11 +60,12 @@ impl RuleId {
             RuleId::DataRace => "data-race",
             RuleId::GroupingRank => "grouping-rank",
             RuleId::UnmatchedMessage => "unmatched-message",
+            RuleId::FaultPlan => "fault-plan",
         }
     }
 
     /// Every rule, in code order.
-    pub fn all() -> [RuleId; 7] {
+    pub fn all() -> [RuleId; 8] {
         [
             RuleId::ScheduleLegality,
             RuleId::BlockSharedStep,
@@ -68,6 +74,7 @@ impl RuleId {
             RuleId::DataRace,
             RuleId::GroupingRank,
             RuleId::UnmatchedMessage,
+            RuleId::FaultPlan,
         ]
     }
 }
@@ -151,6 +158,11 @@ pub enum Span {
         /// Index into the processor's op list.
         op: usize,
     },
+    /// Scheduled fault `index` of a fault plan's event list.
+    FaultEvent {
+        /// Index into `FaultPlan::events`.
+        index: usize,
+    },
 }
 
 fn ints(v: &[i64]) -> String {
@@ -173,6 +185,7 @@ impl fmt::Display for Span {
             Span::PointPair { a, b } => write!(f, "points {} and {}", ints(a), ints(b)),
             Span::Element { array, element } => write!(f, "element {array}{}", ints(element)),
             Span::ProgramOp { proc, op } => write!(f, "P{proc} op {op}"),
+            Span::FaultEvent { index } => write!(f, "fault event [{index}]"),
         }
     }
 }
@@ -214,6 +227,10 @@ impl Span {
                 ("kind", Json::from("program_op")),
                 ("proc", Json::from(*proc as u64)),
                 ("op", Json::from(*op)),
+            ]),
+            Span::FaultEvent { index } => Json::obj(vec![
+                ("kind", Json::from("fault_event")),
+                ("index", Json::from(*index)),
             ]),
         }
     }
@@ -398,7 +415,7 @@ mod tests {
         let codes: Vec<&str> = RuleId::all().iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            vec!["LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007"]
+            vec!["LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008"]
         );
     }
 

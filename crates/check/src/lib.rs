@@ -24,6 +24,7 @@
 //! | `LC005` | data-race          | happens-before race scan of SPMD code   |
 //! | `LC006` | grouping-rank      | Ω is a rank-β independent set           |
 //! | `LC007` | unmatched-message  | every `Recv` is satisfiable, no orphans |
+//! | `LC008` | fault-plan         | fault plans reference live hardware     |
 //!
 //! The checks run standalone (each `check_*` function takes exactly
 //! the artifacts it inspects), through [`check_pipeline`] on a bundle
@@ -34,6 +35,7 @@
 #![deny(missing_docs)]
 
 mod diag;
+mod faultplan;
 mod gray;
 mod legality;
 mod lemma1;
@@ -41,6 +43,7 @@ mod races;
 mod theorem2;
 
 pub use diag::{Diagnostic, Report, RuleId, Severity, Span};
+pub use faultplan::check_fault_plan;
 pub use gray::check_gray;
 pub use legality::check_legality;
 pub use lemma1::check_lemma1;

@@ -7,6 +7,7 @@
 //! loom map       --workload matvec --size 16 --cube 2
 //! loom simulate  --workload sor --size 16 --cube 3
 //!                [--t-calc 1 --t-start 50 --t-comm 5] [--batch] [--contention]
+//!                [--fault-plan plan.json --fault-seed 7 --recovery remap]
 //! loom codegen   --workload l1 --size 4 --cube 1 [--run]
 //! loom check     --workload sor --size 8 --cube 2 [--json] [--allow LC004]
 //! loom viz       --workload sor --size 8 [--dot]
@@ -33,6 +34,7 @@ fn usage() -> ! {
          \x20 partition --workload W --size S   run Algorithm 1, print blocks\n\
          \x20 map       --workload W --cube N   run Algorithms 1+2, print placement\n\
          \x20 simulate  --workload W --cube N   full pipeline + machine simulation\n\
+         \x20 sim       alias for simulate\n\
          \x20 codegen   --workload W --cube N   emit SPMD pseudo-code [--run verifies]\n\
          \x20 check     --workload W --cube N   static verifier [--json] [--allow IDS]\n\
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
@@ -43,7 +45,11 @@ fn usage() -> ! {
          \x20               --mesh RxC | --ring N (instead of --cube),\n\
          \x20               --metrics-out FILE (metrics JSON),\n\
          \x20               --trace-out FILE (Chrome/Perfetto trace JSON),\n\
-         \x20               --validate (replay the trace through verify_trace)"
+         \x20               --validate (replay the trace through verify_trace)\n\
+         fault flags:    --fault-plan FILE (JSON fault plan, see docs/RESILIENCE.md),\n\
+         \x20               --fault-seed N (override the plan's noise seed),\n\
+         \x20               --recovery abort|retry|remap (default retry),\n\
+         \x20               --degradation-out FILE (degradation report JSON)"
     );
     std::process::exit(2)
 }
@@ -131,6 +137,53 @@ fn pick_target(a: &Args) -> Option<loom_core::Target> {
     None
 }
 
+/// Build the fault configuration from `--fault-plan` / `--fault-seed`
+/// / `--recovery`. The plan is statically validated (rule `LC008`)
+/// against the machine the run will target before it is accepted; any
+/// error diagnostic refuses the run.
+fn fault_config(a: &Args) -> Option<loom_machine::FaultConfig> {
+    let path = a.flags.get("fault-plan")?;
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let doc = loom_obs::Json::parse(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        std::process::exit(2)
+    });
+    let plan = loom_machine::FaultPlan::from_json(&doc).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid fault plan: {e}");
+        std::process::exit(2)
+    });
+    let topology = pick_target(a)
+        .unwrap_or(loom_core::Target::Hypercube(
+            a.int_flag("cube", 1).max(0) as usize
+        ))
+        .topology();
+    let diags = loom_check::check_fault_plan(&plan, &topology);
+    for d in &diags {
+        eprintln!("{path}: {d}");
+    }
+    if diags
+        .iter()
+        .any(|d| d.severity == loom_check::Severity::Error)
+    {
+        std::process::exit(1)
+    }
+    let policy: loom_machine::RecoveryPolicy = a
+        .str_flag("recovery", "retry")
+        .parse()
+        .unwrap_or_else(|e: String| {
+            eprintln!("error: {e}");
+            std::process::exit(2)
+        });
+    let mut fc = loom_machine::FaultConfig::new(plan, policy);
+    if a.flags.contains_key("fault-seed") {
+        fc.seed_override = Some(a.int_flag("fault-seed", 0).max(0) as u64);
+    }
+    Some(fc)
+}
+
 fn run_pipeline(a: &Args, w: &Workload, with_machine: bool) -> loom_core::PipelineOutput {
     run_pipeline_with(a, w, with_machine, &Recorder::disabled())
 }
@@ -162,6 +215,7 @@ fn run_pipeline_with(
             collect_metrics: a.flags.contains_key("metrics-out")
                 || a.flags.contains_key("trace-out"),
             validate_trace: a.switch("validate"),
+            faults: fault_config(a),
             ..Default::default()
         }),
         ..Default::default()
@@ -335,6 +389,25 @@ fn cmd_simulate(a: &Args) {
         "utilization:\n{}",
         loom_viz::utilization_chart(&sim.compute, &sim.comm, sim.makespan, 40)
     );
+    if let Some(deg) = sim.degradation.as_ref() {
+        println!(
+            "faults: {} injected, {} hit ({} drops, {} corruptions, {} delays)",
+            deg.faults_injected, deg.faults_hit, deg.drops, deg.corruptions, deg.delays
+        );
+        println!(
+            "recovery: {} retries ({} words resent), {} reroutes, {} crashes, {} tasks remapped",
+            deg.retries, deg.retransmitted_words, deg.reroutes, deg.crashes, deg.remapped_tasks
+        );
+        println!(
+            "degradation: makespan {} -> {} (+{:.1}%)",
+            deg.baseline_makespan,
+            deg.degraded_makespan,
+            100.0 * deg.makespan_inflation()
+        );
+        if let Some(path) = a.flags.get("degradation-out") {
+            write_out(path, deg.to_json().render_pretty(), "degradation report");
+        }
+    }
     if a.switch("validate") {
         // A violating trace already failed the pipeline with
         // PipelineError::Trace, so reaching here means a clean replay.
@@ -531,7 +604,7 @@ fn main() {
         Some("workloads") => cmd_workloads(),
         Some("partition") => cmd_partition(&a),
         Some("map") => cmd_map(&a),
-        Some("simulate") => cmd_simulate(&a),
+        Some("simulate") | Some("sim") => cmd_simulate(&a),
         Some("codegen") => cmd_codegen(&a),
         Some("check") => cmd_check(&a),
         Some("viz") => cmd_viz(&a),

@@ -29,7 +29,7 @@ pub struct Candidate {
 }
 
 /// Exploration bounds.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Π coefficients searched in `[-bound, bound]`.
     pub pi_bound: i64,
@@ -108,7 +108,7 @@ pub fn explore(
                         grouping_choice: Some(grouping),
                         seed: None,
                     },
-                    machine: Some(config.machine),
+                    machine: Some(config.machine.clone()),
                     ..Default::default()
                 });
                 match run {

@@ -67,6 +67,9 @@ pub fn sim_json(sim: &SimReport) -> Json {
     if let Some(m) = &sim.metrics {
         fields.push(("telemetry", m.to_json()));
     }
+    if let Some(d) = &sim.degradation {
+        fields.push(("degradation", d.to_json()));
+    }
     Json::obj(fields)
 }
 
@@ -120,6 +123,36 @@ mod tests {
         assert_eq!(sim.get("utilization").unwrap().as_arr().unwrap().len(), 4);
         assert!(sim.get("telemetry").unwrap().get("procs").is_some());
         // The whole document survives a render→parse round trip.
+        let rendered = doc.render_pretty();
+        assert_eq!(Json::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn degradation_section_appears_under_faults() {
+        use loom_machine::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let w = loom_workloads::matvec::workload(16);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest.clone())
+            .run_with(
+                &PipelineConfig {
+                    time_fn: Some(w.pi.clone()),
+                    cube_dim: 2,
+                    machine: Some(MachineOptions {
+                        faults: Some(FaultConfig::new(
+                            FaultPlan::none().with_crash(2, 40),
+                            RecoveryPolicy::Remap,
+                        )),
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        let doc = metrics_json(&rec, out.sim.as_ref());
+        let deg = doc.get("sim").unwrap().get("degradation").unwrap();
+        assert_eq!(deg.get("crashes").unwrap().as_u64(), Some(1));
+        assert!(deg.get("makespan_inflation").is_some());
         let rendered = doc.render_pretty();
         assert_eq!(Json::parse(&rendered).unwrap(), doc);
     }

@@ -4,7 +4,10 @@
 use loom_hyperplane::{SearchConfig, TimeFn};
 use loom_loopir::{DepOptions, LoopNest, Point};
 use loom_machine::trace::{verify_trace, TraceViolation};
-use loom_machine::{simulate, MachineParams, Program, SimConfig, SimReport, Topology};
+use loom_machine::{
+    simulate, simulate_with_faults, FaultConfig, MachineParams, Program, SimConfig, SimReport,
+    Topology,
+};
 use loom_mapping::other_targets::{map_partitioning_mesh, map_partitioning_ring};
 use loom_mapping::{map_partitioning, Mapping};
 use loom_obs::Recorder;
@@ -51,7 +54,7 @@ impl Target {
 
 /// Machine-simulation options for the pipeline (the topology is always
 /// the hypercube selected by `cube_dim`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MachineOptions {
     /// Timing parameters.
     pub params: MachineParams,
@@ -74,6 +77,10 @@ pub struct MachineOptions {
     /// artifacts after mapping (before simulation) and fail with
     /// [`PipelineError::StaticCheck`] on any error-severity diagnostic.
     pub static_check: bool,
+    /// Inject faults during simulation: the deterministic plan plus the
+    /// recovery policy ([`loom_machine::fault`]). `None` simulates the
+    /// paper's perfectly reliable machine.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for MachineOptions {
@@ -87,6 +94,7 @@ impl Default for MachineOptions {
             collect_metrics: false,
             validate_trace: false,
             static_check: false,
+            faults: None,
         }
     }
 }
@@ -394,8 +402,40 @@ impl Pipeline {
                     record_trace: opts.record_trace || opts.validate_trace,
                     collect_metrics: opts.collect_metrics,
                 };
-                let report = simulate(&program, &sim_config).map_err(PipelineError::Sim)?;
-                if opts.validate_trace {
+                let report = match &opts.faults {
+                    None => simulate(&program, &sim_config).map_err(PipelineError::Sim)?,
+                    Some(fc) => {
+                        let r = simulate_with_faults(&program, &sim_config, fc)
+                            .map_err(PipelineError::Sim)?;
+                        if let Some(deg) = r.degradation.as_ref() {
+                            recorder.add("fault.injected", deg.faults_injected);
+                            recorder.add("fault.hit", deg.faults_hit);
+                            recorder.add("fault.drops", deg.drops);
+                            recorder.add("fault.corruptions", deg.corruptions);
+                            recorder.add("fault.delays", deg.delays);
+                            recorder.add("fault.reroutes", deg.reroutes);
+                            recorder.add("fault.retries", deg.retries);
+                            recorder.add("fault.retransmitted_words", deg.retransmitted_words);
+                            recorder.add("fault.crashes", deg.crashes);
+                            recorder.add("fault.remapped_tasks", deg.remapped_tasks);
+                            recorder.add("fault.state_transfer_words", deg.state_transfer_words);
+                            recorder.add(
+                                "fault.makespan_inflation_permille",
+                                (deg.makespan_inflation() * 1000.0).round().max(0.0) as u64,
+                            );
+                        }
+                        r
+                    }
+                };
+                // Remap recovery legitimately moves tasks off their
+                // statically assigned processors, which is exactly what
+                // verify_trace rejects — skip validation for runs that
+                // actually remapped.
+                let remapped = report
+                    .degradation
+                    .as_ref()
+                    .is_some_and(|d| d.remapped_tasks > 0);
+                if opts.validate_trace && !remapped {
                     let violations = verify_trace(&program, report.trace.as_deref().unwrap_or(&[]));
                     if !violations.is_empty() {
                         return Err(PipelineError::Trace(violations));
@@ -689,6 +729,97 @@ mod tests {
     fn static_check_off_by_default() {
         let opts = MachineOptions::default();
         assert!(!opts.static_check);
+        assert!(opts.faults.is_none());
+    }
+
+    #[test]
+    fn fault_plumbing_reaches_simulator_and_recorder() {
+        use loom_machine::{FaultPlan, RecoveryPolicy};
+        let w = loom_workloads::matvec::workload(16);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    time_fn: Some(w.pi.clone()),
+                    cube_dim: 2,
+                    machine: Some(MachineOptions {
+                        faults: Some(FaultConfig::new(
+                            FaultPlan::none().with_crash(3, 50),
+                            RecoveryPolicy::Remap,
+                        )),
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        let sim = out.sim.unwrap();
+        let deg = sim.degradation.as_ref().unwrap();
+        assert_eq!(deg.crashes, 1);
+        assert!(deg.state_transfer_words > 0);
+        let counters = rec.counters();
+        assert_eq!(counters.get("fault.crashes"), Some(&1));
+        assert_eq!(counters.get("fault.injected"), Some(&1));
+        assert!(counters.contains_key("fault.state_transfer_words"));
+    }
+
+    #[test]
+    fn abort_policy_propagates_unrecoverable() {
+        use loom_machine::{FaultPlan, RecoveryPolicy, SimError};
+        let w = loom_workloads::matvec::workload(16);
+        let err = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim: 2,
+                machine: Some(MachineOptions {
+                    faults: Some(FaultConfig::new(
+                        FaultPlan::none().with_crash(0, 0),
+                        RecoveryPolicy::Abort,
+                    )),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .unwrap_err();
+        match err {
+            PipelineError::Sim(SimError::Unrecoverable { .. }) => {}
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_pipeline() {
+        use loom_machine::{FaultPlan, RecoveryPolicy};
+        let w = loom_workloads::matvec::workload(16);
+        let base_cfg = PipelineConfig {
+            time_fn: Some(w.pi.clone()),
+            cube_dim: 2,
+            ..Default::default()
+        };
+        let base = Pipeline::new(w.nest.clone())
+            .run(&base_cfg)
+            .unwrap()
+            .sim
+            .unwrap();
+        let faulted = Pipeline::new(w.nest)
+            .run(&PipelineConfig {
+                machine: Some(MachineOptions {
+                    faults: Some(FaultConfig::new(
+                        FaultPlan::none(),
+                        RecoveryPolicy::RetryOnly,
+                    )),
+                    ..Default::default()
+                }),
+                ..base_cfg
+            })
+            .unwrap()
+            .sim
+            .unwrap();
+        assert_eq!(faulted.makespan, base.makespan);
+        assert_eq!(faulted.messages, base.messages);
+        assert_eq!(faulted.words, base.words);
+        assert_eq!(faulted.degradation.unwrap().faults_hit, 0);
     }
 
     #[test]

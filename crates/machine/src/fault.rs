@@ -1,0 +1,815 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! The paper's cost analysis assumes a perfectly reliable 1991
+//! hypercube: every message arrives and every processor survives. This
+//! module supplies the misbehaving machine — a [`FaultPlan`] describes
+//! *exactly* which links fail, which processors slow down or crash, and
+//! how often messages are dropped, corrupted, or delayed. Everything is
+//! seeded by the in-repo SplitMix64, so the same
+//! `(program, plan, seed, policy)` quadruple reproduces the same
+//! degraded execution bit for bit, and a plan serializes to/from JSON so
+//! fault scenarios are artifacts you can commit, diff, and replay.
+//!
+//! What happens when a fault hits is decided by the [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Abort`] — no recovery at all; the first fault
+//!   that strands a task fails the simulation with a typed
+//!   [`SimError::Unrecoverable`](crate::sim::SimError::Unrecoverable)
+//!   carrying a causal explanation.
+//! * [`RecoveryPolicy::RetryOnly`] — reliable messaging (per-message
+//!   ack, timeout, bounded exponential backoff, rerouting around dead
+//!   links), but a fail-stop crash that strands tasks is fatal.
+//! * [`RecoveryPolicy::Remap`] — retries *plus* crash recovery: the
+//!   dead processor's remaining tasks move to its Gray-code nearest
+//!   surviving neighbor and the paper's cost model is charged for the
+//!   state-transfer message.
+//!
+//! The outcome is summarized in a [`DegradationReport`] attached to the
+//! [`SimReport`](crate::SimReport).
+
+use loom_obs::Json;
+
+/// How the simulated system reacts when an injected fault hits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// No recovery: the first fault that strands a task fails the run
+    /// with [`SimError::Unrecoverable`](crate::sim::SimError::Unrecoverable).
+    Abort,
+    /// Reliable messaging only: ack/timeout/backoff retries and
+    /// rerouting, but fail-stop crashes that strand tasks are fatal.
+    #[default]
+    RetryOnly,
+    /// Retries plus crash recovery by remapping the dead processor's
+    /// remaining tasks onto its Gray-code nearest surviving neighbor.
+    Remap,
+}
+
+impl RecoveryPolicy {
+    /// The CLI-facing name (`abort` / `retry` / `remap`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Abort => "abort",
+            RecoveryPolicy::RetryOnly => "retry",
+            RecoveryPolicy::Remap => "remap",
+        }
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RecoveryPolicy, String> {
+        match s {
+            "abort" => Ok(RecoveryPolicy::Abort),
+            "retry" | "retry-only" => Ok(RecoveryPolicy::RetryOnly),
+            "remap" => Ok(RecoveryPolicy::Remap),
+            other => Err(format!(
+                "unknown recovery policy `{other}` (expected abort|retry|remap)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The directed link `from → to` is down from tick `at` until tick
+    /// `until` (exclusive); `None` means permanently.
+    LinkDown {
+        /// Source endpoint of the directed link.
+        from: usize,
+        /// Destination endpoint of the directed link.
+        to: usize,
+        /// First tick the link is down.
+        at: u64,
+        /// First tick the link is back up (`None` = never).
+        until: Option<u64>,
+    },
+    /// Processor `proc` computes `factor`× slower from `at` until
+    /// `until` (exclusive); `None` means for the rest of the run.
+    ProcSlow {
+        /// The slowed processor.
+        proc: usize,
+        /// Integer slowdown multiplier (≥ 1; 1 is a no-op).
+        factor: u64,
+        /// First slowed tick.
+        at: u64,
+        /// First tick back at full speed (`None` = never).
+        until: Option<u64>,
+    },
+    /// Processor `proc` fail-stops at tick `at`: whatever it was running
+    /// dies with it, and its unfinished tasks are stranded unless the
+    /// policy is [`RecoveryPolicy::Remap`].
+    ProcCrash {
+        /// The crashing processor.
+        proc: usize,
+        /// Crash tick.
+        at: u64,
+    },
+}
+
+impl FaultEvent {
+    /// One-line human description, used in error explanations and the
+    /// Perfetto fault band labels.
+    pub fn describe(&self) -> String {
+        match *self {
+            FaultEvent::LinkDown {
+                from,
+                to,
+                at,
+                until,
+            } => match until {
+                Some(u) => format!("link {from}->{to} down [{at},{u})"),
+                None => format!("link {from}->{to} down from {at}"),
+            },
+            FaultEvent::ProcSlow {
+                proc,
+                factor,
+                at,
+                until,
+            } => match until {
+                Some(u) => format!("P{proc} slowed {factor}x [{at},{u})"),
+                None => format!("P{proc} slowed {factor}x from {at}"),
+            },
+            FaultEvent::ProcCrash { proc, at } => format!("P{proc} crashed at {at}"),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        fn until_json(until: Option<u64>) -> Json {
+            match until {
+                Some(u) => Json::from(u),
+                None => Json::Null,
+            }
+        }
+        match *self {
+            FaultEvent::LinkDown {
+                from,
+                to,
+                at,
+                until,
+            } => Json::obj(vec![
+                ("kind", Json::from("link_down")),
+                ("from", Json::from(from)),
+                ("to", Json::from(to)),
+                ("at", Json::from(at)),
+                ("until", until_json(until)),
+            ]),
+            FaultEvent::ProcSlow {
+                proc,
+                factor,
+                at,
+                until,
+            } => Json::obj(vec![
+                ("kind", Json::from("proc_slow")),
+                ("proc", Json::from(proc)),
+                ("factor", Json::from(factor)),
+                ("at", Json::from(at)),
+                ("until", until_json(until)),
+            ]),
+            FaultEvent::ProcCrash { proc, at } => Json::obj(vec![
+                ("kind", Json::from("proc_crash")),
+                ("proc", Json::from(proc)),
+                ("at", Json::from(at)),
+            ]),
+        }
+    }
+}
+
+/// A malformed fault-plan document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn bad(msg: impl Into<String>) -> PlanParseError {
+    PlanParseError {
+        message: msg.into(),
+    }
+}
+
+/// A complete, deterministic description of every fault a simulation
+/// will suffer.
+///
+/// Two fault sources compose:
+///
+/// * **scheduled events** ([`FaultEvent`]) — link outages, slowdowns,
+///   and crashes pinned to exact ticks;
+/// * **per-message noise** — each transmission attempt is independently
+///   dropped / corrupted / delayed with the configured per-mille
+///   probabilities, drawn from a SplitMix64 stream seeded by `seed`, so
+///   the whole noise process replays exactly.
+///
+/// An all-zero plan ([`FaultPlan::is_empty`]) injects nothing: the
+/// engine takes the exact baseline code path and the run is
+/// bit-identical to [`simulate`](crate::simulate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the per-message noise stream.
+    pub seed: u64,
+    /// Per-message drop probability, in 1/1000.
+    pub drop_per_mille: u32,
+    /// Per-message corruption probability, in 1/1000 (a corrupted
+    /// message reaches the receiver but fails its checksum and is
+    /// retransmitted like a drop).
+    pub corrupt_per_mille: u32,
+    /// Per-message delay probability, in 1/1000.
+    pub delay_per_mille: u32,
+    /// Delayed messages arrive `1..=max_delay_ticks` ticks late.
+    pub max_delay_ticks: u64,
+    /// Base retransmission timeout: attempt `k` retries after
+    /// `retry_timeout << min(k, 6)` ticks (bounded exponential backoff).
+    pub retry_timeout: u64,
+    /// Retransmission attempts before the message — and the run — is
+    /// declared [`Unrecoverable`](crate::sim::SimError::Unrecoverable).
+    pub max_retries: u32,
+    /// Scheduled link/processor faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            corrupt_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ticks: 0,
+            retry_timeout: 256,
+            max_retries: 8,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever goes wrong.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A message-noise-only plan with the given per-mille rates.
+    pub fn message_noise(seed: u64, drop: u32, corrupt: u32, delay: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_per_mille: drop,
+            corrupt_per_mille: corrupt,
+            delay_per_mille: delay,
+            max_delay_ticks: if delay > 0 { 64 } else { 0 },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Append an event (builder style).
+    pub fn with_event(mut self, ev: FaultEvent) -> FaultPlan {
+        self.events.push(ev);
+        self
+    }
+
+    /// Append a fail-stop crash (builder style).
+    pub fn with_crash(self, proc: usize, at: u64) -> FaultPlan {
+        self.with_event(FaultEvent::ProcCrash { proc, at })
+    }
+
+    /// `true` iff this plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.drop_per_mille == 0
+            && self.corrupt_per_mille == 0
+            && self.delay_per_mille == 0
+    }
+
+    /// `true` iff any per-message noise rate is nonzero.
+    pub fn has_message_noise(&self) -> bool {
+        self.drop_per_mille > 0 || self.corrupt_per_mille > 0 || self.delay_per_mille > 0
+    }
+
+    /// `true` iff any link outage is scheduled.
+    pub fn has_link_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::LinkDown { .. }))
+    }
+
+    /// All scheduled crashes, as `(proc, tick)` pairs.
+    pub fn crashes(&self) -> Vec<(usize, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ProcCrash { proc, at } => Some((proc, at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` iff the directed link `from → to` is down at any point of
+    /// the closed tick interval `[t0, t1]`.
+    pub fn link_down_during(&self, from: usize, to: usize, t0: u64, t1: u64) -> bool {
+        self.events.iter().any(|e| match *e {
+            FaultEvent::LinkDown {
+                from: f,
+                to: t,
+                at,
+                until,
+            } => f == from && t == to && at <= t1 && until.is_none_or(|u| u > t0),
+            _ => false,
+        })
+    }
+
+    /// `true` iff the directed link is down forever from some tick ≤
+    /// `t` (no retry can ever cross it again).
+    pub fn link_dead_forever(&self, from: usize, to: usize, t: u64) -> bool {
+        self.events.iter().any(|e| match *e {
+            FaultEvent::LinkDown {
+                from: f,
+                to: tt,
+                at,
+                until,
+            } => f == from && tt == to && until.is_none() && at <= t,
+            _ => false,
+        })
+    }
+
+    /// The combined slowdown multiplier of `proc` at tick `t` (1 when
+    /// unaffected). Overlapping windows multiply.
+    pub fn slow_factor(&self, proc: usize, t: u64) -> u64 {
+        let mut factor = 1u64;
+        for e in &self.events {
+            if let FaultEvent::ProcSlow {
+                proc: p,
+                factor: f,
+                at,
+                until,
+            } = *e
+            {
+                if p == proc && at <= t && until.is_none_or(|u| u > t) {
+                    factor = factor.saturating_mul(f.max(1));
+                }
+            }
+        }
+        factor
+    }
+
+    /// Serialize to the JSON document `loom sim --fault-plan` reads.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::from(self.seed)),
+            ("drop_per_mille", Json::from(self.drop_per_mille as u64)),
+            (
+                "corrupt_per_mille",
+                Json::from(self.corrupt_per_mille as u64),
+            ),
+            ("delay_per_mille", Json::from(self.delay_per_mille as u64)),
+            ("max_delay_ticks", Json::from(self.max_delay_ticks)),
+            ("retry_timeout", Json::from(self.retry_timeout)),
+            ("max_retries", Json::from(self.max_retries as u64)),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(FaultEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a plan from its JSON form. Unknown keys are rejected so a
+    /// typo'd field never silently disables a fault.
+    pub fn from_json(doc: &Json) -> Result<FaultPlan, PlanParseError> {
+        let Json::Obj(pairs) = doc else {
+            return Err(bad("top level must be an object"));
+        };
+        let known = [
+            "seed",
+            "drop_per_mille",
+            "corrupt_per_mille",
+            "delay_per_mille",
+            "max_delay_ticks",
+            "retry_timeout",
+            "max_retries",
+            "events",
+        ];
+        for (k, _) in pairs {
+            if !known.contains(&k.as_str()) {
+                return Err(bad(format!("unknown field `{k}`")));
+            }
+        }
+        let field_u64 = |key: &str, default: u64| -> Result<u64, PlanParseError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+            }
+        };
+        let field_rate = |key: &str| -> Result<u32, PlanParseError> {
+            let v = field_u64(key, 0)?;
+            if v > 1000 {
+                return Err(bad(format!("`{key}` is a per-mille rate; {v} > 1000")));
+            }
+            Ok(v as u32)
+        };
+        let defaults = FaultPlan::default();
+        let mut plan = FaultPlan {
+            seed: field_u64("seed", defaults.seed)?,
+            drop_per_mille: field_rate("drop_per_mille")?,
+            corrupt_per_mille: field_rate("corrupt_per_mille")?,
+            delay_per_mille: field_rate("delay_per_mille")?,
+            max_delay_ticks: field_u64("max_delay_ticks", defaults.max_delay_ticks)?,
+            retry_timeout: field_u64("retry_timeout", defaults.retry_timeout)?,
+            max_retries: field_u64("max_retries", defaults.max_retries as u64)? as u32,
+            events: Vec::new(),
+        };
+        if let Some(evs) = doc.get("events") {
+            let Json::Arr(items) = evs else {
+                return Err(bad("`events` must be an array"));
+            };
+            for (i, item) in items.iter().enumerate() {
+                plan.events.push(parse_event(item, i)?);
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_event(item: &Json, index: usize) -> Result<FaultEvent, PlanParseError> {
+    let at_event = |msg: String| bad(format!("events[{index}]: {msg}"));
+    let kind = item
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| at_event("missing `kind`".into()))?;
+    let get_u64 = |key: &str| -> Result<u64, PlanParseError> {
+        item.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| at_event(format!("`{key}` must be a non-negative integer")))
+    };
+    let get_until = |key: &str| -> Result<Option<u64>, PlanParseError> {
+        match item.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| at_event(format!("`{key}` must be a non-negative integer or null"))),
+        }
+    };
+    match kind {
+        "link_down" => Ok(FaultEvent::LinkDown {
+            from: get_u64("from")? as usize,
+            to: get_u64("to")? as usize,
+            at: get_u64("at")?,
+            until: get_until("until")?,
+        }),
+        "proc_slow" => Ok(FaultEvent::ProcSlow {
+            proc: get_u64("proc")? as usize,
+            factor: get_u64("factor")?,
+            at: get_u64("at")?,
+            until: get_until("until")?,
+        }),
+        "proc_crash" => Ok(FaultEvent::ProcCrash {
+            proc: get_u64("proc")? as usize,
+            at: get_u64("at")?,
+        }),
+        other => Err(at_event(format!("unknown kind `{other}`"))),
+    }
+}
+
+/// One fault occurrence that directly delayed the run, for the
+/// per-fault attribution table and the Perfetto fault bands.
+///
+/// `delay_ticks` is the *direct* delay the fault added at its site
+/// (retry backoff for a drop, added latency for a delay, state-transfer
+/// time for a crash, extra compute for a slowdown) — an upper bound on
+/// its critical-path contribution, attributed at the moment the fault
+/// hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// What hit (human description, e.g. `"drop P0->P2 attempt 0"`).
+    pub fault: String,
+    /// Tick at which it hit.
+    pub at: u64,
+    /// Processor where the impact landed (the sender for message
+    /// faults, the survivor for crashes).
+    pub proc: u32,
+    /// Direct delay charged at the site, in ticks.
+    pub delay_ticks: u64,
+}
+
+/// What the faults did to the run: the resilience counterpart of
+/// [`SimReport`](crate::SimReport), attached to it by
+/// [`simulate_with_faults`](crate::sim::simulate_with_faults).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Scheduled fault events in the plan.
+    pub faults_injected: u64,
+    /// Faults (scheduled or noise) that actually impacted the run.
+    pub faults_hit: u64,
+    /// Message transmission attempts that were dropped (including
+    /// losses to down links mid-flight).
+    pub drops: u64,
+    /// Attempts that arrived corrupted and were retransmitted.
+    pub corruptions: u64,
+    /// Attempts that arrived late.
+    pub delays: u64,
+    /// Total extra latency the delayed attempts suffered.
+    pub delay_ticks_added: u64,
+    /// Messages that left on a non-default route to avoid dead links.
+    pub reroutes: u64,
+    /// Retransmission attempts issued by the reliable-messaging layer.
+    pub retries: u64,
+    /// Words carried by retransmissions (wasted bandwidth).
+    pub retransmitted_words: u64,
+    /// Fail-stop crashes suffered.
+    pub crashes: u64,
+    /// Tasks remapped off crashed processors (`Remap` policy).
+    pub remapped_tasks: u64,
+    /// Sends that became local because their destination tasks were
+    /// remapped onto the sender.
+    pub localized_sends: u64,
+    /// Words of crash state transferred to survivors.
+    pub state_transfer_words: u64,
+    /// Ticks survivors spent receiving crash state (charged with the
+    /// paper's `h·(t_start + k·t_comm)` model).
+    pub state_transfer_ticks: u64,
+    /// Makespan of the same program on the fault-free machine.
+    pub baseline_makespan: u64,
+    /// Makespan of the degraded run.
+    pub degraded_makespan: u64,
+    /// Per-fault direct-delay attribution, in hit order.
+    pub attribution: Vec<FaultImpact>,
+}
+
+impl DegradationReport {
+    /// Makespan inflation relative to the fault-free run:
+    /// `degraded / baseline − 1` (0 when the baseline is empty).
+    pub fn makespan_inflation(&self) -> f64 {
+        if self.baseline_makespan == 0 {
+            return 0.0;
+        }
+        self.degraded_makespan as f64 / self.baseline_makespan as f64 - 1.0
+    }
+
+    /// Flatten to JSON (the shape `loom sim --degradation-out` writes
+    /// and the fault-sweep smoke test parses).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("faults_injected", Json::from(self.faults_injected)),
+            ("faults_hit", Json::from(self.faults_hit)),
+            ("drops", Json::from(self.drops)),
+            ("corruptions", Json::from(self.corruptions)),
+            ("delays", Json::from(self.delays)),
+            ("delay_ticks_added", Json::from(self.delay_ticks_added)),
+            ("reroutes", Json::from(self.reroutes)),
+            ("retries", Json::from(self.retries)),
+            ("retransmitted_words", Json::from(self.retransmitted_words)),
+            ("crashes", Json::from(self.crashes)),
+            ("remapped_tasks", Json::from(self.remapped_tasks)),
+            ("localized_sends", Json::from(self.localized_sends)),
+            (
+                "state_transfer_words",
+                Json::from(self.state_transfer_words),
+            ),
+            (
+                "state_transfer_ticks",
+                Json::from(self.state_transfer_ticks),
+            ),
+            ("baseline_makespan", Json::from(self.baseline_makespan)),
+            ("degraded_makespan", Json::from(self.degraded_makespan)),
+            ("makespan_inflation", Json::from(self.makespan_inflation())),
+            (
+                "attribution",
+                Json::Arr(
+                    self.attribution
+                        .iter()
+                        .map(|i| {
+                            Json::obj(vec![
+                                ("fault", Json::from(i.fault.as_str())),
+                                ("at", Json::from(i.at)),
+                                ("proc", Json::from(i.proc as u64)),
+                                ("delay_ticks", Json::from(i.delay_ticks)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// How a simulation run under faults is configured: the plan, the
+/// policy, and an optional seed override (the CLI's `--fault-seed`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// What goes wrong.
+    pub plan: FaultPlan,
+    /// What the system does about it.
+    pub policy: RecoveryPolicy,
+    /// Replaces `plan.seed` when set.
+    pub seed_override: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A config running `plan` under `policy`.
+    pub fn new(plan: FaultPlan, policy: RecoveryPolicy) -> FaultConfig {
+        FaultConfig {
+            plan,
+            policy,
+            seed_override: None,
+        }
+    }
+
+    /// The effective noise seed.
+    pub fn seed(&self) -> u64 {
+        self.seed_override.unwrap_or(self.plan.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            drop_per_mille: 25,
+            corrupt_per_mille: 5,
+            delay_per_mille: 100,
+            max_delay_ticks: 32,
+            retry_timeout: 128,
+            max_retries: 6,
+            events: vec![
+                FaultEvent::LinkDown {
+                    from: 0,
+                    to: 1,
+                    at: 10,
+                    until: Some(50),
+                },
+                FaultEvent::ProcSlow {
+                    proc: 2,
+                    factor: 4,
+                    at: 0,
+                    until: None,
+                },
+                FaultEvent::ProcCrash { proc: 3, at: 100 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let plan = sample_plan();
+        let doc = plan.to_json();
+        let back = FaultPlan::from_json(&doc).unwrap();
+        assert_eq!(back, plan);
+        // And re-serialization is deterministic (LC008's invariant).
+        let reparsed = Json::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(FaultPlan::from_json(&reparsed).unwrap().to_json(), doc);
+    }
+
+    #[test]
+    fn empty_plan_detection() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!sample_plan().is_empty());
+        assert!(!FaultPlan::message_noise(1, 10, 0, 0).is_empty());
+        assert!(!FaultPlan::none().with_crash(0, 5).has_message_noise());
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let doc = Json::obj(vec![("drop_rate", Json::from(10u64))]);
+        let err = FaultPlan::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("drop_rate"), "{err}");
+        let doc = Json::obj(vec![(
+            "events",
+            Json::Arr(vec![Json::obj(vec![("kind", Json::from("meteor"))])]),
+        )]);
+        assert!(FaultPlan::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn negative_ticks_rejected() {
+        let doc = Json::obj(vec![(
+            "events",
+            Json::Arr(vec![Json::obj(vec![
+                ("kind", Json::from("proc_crash")),
+                ("proc", Json::from(1u64)),
+                ("at", Json::Int(-5)),
+            ])]),
+        )]);
+        let err = FaultPlan::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn rates_above_one_thousand_rejected() {
+        let doc = Json::obj(vec![("drop_per_mille", Json::from(1001u64))]);
+        assert!(FaultPlan::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn link_windows_and_permanence() {
+        let plan = sample_plan();
+        assert!(plan.link_down_during(0, 1, 10, 10));
+        assert!(plan.link_down_during(0, 1, 0, 10)); // touches the window
+        assert!(plan.link_down_during(0, 1, 49, 60));
+        assert!(!plan.link_down_during(0, 1, 50, 60)); // until is exclusive
+        assert!(!plan.link_down_during(1, 0, 10, 10)); // directed
+        assert!(!plan.link_dead_forever(0, 1, 10)); // transient
+        let perm = FaultPlan::none().with_event(FaultEvent::LinkDown {
+            from: 2,
+            to: 3,
+            at: 5,
+            until: None,
+        });
+        assert!(perm.link_dead_forever(2, 3, 5));
+        assert!(!perm.link_dead_forever(2, 3, 4)); // not yet down
+    }
+
+    #[test]
+    fn slow_factors_multiply_and_window() {
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent::ProcSlow {
+                proc: 1,
+                factor: 2,
+                at: 10,
+                until: Some(20),
+            })
+            .with_event(FaultEvent::ProcSlow {
+                proc: 1,
+                factor: 3,
+                at: 15,
+                until: None,
+            });
+        assert_eq!(plan.slow_factor(1, 5), 1);
+        assert_eq!(plan.slow_factor(1, 10), 2);
+        assert_eq!(plan.slow_factor(1, 15), 6);
+        assert_eq!(plan.slow_factor(1, 20), 3);
+        assert_eq!(plan.slow_factor(0, 15), 1);
+    }
+
+    #[test]
+    fn policy_parsing() {
+        use std::str::FromStr;
+        assert_eq!(
+            RecoveryPolicy::from_str("abort").unwrap(),
+            RecoveryPolicy::Abort
+        );
+        assert_eq!(
+            RecoveryPolicy::from_str("retry").unwrap(),
+            RecoveryPolicy::RetryOnly
+        );
+        assert_eq!(
+            RecoveryPolicy::from_str("remap").unwrap(),
+            RecoveryPolicy::Remap
+        );
+        assert!(RecoveryPolicy::from_str("hope").is_err());
+        assert_eq!(RecoveryPolicy::Remap.to_string(), "remap");
+    }
+
+    #[test]
+    fn degradation_json_parses_and_inflation() {
+        let mut d = DegradationReport {
+            baseline_makespan: 100,
+            degraded_makespan: 125,
+            ..DegradationReport::default()
+        };
+        d.attribution.push(FaultImpact {
+            fault: "drop P0->P1 attempt 0".into(),
+            at: 42,
+            proc: 0,
+            delay_ticks: 128,
+        });
+        assert!((d.makespan_inflation() - 0.25).abs() < 1e-12);
+        let doc = d.to_json();
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("degraded_makespan").and_then(Json::as_u64),
+            Some(125)
+        );
+        let zero = DegradationReport::default();
+        assert_eq!(zero.makespan_inflation(), 0.0);
+    }
+
+    #[test]
+    fn fault_config_seed_override() {
+        let cfg = FaultConfig::new(sample_plan(), RecoveryPolicy::Remap);
+        assert_eq!(cfg.seed(), 7);
+        let cfg = FaultConfig {
+            seed_override: Some(99),
+            ..cfg
+        };
+        assert_eq!(cfg.seed(), 99);
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`cost`] — the `(t_calc, t_start, t_comm)` machine parameters,
 //! * [`program`] — the executable form of a partitioned + mapped nest,
 //! * [`sim`] — the event-driven engine and its report,
+//! * [`fault`] — deterministic fault injection (link outages, message
+//!   drop/corruption/delay, slowdowns, fail-stop crashes) with
+//!   retry/reroute/remap recovery,
 //! * [`trace`] — optional execution traces, a post-hoc validity check,
 //!   and Chrome trace-event export,
 //! * [`metrics`] — rich opt-in telemetry (per-processor tick
@@ -38,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod metrics;
 pub mod program;
 pub mod sim;
@@ -45,7 +49,10 @@ pub mod topology;
 pub mod trace;
 
 pub use cost::MachineParams;
+pub use fault::{
+    DegradationReport, FaultConfig, FaultEvent, FaultImpact, FaultPlan, RecoveryPolicy,
+};
 pub use metrics::SimMetrics;
 pub use program::Program;
-pub use sim::{simulate, SimConfig, SimReport};
+pub use sim::{simulate, simulate_with_faults, SimConfig, SimError, SimReport};
 pub use topology::Topology;

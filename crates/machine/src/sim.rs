@@ -1,12 +1,22 @@
 //! The deterministic discrete-event engine.
+//!
+//! One engine serves two entry points: [`simulate`] runs the paper's
+//! perfectly reliable machine, and [`simulate_with_faults`] runs the
+//! same machine under a deterministic [`FaultPlan`] with a
+//! [`RecoveryPolicy`]. The fault hooks are structured so that an empty
+//! plan executes exactly the baseline code path — no RNG draws, no
+//! extra events — which is what makes the bit-identical-replay property
+//! testable.
 
 use crate::cost::MachineParams;
+use crate::fault::{DegradationReport, FaultConfig, FaultImpact, FaultPlan, RecoveryPolicy};
 use crate::metrics::{MsgRecord, SimMetrics};
 use crate::program::Program;
 use crate::topology::Topology;
 use crate::trace::TaskRecord;
+use loom_obs::SplitMix64;
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Simulation configuration.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +68,8 @@ pub struct SimReport {
     pub compute: Vec<u64>,
     /// Send occupancy per processor.
     pub comm: Vec<u64>,
-    /// Messages sent.
+    /// Messages sent (every transmission attempt, including
+    /// retransmissions and the crash state-transfer message).
     pub messages: u64,
     /// Words sent.
     pub words: u64,
@@ -67,6 +78,9 @@ pub struct SimReport {
     /// Rich telemetry, if requested via
     /// [`SimConfig::collect_metrics`].
     pub metrics: Option<SimMetrics>,
+    /// What the injected faults did to the run; `Some` only for
+    /// [`simulate_with_faults`].
+    pub degradation: Option<DegradationReport>,
 }
 
 impl SimReport {
@@ -132,6 +146,25 @@ pub enum SimError {
         /// Processors the topology has.
         available: usize,
     },
+    /// No live route connects a communicating processor pair — the
+    /// fault plan permanently partitioned the interconnect between
+    /// them.
+    Unroutable {
+        /// The sending processor.
+        src: usize,
+        /// The destination processor.
+        dst: usize,
+    },
+    /// A fault stranded work that the active [`RecoveryPolicy`] cannot
+    /// recover, with a causal explanation of what went wrong.
+    Unrecoverable {
+        /// What fault stranded the work.
+        fault: String,
+        /// The first stranded task, when one is identifiable.
+        task: Option<u32>,
+        /// The tick at which recovery was abandoned.
+        at: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -146,6 +179,19 @@ impl std::fmt::Display for SimError {
                     "program needs {needed} processors, machine has {available}"
                 )
             }
+            SimError::Unroutable { src, dst } => {
+                write!(
+                    f,
+                    "no live route from processor {src} to processor {dst} (interconnect partitioned)"
+                )
+            }
+            SimError::Unrecoverable { fault, task, at } => {
+                write!(f, "unrecoverable at tick {at}: {fault}")?;
+                if let Some(t) = task {
+                    write!(f, " (task {t} stranded)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -154,10 +200,28 @@ impl std::error::Error for SimError {}
 
 #[derive(Debug, PartialEq, Eq)]
 enum Kind {
-    TaskDone { proc: u32, task: u32 },
-    SendDone { proc: u32 },
-    Arrive { tasks: Vec<u32> },
-    RecvDone { proc: u32, tasks: Vec<u32> },
+    TaskDone {
+        proc: u32,
+        task: u32,
+    },
+    SendDone {
+        proc: u32,
+    },
+    Arrive {
+        tasks: Vec<u32>,
+    },
+    RecvDone {
+        proc: u32,
+        tasks: Vec<u32>,
+    },
+    /// A retransmission timer fired; re-enqueue the stored send.
+    Retry {
+        id: u64,
+    },
+    /// A scheduled fail-stop crash.
+    Crash {
+        proc: u32,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -184,6 +248,8 @@ struct PendingSend {
     src_task: u32,
     tasks: Vec<u32>,
     words: u64,
+    /// Transmission attempt number (0 = first try).
+    attempt: u32,
 }
 
 struct Proc {
@@ -195,7 +261,757 @@ struct Proc {
     recvs: VecDeque<Vec<u32>>,
 }
 
-/// Run the program to completion on the configured machine.
+/// Fault-layer state carried alongside the engine when a plan is
+/// active. Absent entirely for baseline runs.
+struct FaultCtx<'a> {
+    plan: &'a FaultPlan,
+    policy: RecoveryPolicy,
+    rng: SplitMix64,
+    deg: DegradationReport,
+    /// Plan has nonzero per-message noise rates.
+    noise: bool,
+    /// Plan schedules link outages.
+    has_links: bool,
+    /// Plan schedules slowdown windows.
+    has_slow: bool,
+}
+
+impl FaultCtx<'_> {
+    /// Bounded exponential backoff: `retry_timeout << min(attempt, 6)`.
+    fn rto(&self, attempt: u32) -> u64 {
+        self.plan.retry_timeout.max(1) << attempt.min(6)
+    }
+}
+
+struct RetryState {
+    /// Current owner (reassigned if the original sender crashes).
+    proc: u32,
+    send: PendingSend,
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    config: &'a SimConfig,
+    out: Vec<Vec<(u32, u64)>>,
+    indeg: Vec<u32>,
+    /// Mutable task→processor map; diverges from `program.proc_of`
+    /// only when `Remap` recovery moves tasks off a crashed processor.
+    proc_of: Vec<u32>,
+    done: Vec<bool>,
+    alive: Vec<bool>,
+    /// The task each processor is executing, with its start tick.
+    running: Vec<Option<(u32, u64)>>,
+    procs: Vec<Proc>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    compute: Vec<u64>,
+    comm: Vec<u64>,
+    messages: u64,
+    words_sent: u64,
+    completed: usize,
+    makespan: u64,
+    trace: Option<Vec<TaskRecord>>,
+    metrics: Option<SimMetrics>,
+    link_free: HashMap<(usize, usize), u64>,
+    retry_states: HashMap<u64, RetryState>,
+    next_retry_id: u64,
+    faults: Option<FaultCtx<'a>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        program: &'a Program,
+        config: &'a SimConfig,
+        faults: Option<FaultCtx<'a>>,
+    ) -> Result<Engine<'a>, SimError> {
+        let n_tasks = program.len();
+        let n_procs = program.num_procs;
+        if config.topology.len() < n_procs {
+            return Err(SimError::MachineTooSmall {
+                needed: n_procs,
+                available: config.topology.len(),
+            });
+        }
+        // Adjacency (successor, words) and in-degrees.
+        let mut out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n_tasks];
+        let mut indeg: Vec<u32> = vec![0; n_tasks];
+        for (k, &(a, b)) in program.arcs.iter().enumerate() {
+            out[a as usize].push((b, program.arc_words[k]));
+            indeg[b as usize] += 1;
+        }
+        Ok(Engine {
+            program,
+            config,
+            out,
+            indeg,
+            proc_of: program.proc_of.clone(),
+            done: vec![false; n_tasks],
+            alive: vec![true; n_procs],
+            running: vec![None; n_procs],
+            procs: (0..n_procs)
+                .map(|_| Proc {
+                    busy_until: 0,
+                    ready: BinaryHeap::new(),
+                    sends: VecDeque::new(),
+                    recvs: VecDeque::new(),
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            compute: vec![0; n_procs],
+            comm: vec![0; n_procs],
+            messages: 0,
+            words_sent: 0,
+            completed: 0,
+            makespan: 0,
+            trace: config.record_trace.then(Vec::new),
+            metrics: config.collect_metrics.then(|| SimMetrics::new(n_procs)),
+            link_free: HashMap::new(),
+            retry_states: HashMap::new(),
+            next_retry_id: 0,
+            faults,
+        })
+    }
+
+    fn push_ev(&mut self, time: u64, kind: Kind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn dur_of(&self, task: u32) -> u64 {
+        self.program.task_flops[task as usize] * self.config.params.t_calc
+    }
+
+    /// Retire one incoming arc of `w`; returns the owner processor when
+    /// the task just became ready.
+    fn complete_arc(&mut self, w: u32) -> Option<usize> {
+        self.indeg[w as usize] -= 1;
+        if self.indeg[w as usize] == 0 {
+            let q = self.proc_of[w as usize] as usize;
+            self.procs[q]
+                .ready
+                .push(Reverse((self.program.step_of[w as usize], w)));
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Give processor `p` work if it is alive and free at `now`.
+    ///
+    /// Scheduling policy: each processor is a single resource shared by
+    /// computation and message startup. When free it first issues
+    /// pending sends (data flows out as early as possible), then
+    /// processes received messages, then executes the ready task with
+    /// the smallest hyperplane step — so the execution order defined by
+    /// the time transformation is preserved within every processor.
+    fn dispatch(&mut self, p: usize, now: u64) -> Result<(), SimError> {
+        if !self.alive[p] || self.procs[p].busy_until > now {
+            return Ok(());
+        }
+        loop {
+            if let Some(send) = self.procs[p].sends.pop_front() {
+                if self.issue_send(p, now, send)? {
+                    return Ok(());
+                }
+                // Send resolved without occupying the processor
+                // (delivered locally after a remap, or backed off to a
+                // retry timer) — keep looking for work.
+                continue;
+            }
+            if let Some(tasks) = self.procs[p].recvs.pop_front() {
+                let occ = self.config.params.t_recv;
+                self.procs[p].busy_until = now + occ;
+                self.comm[p] += occ;
+                if let Some(m) = self.metrics.as_mut() {
+                    m.procs[p].recv_ticks += occ;
+                }
+                self.push_ev(
+                    now + occ,
+                    Kind::RecvDone {
+                        proc: p as u32,
+                        tasks,
+                    },
+                );
+                return Ok(());
+            }
+            if let Some(Reverse((_, task))) = self.procs[p].ready.pop() {
+                self.start_task(p, now, task);
+                return Ok(());
+            }
+            return Ok(());
+        }
+    }
+
+    fn start_task(&mut self, p: usize, now: u64, task: u32) {
+        let mut dur = self.dur_of(task);
+        if let Some(f) = self.faults.as_mut() {
+            if f.has_slow && dur > 0 {
+                // The slowdown factor at the start tick governs the
+                // whole task (tasks are the atomic unit of work).
+                let factor = f.plan.slow_factor(p, now);
+                if factor > 1 {
+                    let extra = dur * (factor - 1);
+                    dur *= factor;
+                    f.deg.faults_hit += 1;
+                    f.deg.attribution.push(FaultImpact {
+                        fault: format!("P{p} slowed {factor}x during task {task}"),
+                        at: now,
+                        proc: p as u32,
+                        delay_ticks: extra,
+                    });
+                }
+            }
+        }
+        self.procs[p].busy_until = now + dur;
+        self.compute[p] += dur;
+        self.running[p] = Some((task, now));
+        if let Some(m) = self.metrics.as_mut() {
+            m.procs[p].compute_ticks += dur;
+            m.procs[p].tasks += 1;
+        }
+        self.push_ev(
+            now + dur,
+            Kind::TaskDone {
+                proc: p as u32,
+                task,
+            },
+        );
+    }
+
+    /// A fault consumed transmission attempt `send.attempt`. Apply the
+    /// recovery policy: abort, or arm a bounded-backoff retry timer
+    /// counted from `retry_base`.
+    fn fault_lost(
+        &mut self,
+        p: usize,
+        now: u64,
+        send: PendingSend,
+        why: &str,
+        retry_base: u64,
+    ) -> Result<(), SimError> {
+        let dst = send.dst_proc;
+        let task = send.tasks.first().copied();
+        let f = self.faults.as_mut().expect("fault_lost without fault ctx");
+        f.deg.faults_hit += 1;
+        if f.policy == RecoveryPolicy::Abort {
+            return Err(SimError::Unrecoverable {
+                fault: format!("{why} on message P{p}->P{dst} (recovery=abort)"),
+                task,
+                at: now,
+            });
+        }
+        if send.attempt >= f.plan.max_retries {
+            return Err(SimError::Unrecoverable {
+                fault: format!(
+                    "message P{p}->P{dst} abandoned after {} attempts ({why})",
+                    send.attempt + 1
+                ),
+                task,
+                at: now,
+            });
+        }
+        let backoff = f.rto(send.attempt);
+        f.deg.attribution.push(FaultImpact {
+            fault: format!("{why} P{p}->P{dst} attempt {}", send.attempt),
+            at: now,
+            proc: p as u32,
+            delay_ticks: retry_base + backoff - now,
+        });
+        let id = self.next_retry_id;
+        self.next_retry_id += 1;
+        self.retry_states.insert(
+            id,
+            RetryState {
+                proc: p as u32,
+                send: PendingSend {
+                    attempt: send.attempt + 1,
+                    ..send
+                },
+            },
+        );
+        self.push_ev(retry_base + backoff, Kind::Retry { id });
+        Ok(())
+    }
+
+    /// Issue one pending send from `p`. Returns `Ok(true)` when the
+    /// send occupies the processor (the baseline outcome), `Ok(false)`
+    /// when it resolved without consuming processor time.
+    fn issue_send(&mut self, p: usize, now: u64, mut send: PendingSend) -> Result<bool, SimError> {
+        // Destination is wherever the tasks live *now* — a remap may
+        // have moved them since the send was queued.
+        let dst = self.proc_of[send.tasks[0] as usize] as usize;
+        send.dst_proc = dst as u32;
+        if dst == p {
+            // The remap brought producer and consumers together: the
+            // transfer is local and free.
+            if let Some(f) = self.faults.as_mut() {
+                f.deg.localized_sends += 1;
+            }
+            let ready: Vec<usize> = send
+                .tasks
+                .iter()
+                .filter_map(|&w| self.complete_arc(w))
+                .collect();
+            debug_assert!(ready.iter().all(|&q| q == p));
+            return Ok(false);
+        }
+        if send.attempt > 0 {
+            let f = self.faults.as_mut().expect("retry without fault ctx");
+            f.deg.retries += 1;
+            f.deg.retransmitted_words += send.words;
+        }
+        let occ = self.config.params.send_occupancy(send.words);
+
+        // Fault layer, part 1: route around links that are down at the
+        // instant the message leaves the sender.
+        let mut reroute: Option<Vec<(usize, usize)>> = None;
+        let link_plan = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.has_links.then_some(f.plan));
+        if let Some(plan) = link_plan {
+            let is_down = |a: usize, b: usize| plan.link_down_during(a, b, now, now);
+            let default_links = self.config.topology.route_links(p, dst);
+            if default_links.iter().any(|&(a, b)| is_down(a, b)) {
+                match self.config.topology.route_links_avoiding(p, dst, is_down) {
+                    Some(links) => {
+                        let extra =
+                            occ * (links.len() as u64).saturating_sub(default_links.len() as u64);
+                        let f = self.faults.as_mut().unwrap();
+                        f.deg.faults_hit += 1;
+                        f.deg.reroutes += 1;
+                        if extra > 0 {
+                            f.deg.attribution.push(FaultImpact {
+                                fault: format!("rerouted P{p}->P{dst} around dead links"),
+                                at: now,
+                                proc: p as u32,
+                                delay_ticks: extra,
+                            });
+                        }
+                        reroute = Some(links);
+                    }
+                    None => {
+                        // No live route at all right now. If the cut is
+                        // permanent no retry can ever succeed.
+                        let dead_forever = |a: usize, b: usize| plan.link_dead_forever(a, b, now);
+                        if self
+                            .config
+                            .topology
+                            .route_links_avoiding(p, dst, dead_forever)
+                            .is_none()
+                        {
+                            return Err(SimError::Unroutable { src: p, dst });
+                        }
+                        self.fault_lost(p, now, send, "link outage", now)?;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+
+        // Fault layer, part 2: per-attempt message noise. Each guard
+        // draws at most once so the stream advances deterministically.
+        let mut lost: Option<&'static str> = None;
+        let mut extra_delay = 0u64;
+        if let Some(f) = self.faults.as_mut() {
+            if f.noise {
+                if f.plan.drop_per_mille > 0 && f.rng.below(1000) < f.plan.drop_per_mille as u64 {
+                    f.deg.drops += 1;
+                    lost = Some("dropped");
+                } else if f.plan.corrupt_per_mille > 0
+                    && f.rng.below(1000) < f.plan.corrupt_per_mille as u64
+                {
+                    f.deg.corruptions += 1;
+                    lost = Some("corrupted");
+                } else if f.plan.delay_per_mille > 0
+                    && f.rng.below(1000) < f.plan.delay_per_mille as u64
+                {
+                    extra_delay = 1 + f.rng.below(f.plan.max_delay_ticks.max(1));
+                    f.deg.faults_hit += 1;
+                    f.deg.delays += 1;
+                    f.deg.delay_ticks_added += extra_delay;
+                    f.deg.attribution.push(FaultImpact {
+                        fault: format!("delayed P{p}->P{dst} attempt {}", send.attempt),
+                        at: now,
+                        proc: p as u32,
+                        delay_ticks: extra_delay,
+                    });
+                }
+            }
+        }
+
+        let hops_default = self.config.topology.distance(p, dst) as u64;
+        debug_assert!(hops_default > 0, "send to self");
+        // Only routed when someone needs the links.
+        let route: Option<Vec<(usize, usize)>> = match reroute {
+            Some(links) => Some(links),
+            None => (self.config.link_contention || self.metrics.is_some())
+                .then(|| self.config.topology.route_links(p, dst)),
+        };
+        let hops = route.as_ref().map_or(hops_default, |r| r.len() as u64);
+        let (sender_done, arrival) = if self.config.link_contention {
+            // Store-and-forward with one message per directed link at a
+            // time: queue at each busy link.
+            let links = route
+                .as_deref()
+                .ok_or(SimError::Unroutable { src: p, dst })?;
+            let mut cur = now;
+            let mut first_end = now + occ;
+            for (i, link) in links.iter().enumerate() {
+                let start = cur.max(self.link_free.get(link).copied().unwrap_or(0));
+                if let Some(m) = self.metrics.as_mut() {
+                    let lm = m.links.entry(*link).or_default();
+                    lm.wait_ticks += start - cur;
+                }
+                let end = start + occ;
+                self.link_free.insert(*link, end);
+                if i == 0 {
+                    first_end = end;
+                }
+                cur = end;
+            }
+            (first_end, cur)
+        } else {
+            (now + occ, now + occ * hops)
+        };
+        let arrival = arrival + extra_delay;
+        if let Some(m) = self.metrics.as_mut() {
+            let links = route
+                .as_deref()
+                .ok_or(SimError::Unroutable { src: p, dst })?;
+            for link in links {
+                let lm = m.links.entry(*link).or_default();
+                lm.messages += 1;
+                lm.words += send.words;
+                lm.busy_ticks += occ;
+            }
+            m.procs[p].msgs_sent += 1;
+            m.procs[p].send_ticks += sender_done - now;
+            m.hops.record(hops);
+            m.messages.push(MsgRecord {
+                src_proc: p as u32,
+                dst_proc: send.dst_proc,
+                src_task: send.src_task,
+                dst_tasks: send.tasks.clone(),
+                words: send.words,
+                send_start: now,
+                send_end: sender_done,
+                arrival,
+                hops: hops as u32,
+            });
+        }
+        // A blocking send occupies the sender until its first hop
+        // (including any wait for the outgoing link).
+        self.procs[p].busy_until = sender_done;
+        self.comm[p] += sender_done - now;
+        self.messages += 1;
+        self.words_sent += send.words;
+        self.push_ev(sender_done, Kind::SendDone { proc: p as u32 });
+        match lost {
+            None => {
+                let tasks = std::mem::take(&mut send.tasks);
+                self.push_ev(arrival, Kind::Arrive { tasks });
+            }
+            Some(why) => {
+                // The attempt burned wire time but delivers nothing;
+                // the sender learns from the missing ack after its
+                // timeout, counted from the end of the transmission.
+                self.fault_lost(p, now, send, why, sender_done)?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn on_task_done(&mut self, p: usize, task: u32, now: u64) -> Result<(), SimError> {
+        if !self.alive[p] {
+            // The processor died mid-execution; the completion is void.
+            return Ok(());
+        }
+        // At a shared tick the processor may already have dispatched its
+        // next task (an Arrive with a lower sequence number freed it), so
+        // `running` can point past this completion; only clear it when it
+        // still names the task that just finished.
+        let start = match self.running[p] {
+            Some((t, start)) if t == task => {
+                self.running[p] = None;
+                start
+            }
+            _ => now.saturating_sub(self.dur_of(task)),
+        };
+        self.done[task as usize] = true;
+        self.completed += 1;
+        self.makespan = self.makespan.max(now);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TaskRecord {
+                task,
+                proc: p as u32,
+                start,
+                end: now,
+            });
+        }
+        // Local arcs complete immediately; remote arcs queue sends.
+        let mut remote: Vec<(u32, u32, u64)> = Vec::new(); // (dst_proc, dst_task, words)
+        for i in 0..self.out[task as usize].len() {
+            let (w, arc_w) = self.out[task as usize][i];
+            let q = self.proc_of[w as usize];
+            if q as usize == p {
+                self.complete_arc(w);
+            } else {
+                remote.push((q, w, arc_w));
+            }
+        }
+        if self.config.batch_messages {
+            remote.sort_unstable();
+            let mut i = 0;
+            while i < remote.len() {
+                let dst = remote[i].0;
+                let mut tasks = Vec::new();
+                let mut words = 0u64;
+                while i < remote.len() && remote[i].0 == dst {
+                    tasks.push(remote[i].1);
+                    words += remote[i].2 * self.config.words_per_arc;
+                    i += 1;
+                }
+                self.procs[p].sends.push_back(PendingSend {
+                    dst_proc: dst,
+                    src_task: task,
+                    tasks,
+                    words,
+                    attempt: 0,
+                });
+            }
+        } else {
+            for (dst, w, arc_w) in remote {
+                self.procs[p].sends.push_back(PendingSend {
+                    dst_proc: dst,
+                    src_task: task,
+                    tasks: vec![w],
+                    words: arc_w * self.config.words_per_arc,
+                    attempt: 0,
+                });
+            }
+        }
+        self.dispatch(p, now)
+    }
+
+    fn on_arrive(&mut self, tasks: Vec<u32>, now: u64) -> Result<(), SimError> {
+        // All tasks of one message live on one processor (a remap moves
+        // a crashed processor's tasks together, preserving this).
+        let q = self.proc_of[tasks[0] as usize] as usize;
+        debug_assert!(tasks
+            .iter()
+            .all(|&w| self.proc_of[w as usize] as usize == q));
+        if let Some(m) = self.metrics.as_mut() {
+            m.procs[q].msgs_received += 1;
+        }
+        if self.config.params.t_recv > 0 {
+            self.procs[q].recvs.push_back(tasks);
+            self.dispatch(q, now)
+        } else {
+            for w in tasks {
+                if let Some(q) = self.complete_arc(w) {
+                    self.dispatch(q, now)?;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn on_recv_done(&mut self, p: usize, tasks: Vec<u32>, now: u64) -> Result<(), SimError> {
+        if !self.alive[p] {
+            // The receiver died mid-processing; the message data moved
+            // with the crash state transfer — redeliver to the tasks'
+            // current owner, who pays `t_recv` again.
+            let q = self.proc_of[tasks[0] as usize] as usize;
+            self.procs[q].recvs.push_back(tasks);
+            return self.dispatch(q, now);
+        }
+        for w in tasks {
+            self.complete_arc(w);
+        }
+        self.dispatch(p, now)
+    }
+
+    fn on_retry(&mut self, id: u64, now: u64) -> Result<(), SimError> {
+        if let Some(st) = self.retry_states.remove(&id) {
+            let mut p = st.proc as usize;
+            if !self.alive[p] {
+                // Owner crashed and ownership was not reassigned (the
+                // send's data now lives with the tasks' owner).
+                p = self.proc_of[st.send.tasks[0] as usize] as usize;
+            }
+            self.procs[p].sends.push_back(st.send);
+            self.dispatch(p, now)?;
+        }
+        Ok(())
+    }
+
+    fn on_crash(&mut self, p: usize, now: u64) -> Result<(), SimError> {
+        if !self.alive[p] {
+            return Ok(());
+        }
+        self.alive[p] = false;
+        let stranded: Vec<u32> = (0..self.program.len())
+            .filter(|&t| self.proc_of[t] as usize == p && !self.done[t])
+            .map(|t| t as u32)
+            .collect();
+        let policy = {
+            let f = self.faults.as_mut().expect("crash without fault ctx");
+            f.deg.crashes += 1;
+            f.deg.faults_hit += 1;
+            f.policy
+        };
+        if stranded.is_empty() {
+            // Nothing left to do on this processor — fail-stop is free.
+            self.running[p] = None;
+            return Ok(());
+        }
+        if policy != RecoveryPolicy::Remap {
+            return Err(SimError::Unrecoverable {
+                fault: format!(
+                    "P{p} fail-stopped with {} unfinished tasks (recovery={policy})",
+                    stranded.len()
+                ),
+                task: Some(stranded[0]),
+                at: now,
+            });
+        }
+        // Gray-code nearest surviving neighbor: minimal hop distance,
+        // ties toward the lowest processor id.
+        let survivor = (0..self.program.num_procs)
+            .filter(|&q| self.alive[q])
+            .min_by_key(|&q| (self.config.topology.distance(p, q), q))
+            .ok_or(SimError::Unrecoverable {
+                fault: format!("P{p} fail-stopped and no processor survives"),
+                task: Some(stranded[0]),
+                at: now,
+            })?;
+        for &t in &stranded {
+            self.proc_of[t as usize] = survivor as u32;
+        }
+        // Migrate the dead processor's queues: ready tasks, unsent
+        // messages (their payloads ride the state transfer), and
+        // arrived-but-unprocessed messages.
+        let ready: Vec<_> = std::mem::take(&mut self.procs[p].ready).into_vec();
+        self.procs[survivor].ready.extend(ready);
+        let sends = std::mem::take(&mut self.procs[p].sends);
+        self.procs[survivor].sends.extend(sends);
+        let recvs = std::mem::take(&mut self.procs[p].recvs);
+        self.procs[survivor].recvs.extend(recvs);
+        // The task that died mid-execution restarts from scratch.
+        if let Some((task, _)) = self.running[p].take() {
+            self.procs[survivor]
+                .ready
+                .push(Reverse((self.program.step_of[task as usize], task)));
+        }
+        // Pending retransmissions now originate from the survivor.
+        for st in self.retry_states.values_mut() {
+            if st.proc as usize == p {
+                st.proc = survivor as u32;
+            }
+        }
+        // Charge the paper's cost model for shipping the crashed
+        // processor's state to the survivor.
+        let words = (stranded.len() as u64 * self.config.words_per_arc).max(1);
+        let dist = self.config.topology.distance(p, survivor);
+        let cost = self.config.params.message_cost(words, dist);
+        let start = self.procs[survivor].busy_until.max(now);
+        self.procs[survivor].busy_until = start + cost;
+        self.comm[survivor] += cost;
+        self.messages += 1;
+        self.words_sent += words;
+        let f = self.faults.as_mut().expect("checked above");
+        f.deg.remapped_tasks += stranded.len() as u64;
+        f.deg.state_transfer_words += words;
+        f.deg.state_transfer_ticks += cost;
+        f.deg.attribution.push(FaultImpact {
+            fault: format!(
+                "P{p} crashed; {} tasks remapped to P{survivor}",
+                stranded.len()
+            ),
+            at: now,
+            proc: survivor as u32,
+            delay_ticks: cost,
+        });
+        self.push_ev(
+            start + cost,
+            Kind::SendDone {
+                proc: survivor as u32,
+            },
+        );
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        let n_tasks = self.program.len();
+        // Seed the ready sets.
+        for t in 0..n_tasks {
+            if self.indeg[t] == 0 {
+                let p = self.proc_of[t] as usize;
+                self.procs[p]
+                    .ready
+                    .push(Reverse((self.program.step_of[t], t as u32)));
+            }
+        }
+        // Arm scheduled crashes before anything else so a crash at tick
+        // `t` beats every same-tick completion (fail-stop wins ties).
+        if let Some(f) = self.faults.as_ref() {
+            let crashes = f.plan.crashes();
+            for (proc, at) in crashes {
+                if proc < self.program.num_procs {
+                    self.push_ev(at, Kind::Crash { proc: proc as u32 });
+                }
+            }
+        }
+        for p in 0..self.program.num_procs {
+            self.dispatch(p, 0)?;
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            let now = ev.time;
+            match ev.kind {
+                Kind::TaskDone { proc, task } => self.on_task_done(proc as usize, task, now)?,
+                Kind::SendDone { proc } => self.dispatch(proc as usize, now)?,
+                Kind::Arrive { tasks } => self.on_arrive(tasks, now)?,
+                Kind::RecvDone { proc, tasks } => self.on_recv_done(proc as usize, tasks, now)?,
+                Kind::Retry { id } => self.on_retry(id, now)?,
+                Kind::Crash { proc } => self.on_crash(proc as usize, now)?,
+            }
+        }
+        if self.completed != n_tasks {
+            return Err(SimError::Deadlock {
+                completed: self.completed,
+                total: n_tasks,
+            });
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.sort_by_key(|r| (r.start, r.task));
+        }
+        let degradation = self.faults.map(|f| {
+            let mut deg = f.deg;
+            deg.faults_injected = f.plan.events.len() as u64;
+            deg.degraded_makespan = self.makespan;
+            deg
+        });
+        Ok(SimReport {
+            makespan: self.makespan,
+            compute: self.compute,
+            comm: self.comm,
+            messages: self.messages,
+            words: self.words_sent,
+            trace: self.trace,
+            metrics: self.metrics,
+            degradation,
+        })
+    }
+}
+
+/// Run the program to completion on the configured (fault-free)
+/// machine.
 ///
 /// Scheduling policy: each processor is a single resource shared by
 /// computation and message startup. When free it first issues pending
@@ -203,297 +1019,51 @@ struct Proc {
 /// task with the smallest hyperplane step — so the execution order defined
 /// by the time transformation is preserved within every processor.
 pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimError> {
-    let n_tasks = program.len();
-    let n_procs = program.num_procs;
-    if config.topology.len() < n_procs {
-        return Err(SimError::MachineTooSmall {
-            needed: n_procs,
-            available: config.topology.len(),
-        });
-    }
+    Engine::new(program, config, None)?.run()
+}
 
-    // Adjacency (successor, words) and in-degrees.
-    let mut out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n_tasks];
-    let mut indeg: Vec<u32> = vec![0; n_tasks];
-    for (k, &(a, b)) in program.arcs.iter().enumerate() {
-        out[a as usize].push((b, program.arc_words[k]));
-        indeg[b as usize] += 1;
+/// Run the program under a deterministic fault plan.
+///
+/// The fault-free baseline is simulated first (trace and metrics
+/// suppressed) so the attached
+/// [`DegradationReport`](crate::fault::DegradationReport) can report
+/// makespan inflation; the degraded run then executes with the plan's
+/// noise stream seeded from [`FaultConfig::seed`]. An empty plan takes
+/// exactly the baseline code path, so its report matches [`simulate`]
+/// bit for bit (with a zeroed degradation summary attached).
+pub fn simulate_with_faults(
+    program: &Program,
+    config: &SimConfig,
+    faults: &FaultConfig,
+) -> Result<SimReport, SimError> {
+    let mut base_cfg = *config;
+    base_cfg.record_trace = false;
+    base_cfg.collect_metrics = false;
+    let baseline = Engine::new(program, &base_cfg, None)?.run()?;
+    let ctx = FaultCtx {
+        plan: &faults.plan,
+        policy: faults.policy,
+        rng: SplitMix64::new(faults.seed()),
+        deg: DegradationReport::default(),
+        noise: faults.plan.has_message_noise(),
+        has_links: faults.plan.has_link_faults(),
+        has_slow: faults
+            .plan
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::fault::FaultEvent::ProcSlow { .. })),
+    };
+    let mut report = Engine::new(program, config, Some(ctx))?.run()?;
+    if let Some(deg) = report.degradation.as_mut() {
+        deg.baseline_makespan = baseline.makespan;
     }
-
-    let mut procs: Vec<Proc> = (0..n_procs)
-        .map(|_| Proc {
-            busy_until: 0,
-            ready: BinaryHeap::new(),
-            sends: VecDeque::new(),
-            recvs: VecDeque::new(),
-        })
-        .collect();
-    for (t, &deg) in indeg.iter().enumerate() {
-        if deg == 0 {
-            let p = program.proc_of[t] as usize;
-            procs[p].ready.push(Reverse((program.step_of[t], t as u32)));
-        }
-    }
-
-    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    let dur_of = |task: u32| program.task_flops[task as usize] * config.params.t_calc;
-    let mut compute = vec![0u64; n_procs];
-    let mut comm = vec![0u64; n_procs];
-    let mut messages = 0u64;
-    let mut words_sent = 0u64;
-    let mut completed = 0usize;
-    let mut makespan = 0u64;
-    let mut trace = config.record_trace.then(Vec::new);
-    let mut metrics = config.collect_metrics.then(|| SimMetrics::new(n_procs));
-    let mut link_free: std::collections::HashMap<(usize, usize), u64> =
-        std::collections::HashMap::new();
-
-    // Dispatch work on processor `p` if it is free at `now`.
-    macro_rules! dispatch {
-        ($p:expr, $now:expr) => {{
-            let p = $p;
-            let now = $now;
-            if procs[p].busy_until <= now {
-                if let Some(send) = procs[p].sends.pop_front() {
-                    let occ = config.params.send_occupancy(send.words);
-                    let dst = send.dst_proc as usize;
-                    let hops = config.topology.distance(p, dst) as u64;
-                    debug_assert!(hops > 0, "send to self");
-                    // Only routed when someone needs the links.
-                    let route = (config.link_contention || metrics.is_some())
-                        .then(|| config.topology.route_links(p, dst));
-                    let (sender_done, arrival) = if config.link_contention {
-                        // Store-and-forward with one message per directed
-                        // link at a time: queue at each busy link.
-                        let mut cur = now;
-                        let mut first_end = now + occ;
-                        for (i, link) in route.as_deref().unwrap().iter().enumerate() {
-                            let start = cur.max(link_free.get(link).copied().unwrap_or(0));
-                            if let Some(m) = metrics.as_mut() {
-                                let lm = m.links.entry(*link).or_default();
-                                lm.wait_ticks += start - cur;
-                            }
-                            let end = start + occ;
-                            link_free.insert(*link, end);
-                            if i == 0 {
-                                first_end = end;
-                            }
-                            cur = end;
-                        }
-                        (first_end, cur)
-                    } else {
-                        (now + occ, now + occ * hops)
-                    };
-                    if let Some(m) = metrics.as_mut() {
-                        for link in route.as_deref().unwrap() {
-                            let lm = m.links.entry(*link).or_default();
-                            lm.messages += 1;
-                            lm.words += send.words;
-                            lm.busy_ticks += occ;
-                        }
-                        m.procs[p].msgs_sent += 1;
-                        m.procs[p].send_ticks += sender_done - now;
-                        m.hops.record(hops);
-                        m.messages.push(MsgRecord {
-                            src_proc: p as u32,
-                            dst_proc: send.dst_proc,
-                            src_task: send.src_task,
-                            dst_tasks: send.tasks.clone(),
-                            words: send.words,
-                            send_start: now,
-                            send_end: sender_done,
-                            arrival,
-                            hops: hops as u32,
-                        });
-                    }
-                    // A blocking send occupies the sender until its first
-                    // hop (including any wait for the outgoing link).
-                    procs[p].busy_until = sender_done;
-                    comm[p] += sender_done - now;
-                    messages += 1;
-                    words_sent += send.words;
-                    seq += 1;
-                    heap.push(Reverse(Ev {
-                        time: sender_done,
-                        seq,
-                        kind: Kind::SendDone { proc: p as u32 },
-                    }));
-                    seq += 1;
-                    heap.push(Reverse(Ev {
-                        time: arrival,
-                        seq,
-                        kind: Kind::Arrive { tasks: send.tasks },
-                    }));
-                } else if let Some(tasks) = procs[p].recvs.pop_front() {
-                    let occ = config.params.t_recv;
-                    procs[p].busy_until = now + occ;
-                    comm[p] += occ;
-                    if let Some(m) = metrics.as_mut() {
-                        m.procs[p].recv_ticks += occ;
-                    }
-                    seq += 1;
-                    heap.push(Reverse(Ev {
-                        time: now + occ,
-                        seq,
-                        kind: Kind::RecvDone {
-                            proc: p as u32,
-                            tasks,
-                        },
-                    }));
-                } else if let Some(Reverse((_, task))) = procs[p].ready.pop() {
-                    let task_dur = dur_of(task);
-                    procs[p].busy_until = now + task_dur;
-                    compute[p] += task_dur;
-                    if let Some(m) = metrics.as_mut() {
-                        m.procs[p].compute_ticks += task_dur;
-                        m.procs[p].tasks += 1;
-                    }
-                    seq += 1;
-                    heap.push(Reverse(Ev {
-                        time: now + task_dur,
-                        seq,
-                        kind: Kind::TaskDone {
-                            proc: p as u32,
-                            task,
-                        },
-                    }));
-                }
-            }
-        }};
-    }
-
-    for p in 0..n_procs {
-        dispatch!(p, 0);
-    }
-
-    while let Some(Reverse(ev)) = heap.pop() {
-        let now = ev.time;
-        match ev.kind {
-            Kind::TaskDone { proc, task } => {
-                completed += 1;
-                makespan = makespan.max(now);
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TaskRecord {
-                        task,
-                        proc,
-                        start: now - dur_of(task),
-                        end: now,
-                    });
-                }
-                let p = proc as usize;
-                // Local arcs complete immediately; remote arcs queue sends.
-                let mut remote: Vec<(u32, u32, u64)> = Vec::new(); // (dst_proc, dst_task, words)
-                for &(w, arc_w) in &out[task as usize] {
-                    let q = program.proc_of[w as usize];
-                    if q as usize == p {
-                        indeg[w as usize] -= 1;
-                        if indeg[w as usize] == 0 {
-                            procs[p]
-                                .ready
-                                .push(Reverse((program.step_of[w as usize], w)));
-                        }
-                    } else {
-                        remote.push((q, w, arc_w));
-                    }
-                }
-                if config.batch_messages {
-                    remote.sort_unstable();
-                    let mut i = 0;
-                    while i < remote.len() {
-                        let dst = remote[i].0;
-                        let mut tasks = Vec::new();
-                        let mut words = 0u64;
-                        while i < remote.len() && remote[i].0 == dst {
-                            tasks.push(remote[i].1);
-                            words += remote[i].2 * config.words_per_arc;
-                            i += 1;
-                        }
-                        procs[p].sends.push_back(PendingSend {
-                            dst_proc: dst,
-                            src_task: task,
-                            tasks,
-                            words,
-                        });
-                    }
-                } else {
-                    for (dst, w, arc_w) in remote {
-                        procs[p].sends.push_back(PendingSend {
-                            dst_proc: dst,
-                            src_task: task,
-                            tasks: vec![w],
-                            words: arc_w * config.words_per_arc,
-                        });
-                    }
-                }
-                dispatch!(p, now);
-            }
-            Kind::SendDone { proc } => {
-                dispatch!(proc as usize, now);
-            }
-            Kind::Arrive { tasks } => {
-                if let Some(m) = metrics.as_mut() {
-                    m.procs[program.proc_of[tasks[0] as usize] as usize].msgs_received += 1;
-                }
-                if config.params.t_recv > 0 {
-                    // All tasks of one message live on one processor.
-                    let q = program.proc_of[tasks[0] as usize] as usize;
-                    debug_assert!(tasks
-                        .iter()
-                        .all(|&w| program.proc_of[w as usize] as usize == q));
-                    procs[q].recvs.push_back(tasks);
-                    dispatch!(q, now);
-                } else {
-                    for w in tasks {
-                        indeg[w as usize] -= 1;
-                        if indeg[w as usize] == 0 {
-                            let q = program.proc_of[w as usize] as usize;
-                            procs[q]
-                                .ready
-                                .push(Reverse((program.step_of[w as usize], w)));
-                            dispatch!(q, now);
-                        }
-                    }
-                }
-            }
-            Kind::RecvDone { proc, tasks } => {
-                let q = proc as usize;
-                for w in tasks {
-                    indeg[w as usize] -= 1;
-                    if indeg[w as usize] == 0 {
-                        procs[q]
-                            .ready
-                            .push(Reverse((program.step_of[w as usize], w)));
-                    }
-                }
-                dispatch!(q, now);
-            }
-        }
-    }
-
-    if completed != n_tasks {
-        return Err(SimError::Deadlock {
-            completed,
-            total: n_tasks,
-        });
-    }
-    if let Some(tr) = trace.as_mut() {
-        tr.sort_by_key(|r| (r.start, r.task));
-    }
-    Ok(SimReport {
-        makespan,
-        compute,
-        comm,
-        messages,
-        words: words_sent,
-        trace,
-        metrics,
-    })
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEvent;
 
     fn params() -> MachineParams {
         MachineParams {
@@ -784,10 +1354,312 @@ mod tests {
             words: 0,
             trace: None,
             metrics: None,
+            degradation: None,
         };
         assert_eq!(empty.idle_ticks(), vec![0]);
         assert_eq!(empty.comm_to_compute_ratio(), 0.0);
         assert_eq!(empty.per_proc_utilization(), vec![0.0]);
+    }
+
+    #[test]
+    fn report_helpers_zero_makespan() {
+        // A single zero-flop task: the run finishes at tick 0.
+        let prog = Program::from_parts(vec![0], vec![], vec![0], 0, 1);
+        let r = simulate(&prog, &config(0)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.max_proc_occupancy(), 0);
+        assert_eq!(r.idle_ticks(), vec![0]);
+        assert_eq!(r.comm_to_compute_ratio(), 0.0);
+        assert_eq!(r.per_proc_utilization(), vec![0.0]);
+    }
+
+    #[test]
+    fn report_helpers_compute_free_program() {
+        // Zero-flop tasks across two processors: all occupancy is comm.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 0, 2);
+        let r = simulate(&prog, &config(1)).unwrap();
+        assert_eq!(r.compute, vec![0, 0]);
+        assert!(r.comm[0] > 0, "the message still costs wire time");
+        // The guarded ratio must not divide by zero.
+        assert_eq!(r.comm_to_compute_ratio(), 0.0);
+        assert_eq!(r.max_proc_occupancy(), r.comm[0]);
+        let idle = r.idle_ticks();
+        assert_eq!(idle[0], r.makespan - r.comm[0]);
+        assert_eq!(idle[1], r.makespan);
+        let util = r.per_proc_utilization();
+        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn report_helpers_single_processor_run() {
+        // One processor, never idle: utilization exactly 1.
+        let prog = Program::from_parts(vec![0, 1, 2], vec![(0, 1), (1, 2)], vec![0, 0, 0], 3, 1);
+        let r = simulate(&prog, &config(0)).unwrap();
+        assert_eq!(r.max_proc_occupancy(), r.makespan);
+        assert_eq!(r.idle_ticks(), vec![0]);
+        assert_eq!(r.comm_to_compute_ratio(), 0.0);
+        assert_eq!(r.per_proc_utilization(), vec![1.0]);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn chain_prog() -> Program {
+        // proc0 → proc1 → proc2 → proc3 chain across a 2-cube.
+        Program::from_parts(
+            vec![0, 1, 2, 3],
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![0, 1, 2, 3],
+            2,
+            4,
+        )
+    }
+
+    #[test]
+    fn empty_plan_matches_baseline_exactly() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let base = simulate(&prog, &cfg).unwrap();
+        let fc = FaultConfig::new(FaultPlan::none(), RecoveryPolicy::RetryOnly);
+        let r = simulate_with_faults(&prog, &cfg, &fc).unwrap();
+        assert_eq!(r.makespan, base.makespan);
+        assert_eq!(r.compute, base.compute);
+        assert_eq!(r.comm, base.comm);
+        assert_eq!(r.messages, base.messages);
+        assert_eq!(r.words, base.words);
+        assert_eq!(r.trace, base.trace);
+        let deg = r.degradation.unwrap();
+        assert_eq!(deg.faults_hit, 0);
+        assert_eq!(deg.baseline_makespan, base.makespan);
+        assert_eq!(deg.degraded_makespan, base.makespan);
+        assert_eq!(deg.makespan_inflation(), 0.0);
+    }
+
+    #[test]
+    fn message_drops_retry_and_inflate_makespan() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        // Drop every message on its first attempts: per-mille 1000.
+        let plan = FaultPlan {
+            retry_timeout: 8,
+            ..FaultPlan::message_noise(42, 500, 0, 0)
+        };
+        let fc = FaultConfig::new(plan, RecoveryPolicy::RetryOnly);
+        let r = simulate_with_faults(&prog, &cfg, &fc).unwrap();
+        let deg = r.degradation.as_ref().unwrap();
+        assert!(deg.drops > 0, "500‰ over several messages must drop some");
+        assert_eq!(deg.retries, deg.drops + deg.corruptions);
+        assert!(deg.retransmitted_words > 0);
+        assert!(deg.degraded_makespan > deg.baseline_makespan);
+        assert!(deg.makespan_inflation() > 0.0);
+        // Attempts show up in the traffic counters.
+        assert!(r.messages > 3);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_degradation() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan::message_noise(7, 300, 100, 200);
+        let a = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan.clone(), RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let b = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        assert_eq!(a.degradation, b.degradation);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn abort_policy_fails_on_first_drop() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan::message_noise(1, 1000, 0, 0); // drop everything
+        let err = simulate_with_faults(&prog, &cfg, &FaultConfig::new(plan, RecoveryPolicy::Abort))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unrecoverable { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan {
+            max_retries: 3,
+            retry_timeout: 4,
+            ..FaultPlan::message_noise(1, 1000, 0, 0) // drop everything forever
+        };
+        let err = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap_err();
+        match err {
+            SimError::Unrecoverable { fault, .. } => {
+                assert!(fault.contains("abandoned"), "{fault}")
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_link_outage_reroutes() {
+        // proc0 → proc1 on a 2-cube with link (0,1) down for the whole
+        // run: the message must detour 0→2→3→1 (3 hops) and still land.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 4);
+        let cfg = config(2);
+        let plan = FaultPlan::none().with_event(FaultEvent::LinkDown {
+            from: 0,
+            to: 1,
+            at: 0,
+            until: Some(1_000_000),
+        });
+        let r = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let deg = r.degradation.as_ref().unwrap();
+        assert_eq!(deg.reroutes, 1);
+        // 3 hops instead of 1: arrival 1 + 3·12 = 37, completion 38.
+        assert_eq!(r.makespan, 38);
+        assert!(deg.makespan_inflation() > 0.0);
+    }
+
+    #[test]
+    fn permanent_partition_is_unroutable() {
+        // On a 2-node ring there is no detour: cutting 0→1 for good
+        // makes the pair unroutable.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 2);
+        let mut cfg = config(1);
+        cfg.topology = Topology::Ring(2);
+        let plan = FaultPlan::none().with_event(FaultEvent::LinkDown {
+            from: 0,
+            to: 1,
+            at: 0,
+            until: None,
+        });
+        let err = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::Unroutable { src: 0, dst: 1 });
+    }
+
+    #[test]
+    fn short_outage_retries_until_link_returns() {
+        // Same 2-node ring, but the outage ends at tick 40: the send
+        // backs off and succeeds once the link is back.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 2);
+        let mut cfg = config(1);
+        cfg.topology = Topology::Ring(2);
+        let plan = FaultPlan {
+            retry_timeout: 16,
+            ..FaultPlan::none().with_event(FaultEvent::LinkDown {
+                from: 0,
+                to: 1,
+                at: 0,
+                until: Some(40),
+            })
+        };
+        let r = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let deg = r.degradation.as_ref().unwrap();
+        assert!(deg.faults_hit > 0);
+        assert!(r.makespan > 14, "outage must delay the 14-tick baseline");
+    }
+
+    #[test]
+    fn slowdown_inflates_compute() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan::none().with_event(FaultEvent::ProcSlow {
+            proc: 0,
+            factor: 5,
+            at: 0,
+            until: None,
+        });
+        let r = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let deg = r.degradation.as_ref().unwrap();
+        assert_eq!(r.compute[0], 10, "2 flops × 5 slowdown");
+        assert!(deg.faults_hit > 0);
+        assert!(deg.degraded_makespan > deg.baseline_makespan);
+    }
+
+    #[test]
+    fn crash_under_retry_only_is_unrecoverable() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan::none().with_crash(2, 1);
+        let err = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap_err();
+        match err {
+            SimError::Unrecoverable { fault, task, .. } => {
+                assert!(fault.contains("P2 fail-stopped"), "{fault}");
+                assert_eq!(task, Some(2));
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_with_remap_completes_and_charges_state_transfer() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let plan = FaultPlan::none().with_crash(2, 1);
+        let r = simulate_with_faults(&prog, &cfg, &FaultConfig::new(plan, RecoveryPolicy::Remap))
+            .unwrap();
+        let deg = r.degradation.as_ref().unwrap();
+        assert_eq!(deg.crashes, 1);
+        assert!(deg.remapped_tasks >= 1);
+        assert!(deg.state_transfer_words > 0);
+        assert!(deg.state_transfer_ticks > 0);
+        // P2's Gray-code nearest survivor is P0 (distance 1, lowest id).
+        assert!(
+            r.compute[2] == 0 || r.comm[2] == 0,
+            "dead proc does no new work"
+        );
+        // Every task still completed exactly once.
+        assert_eq!(r.trace.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn crash_after_completion_is_harmless() {
+        let prog = chain_prog();
+        let cfg = config(2);
+        let base = simulate(&prog, &cfg).unwrap();
+        let plan = FaultPlan::none().with_crash(1, base.makespan + 1_000);
+        let r = simulate_with_faults(&prog, &cfg, &FaultConfig::new(plan, RecoveryPolicy::Abort))
+            .unwrap();
+        assert_eq!(r.makespan, base.makespan);
+        let deg = r.degradation.unwrap();
+        assert_eq!(deg.crashes, 1);
+        assert_eq!(deg.remapped_tasks, 0);
     }
 
     #[test]

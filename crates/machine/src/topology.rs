@@ -110,6 +110,56 @@ impl Topology {
         path.windows(2).map(|w| (w[0], w[1])).collect()
     }
 
+    /// The shortest route from `a` to `b` that avoids every directed
+    /// link for which `down` returns `true`, as the directed links of
+    /// the path. Breadth-first over the live interconnect, expanding
+    /// neighbors in [`Topology::neighbors`] order so the result is
+    /// deterministic. Returns `None` when the live links no longer
+    /// connect `a` to `b` (the fault layer turns that into
+    /// [`SimError::Unroutable`](crate::sim::SimError::Unroutable)), and
+    /// `Some(vec![])` when `a == b`.
+    pub fn route_links_avoiding<F>(
+        &self,
+        a: usize,
+        b: usize,
+        down: F,
+    ) -> Option<Vec<(usize, usize)>>
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        let n = self.len();
+        assert!(a < n && b < n, "node out of range");
+        if a == b {
+            return Some(Vec::new());
+        }
+        // BFS from `a`; parent pointers reconstruct the path.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[a] = true;
+        let mut frontier = std::collections::VecDeque::from([a]);
+        while let Some(cur) = frontier.pop_front() {
+            for next in self.neighbors(cur) {
+                if seen[next] || down(cur, next) {
+                    continue;
+                }
+                seen[next] = true;
+                parent[next] = Some(cur);
+                if next == b {
+                    let mut path = vec![b];
+                    let mut node = b;
+                    while let Some(p) = parent[node] {
+                        path.push(p);
+                        node = p;
+                    }
+                    path.reverse();
+                    return Some(path.windows(2).map(|w| (w[0], w[1])).collect());
+                }
+                frontier.push_back(next);
+            }
+        }
+        None
+    }
+
     /// Neighbors of a node (the nodes one hop away).
     pub fn neighbors(&self, p: usize) -> Vec<usize> {
         let n = self.len();
@@ -228,6 +278,48 @@ mod tests {
         let t = Topology::Mesh { rows: 3, cols: 3 };
         // 0=(0,0) → 8=(2,2): X first then Y.
         assert_eq!(t.route(0, 8), vec![0, 1, 2, 5, 8]);
+    }
+
+    #[test]
+    fn route_avoiding_matches_distance_when_all_links_live() {
+        let topos = [
+            Topology::Hypercube(3),
+            Topology::Mesh { rows: 3, cols: 4 },
+            Topology::Ring(7),
+            Topology::Complete(5),
+        ];
+        for t in topos {
+            for a in 0..t.len() {
+                for b in 0..t.len() {
+                    let links = t.route_links_avoiding(a, b, |_, _| false).unwrap();
+                    assert_eq!(links.len(), t.distance(a, b), "{t:?} {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_dead_links() {
+        let t = Topology::Hypercube(2);
+        // Kill 0→1 in both directions: 0→1 must detour via 2 (or 3).
+        let dead = |x: usize, y: usize| (x, y) == (0, 1) || (x, y) == (1, 0);
+        let links = t.route_links_avoiding(0, 1, dead).unwrap();
+        assert_eq!(links.len(), 3, "detour is three hops: {links:?}");
+        assert!(links.iter().all(|&(x, y)| !dead(x, y)));
+        assert_eq!(links.first().unwrap().0, 0);
+        assert_eq!(links.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn route_avoiding_reports_disconnection() {
+        let t = Topology::Ring(4);
+        // Cutting both links incident to node 1 isolates it.
+        let dead = |x: usize, y: usize| x == 1 || y == 1;
+        assert_eq!(t.route_links_avoiding(0, 1, dead), None);
+        // Self-routes are trivially empty even on a cut machine.
+        assert_eq!(t.route_links_avoiding(2, 2, dead), Some(vec![]));
+        // The rest of the ring is still connected.
+        assert!(t.route_links_avoiding(0, 2, dead).is_some());
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub fn to_chrome_json(trace: &[TaskRecord]) -> String {
 /// collected — an `X` slice per message send and `s`/`f` flow arrows
 /// from each send to its arrival processor. Ticks map 1:1 onto µs.
 ///
+/// When the report carries a fault
+/// [`DegradationReport`](crate::fault::DegradationReport) with a
+/// non-empty attribution table, an extra `faults` track (tid one past
+/// the last processor) gets an instant band per fault hit, plus an `X`
+/// slice on the impacted processor's own track spanning the direct
+/// delay the fault caused there.
+///
 /// Returns `None` when the report carries no trace
 /// (`record_trace: false`).
 pub fn chrome_trace(report: &SimReport, num_procs: usize) -> Option<Json> {
@@ -143,6 +150,28 @@ pub fn chrome_trace(report: &SimReport, num_procs: usize) -> Option<Json> {
             );
             tb.flow_start(i as u64, 0, msg.src_proc as u64, msg.send_start, "msg");
             tb.flow_finish(i as u64, 0, msg.dst_proc as u64, msg.arrival, "msg");
+        }
+    }
+    // Fault bands: only materialize the track when something hit, so
+    // fault-free exports are byte-identical to the baseline's.
+    if let Some(deg) = report
+        .degradation
+        .as_ref()
+        .filter(|d| !d.attribution.is_empty())
+    {
+        let fault_tid = num_procs as u64;
+        tb.thread_name(0, fault_tid, "faults");
+        for hit in &deg.attribution {
+            tb.instant(0, fault_tid, hit.at, &format!("fault: {}", hit.fault));
+            if hit.delay_ticks > 0 {
+                tb.complete(
+                    0,
+                    hit.proc as u64,
+                    hit.at,
+                    hit.delay_ticks,
+                    &format!("fault delay: {}", hit.fault),
+                );
+            }
         }
     }
     Some(tb.build())
@@ -301,6 +330,57 @@ mod tests {
         no_trace.record_trace = false;
         let r2 = simulate(&prog, &no_trace).unwrap();
         assert!(chrome_trace(&r2, 4).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_gets_fault_band_under_faults() {
+        use crate::fault::{FaultConfig, FaultEvent, FaultPlan, RecoveryPolicy};
+        use crate::sim::simulate_with_faults;
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 4);
+        let cfg = traced_config();
+        let plan = FaultPlan::none().with_event(FaultEvent::LinkDown {
+            from: 0,
+            to: 1,
+            at: 0,
+            until: Some(1_000_000),
+        });
+        let r = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(plan, RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let json = chrome_trace(&r, 4).unwrap();
+        let evs = json.as_arr().unwrap();
+        // The reroute hit materializes the faults track and its pin.
+        let instants: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert!(!instants.is_empty());
+        assert!(instants
+            .iter()
+            .all(|e| e.get("tid").and_then(Json::as_u64) == Some(4)));
+        let named_faults = evs.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                == Some("faults")
+        });
+        assert!(named_faults, "faults track must be named");
+        // A fault-free degraded run adds nothing: same event count as
+        // the plain export.
+        let empty = simulate_with_faults(
+            &prog,
+            &cfg,
+            &FaultConfig::new(FaultPlan::none(), RecoveryPolicy::RetryOnly),
+        )
+        .unwrap();
+        let base = simulate(&prog, &cfg).unwrap();
+        assert_eq!(
+            chrome_trace(&empty, 4).unwrap().as_arr().unwrap().len(),
+            chrome_trace(&base, 4).unwrap().as_arr().unwrap().len()
+        );
     }
 
     #[test]

@@ -99,6 +99,16 @@ impl TraceBuilder {
         self.events.push(Json::Obj(ev));
     }
 
+    /// An instant event (`ph: "i"`) with thread scope — a zero-width
+    /// marker pin, used for fault-injection bands.
+    pub fn instant(&mut self, pid: u64, tid: u64, ts_us: u64, name: &str) {
+        let mut ev = base_event("i", pid, tid);
+        ev.insert(0, ("name".to_string(), Json::from(name)));
+        ev.push(("ts".to_string(), Json::from(ts_us)));
+        ev.push(("s".to_string(), Json::from("t")));
+        self.events.push(Json::Obj(ev));
+    }
+
     /// Start of a flow arrow (`ph: "s"`); `id` pairs it with its finish.
     pub fn flow_start(&mut self, id: u64, pid: u64, tid: u64, ts_us: u64, name: &str) {
         self.flow(id, "s", pid, tid, ts_us, name);
@@ -182,6 +192,21 @@ mod tests {
         assert_eq!(evs[0].get("id"), evs[1].get("id"));
         assert_eq!(evs[1].get("bp").unwrap().as_str(), Some("e"));
         assert_eq!(evs[0].get("cat").unwrap().as_str(), Some("msg"));
+    }
+
+    #[test]
+    fn instant_events_are_thread_scoped() {
+        let mut tb = TraceBuilder::new();
+        tb.instant(0, 4, 42, "fault: link 0->1 down");
+        let v = tb.build();
+        let ev = &v.as_arr().unwrap()[0];
+        assert_eq!(ev.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(ev.get("ts").unwrap().as_u64(), Some(42));
+        assert_eq!(ev.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(
+            ev.get("name").unwrap().as_str(),
+            Some("fault: link 0->1 down")
+        );
     }
 
     #[test]
