@@ -12,6 +12,7 @@
 //! loom check     --workload sor --size 8 --cube 2 [--json] [--allow LC004]
 //! loom viz       --workload sor --size 8 [--dot]
 //! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
+//!                [--threads 4] [--no-prune] [--bench-out bench.json]
 //! loom table1    [--m 1024]
 //! ```
 
@@ -39,6 +40,7 @@ fn usage() -> ! {
          \x20 check     --workload W --cube N   static verifier [--json] [--allow IDS]\n\
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
+         \x20           [--threads T] [--no-prune] [--bench-out FILE] [--metrics-out FILE]\n\
          \x20 table1    [--m M]                 the paper's Table I\n\
          common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…\n\
          simulate flags: --t-calc/--t-start/--t-comm, --batch, --contention,\n\
@@ -562,11 +564,44 @@ fn cmd_explore(a: &Args) {
             params: machine_params(a),
             ..Default::default()
         },
+        threads: a.int_flag("threads", 0).max(0) as usize,
+        prune: !a.switch("no-prune"),
     };
-    let best = loom_core::explore::explore(&w.nest, &dims, &cfg).unwrap_or_else(|e| {
+    let rec = Recorder::enabled();
+    let start = std::time::Instant::now();
+    let best = loom_core::explore::explore_with(&w.nest, &dims, &cfg, &rec).unwrap_or_else(|e| {
         eprintln!("exploration failed: {e}");
         std::process::exit(1)
     });
+    let wall_us = start.elapsed().as_micros() as u64;
+    if let Some(path) = a.flags.get("metrics-out") {
+        let doc = loom_core::obs_export::metrics_json(&rec, None);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = a.flags.get("bench-out") {
+        let counters = rec.counters();
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        let doc = loom_obs::Json::obj(vec![
+            ("workload", loom_obs::Json::from(w.nest.name())),
+            (
+                "candidates",
+                loom_obs::Json::from(get("explore.candidates")),
+            ),
+            ("simulated", loom_obs::Json::from(get("explore.simulated"))),
+            ("pruned", loom_obs::Json::from(get("explore.pruned"))),
+            ("wall_us", loom_obs::Json::from(wall_us)),
+            ("ranked", loom_obs::Json::from(best.len())),
+        ]);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("bench summary written to {path}");
+    }
     let mut t = Table::new([
         "rank", "Π", "grouping", "N", "blocks", "makespan", "messages",
     ]);

@@ -1,7 +1,9 @@
 //! The paper's closed-form performance model for matrix–vector
-//! multiplication on a hypercube (§IV and Table I).
+//! multiplication on a hypercube (§IV and Table I), plus a general
+//! makespan lower bound ([`makespan_lower_bound`]) used by
+//! exploration's branch-and-bound pruning.
 
-use loom_machine::MachineParams;
+use loom_machine::{MachineParams, Program};
 
 /// The two symbolic terms of `T_exec(N)`:
 /// `calc_coeff · t_calc + comm_coeff · (t_start + t_comm)`.
@@ -97,6 +99,113 @@ pub fn matvec_crossover_m(n: u64, params: &MachineParams, cap: u64) -> Option<u6
     })
 }
 
+/// A cheap lower bound on the simulated makespan of `program` under
+/// `params` — the gate of exploration's branch-and-bound pruning: a
+/// candidate whose bound already exceeds the current k-th best makespan
+/// cannot enter the top-k and need not be simulated.
+///
+/// The bound is the maximum of two relaxations, both provably ≤ the
+/// discrete-event makespan on a fault-free machine:
+///
+/// * **occupancy bound** — compute, sends, and receive processing all
+///   occupy a processor's serial timeline, so the makespan is at least
+///   the busiest processor's `Σ flops · t_calc` plus one
+///   store-and-forward send (`t_start + words·t_comm`) per outgoing
+///   message plus `t_recv` per incoming message. With
+///   `batch_messages`, arcs from one task to one destination processor
+///   share a single message, exactly as the engine merges them;
+/// * **critical-path bound** — along every dependence chain, a task
+///   finishes no earlier than its slowest predecessor's finish plus the
+///   cheapest possible delivery of the arc: free on the same processor,
+///   otherwise one hop of store-and-forward occupancy plus the
+///   receiver's `t_recv` processing. Batching only grows the message
+///   carrying an arc, so the per-arc delay never overshoots.
+///
+/// Contention and multi-hop routes only add delay on top of either
+/// relaxation, and senders can at best emit the instant the producing
+/// task retires, so the bound never exceeds the simulated makespan.
+///
+/// The critical path is evaluated in `(step, id)` order, which is
+/// topological because a legal Π advances every dependence by at least
+/// one step; if a program violates that (hand-built arcs within a
+/// step), the path term is skipped and the occupancy bound alone is
+/// returned. Under fault injection the bound is *not* sound — crash
+/// remap can co-locate tasks and beat the fault-free schedule — so
+/// exploration disables pruning whenever faults are configured.
+pub fn makespan_lower_bound(
+    program: &Program,
+    params: &MachineParams,
+    words_per_arc: u64,
+    batch_messages: bool,
+) -> u64 {
+    let n = program.task_flops.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut per_proc = vec![0u64; program.num_procs];
+    for (t, &flops) in program.task_flops.iter().enumerate() {
+        per_proc[program.proc_of[t] as usize] += flops * params.t_calc;
+    }
+    // Communication occupancy: one message per remote arc, or per
+    // (source task, destination processor) pair under batching.
+    if batch_messages {
+        let mut msg_words: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
+        for (i, &(u, v)) in program.arcs.iter().enumerate() {
+            let (pu, pv) = (program.proc_of[u as usize], program.proc_of[v as usize]);
+            if pu != pv {
+                *msg_words.entry((u, pv)).or_insert(0) += program.arc_words[i] * words_per_arc;
+            }
+        }
+        for (&(u, pv), &words) in &msg_words {
+            per_proc[program.proc_of[u as usize] as usize] += params.send_occupancy(words);
+            per_proc[pv as usize] += params.t_recv;
+        }
+    } else {
+        for (i, &(u, v)) in program.arcs.iter().enumerate() {
+            let (pu, pv) = (program.proc_of[u as usize], program.proc_of[v as usize]);
+            if pu != pv {
+                let words = program.arc_words[i] * words_per_arc;
+                per_proc[pu as usize] += params.send_occupancy(words);
+                per_proc[pv as usize] += params.t_recv;
+            }
+        }
+    }
+    let work = per_proc.into_iter().max().unwrap_or(0);
+
+    let steps_advance = program
+        .arcs
+        .iter()
+        .all(|&(u, v)| program.step_of[u as usize] < program.step_of[v as usize]);
+    if !steps_advance {
+        return work;
+    }
+    let mut incoming: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    for (i, &(u, v)) in program.arcs.iter().enumerate() {
+        let delay = if program.proc_of[u as usize] == program.proc_of[v as usize] {
+            0
+        } else {
+            let words = program.arc_words[i] * words_per_arc;
+            params.send_occupancy(words) + params.t_recv
+        };
+        incoming[v as usize].push((u, delay));
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&t| (program.step_of[t as usize], t));
+    let mut finish = vec![0u64; n];
+    let mut path = 0u64;
+    for &t in &order {
+        let ready = incoming[t as usize]
+            .iter()
+            .map(|&(u, delay)| finish[u as usize] + delay)
+            .max()
+            .unwrap_or(0);
+        finish[t as usize] = ready + program.task_flops[t as usize] * params.t_calc;
+        path = path.max(finish[t as usize]);
+    }
+    work.max(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +298,76 @@ mod tests {
         // N = 2: l = 1 → W = Σ_{1}^{8} = 36 — more than half of 64
         // because the diagonal blocks are the heavy ones.
         assert_eq!(matvec_max_points(8, 2), 36);
+    }
+
+    #[test]
+    fn lower_bound_exact_on_two_task_chain() {
+        // task0 (proc0) → task1 (proc1): compute 1, one hop of
+        // t_start + t_comm = 55, compute 1 — the bound is tight here.
+        let prog = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 1], 1, 2);
+        let p = MachineParams::classic_1991();
+        assert_eq!(makespan_lower_bound(&prog, &p, 1, false), 57);
+        // Same processor: the message is free, only serial compute remains.
+        let local = Program::from_parts(vec![0, 1], vec![(0, 1)], vec![0, 0], 1, 1);
+        assert_eq!(makespan_lower_bound(&local, &p, 1, false), 2);
+    }
+
+    #[test]
+    fn work_bound_covers_independent_tasks() {
+        // Two independent tasks on one processor: the critical path is a
+        // single task, but the work bound sees the serial execution.
+        let prog = Program::from_parts(vec![0, 0], vec![], vec![0, 0], 3, 1);
+        let p = MachineParams::classic_1991();
+        assert_eq!(makespan_lower_bound(&prog, &p, 1, false), 6);
+        let empty = Program::from_parts(vec![], vec![], vec![], 1, 1);
+        assert_eq!(makespan_lower_bound(&empty, &p, 1, false), 0);
+    }
+
+    #[test]
+    fn batching_shrinks_the_send_occupancy_term() {
+        // task0 fans out to two tasks on proc1: unbatched it pays
+        // t_start twice, batched the arcs share one message.
+        let prog = Program::from_parts(vec![0, 1, 1], vec![(0, 1), (0, 2)], vec![0, 1, 1], 1, 2);
+        let p = MachineParams::classic_1991();
+        let unbatched = makespan_lower_bound(&prog, &p, 1, false);
+        let batched = makespan_lower_bound(&prog, &p, 1, true);
+        // Sender occupancy: 1 + 2·(50+5) = 111 vs 1 + 50+2·5 = 61.
+        assert_eq!(unbatched, 111);
+        assert_eq!(batched, 61);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_simulated_makespan() {
+        use crate::pipeline::{Pipeline, PipelineConfig};
+        use loom_machine::{simulate, SimConfig};
+        let w = loom_workloads::matvec::workload(12);
+        let rec = loom_obs::Recorder::disabled();
+        for cube_dim in [0usize, 1, 2] {
+            let cfg = PipelineConfig {
+                time_fn: Some(w.pi.clone()),
+                cube_dim,
+                machine: None,
+                ..Default::default()
+            };
+            let pipeline = Pipeline::new(w.nest.clone());
+            let stage = pipeline.stage_partition(&cfg, &rec).unwrap();
+            let (_mapping, placement, target) = stage.map_with(&cfg, &rec).unwrap();
+            let program = stage.program(&placement);
+            for params in [MachineParams::classic_1991(), MachineParams::low_latency()] {
+                for batch in [false, true] {
+                    let mut sim_cfg = SimConfig::paper_hypercube(cube_dim, params);
+                    sim_cfg.topology = target.topology();
+                    sim_cfg.batch_messages = batch;
+                    let report = simulate(&program, &sim_cfg).unwrap();
+                    let bound = makespan_lower_bound(&program, &params, 1, batch);
+                    assert!(
+                        bound <= report.makespan,
+                        "unsound bound {bound} > makespan {} at cube_dim={cube_dim} batch={batch}",
+                        report.makespan
+                    );
+                    assert!(bound > 0);
+                }
+            }
+        }
     }
 }

@@ -6,13 +6,40 @@
 //! the requested machine sizes, simulates each configuration, and ranks
 //! by makespan. Deterministic: ties break toward smaller Π, smaller
 //! grouping index, smaller machine.
+//!
+//! The sweep is organised for throughput without giving up determinism
+//! (see `docs/PERFORMANCE.md`):
+//!
+//! * **stage caching** — dependence extraction runs once per nest, and
+//!   the partitioning prefix of the pipeline
+//!   ([`Pipeline::stage_partition_with_deps`]) runs once per
+//!   (Π, grouping) pair, shared across every machine size;
+//! * **parallelism** — (Π, grouping) pairs fan out over a
+//!   [`loom_obs::Pool`], whose `map_indexed` returns results in input
+//!   order whatever order the workers ran; each worker reuses one
+//!   [`SimScratch`] across all its simulations;
+//! * **branch-and-bound pruning** — a candidate whose analytic lower
+//!   bound ([`crate::analytic::makespan_lower_bound`]) already exceeds
+//!   the current k-th best simulated makespan cannot enter the top-k
+//!   and is skipped (`explore.pruned` counts them). Pruning is disabled
+//!   when `top == 0` (every candidate is kept) and under fault
+//!   injection (crash remap can beat the fault-free bound).
+//!
+//! The ranked candidate list is **byte-identical** across thread counts
+//! and with pruning on or off; `tests-int/tests/explore.rs` asserts it
+//! for every builtin workload.
 
-use crate::pipeline::{MachineOptions, Pipeline, PipelineConfig, PipelineError};
+use crate::analytic::makespan_lower_bound;
+use crate::pipeline::{run_machine, MachineOptions, Pipeline, PipelineConfig, PipelineError};
 use loom_hyperplane::TimeFn;
 use loom_loopir::{DepOptions, LoopNest};
+use loom_machine::SimScratch;
+use loom_obs::{Pool, Recorder};
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// One explored configuration and its simulated outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Candidate {
     /// The time transformation.
     pub pi: Vec<i64>,
@@ -37,6 +64,14 @@ pub struct ExploreConfig {
     pub top: usize,
     /// Machine options used for every simulation.
     pub machine: MachineOptions,
+    /// Worker threads for the candidate sweep: `0` = auto
+    /// (`LOOM_THREADS`, then the machine's parallelism), `1` = the
+    /// exact serial path. The ranked result is identical either way.
+    pub threads: usize,
+    /// Branch-and-bound pruning: skip simulating candidates whose
+    /// analytic lower bound already exceeds the current k-th best
+    /// makespan. Never changes the ranked result set.
+    pub prune: bool,
 }
 
 impl Default for ExploreConfig {
@@ -45,6 +80,8 @@ impl Default for ExploreConfig {
             pi_bound: 1,
             top: 10,
             machine: MachineOptions::default(),
+            threads: 0,
+            prune: true,
         }
     }
 }
@@ -62,15 +99,18 @@ fn legal_pis(nest: &LoopNest, deps: &[Vec<i64>], bound: i64) -> Vec<Vec<i64>> {
         let mut k = n;
         loop {
             if k == 0 {
-                out.sort_by_key(|c| {
-                    let pi = TimeFn::new(c.clone());
-                    (
-                        pi.steps(nest.space()),
-                        c.iter().map(|x| x.abs()).sum::<i64>(),
-                        c.clone(),
-                    )
-                });
-                return out;
+                // Precompute the sort key once per candidate instead of
+                // rebuilding a TimeFn inside the comparator.
+                let mut keyed: Vec<(i64, i64, Vec<i64>)> = out
+                    .into_iter()
+                    .map(|c| {
+                        let steps = TimeFn::new(c.clone()).steps(nest.space());
+                        let l1 = c.iter().map(|x| x.abs()).sum::<i64>();
+                        (steps, l1, c)
+                    })
+                    .collect();
+                keyed.sort();
+                return keyed.into_iter().map(|(_, _, c)| c).collect();
             }
             k -= 1;
             if coeffs[k] < bound {
@@ -84,12 +124,49 @@ fn legal_pis(nest: &LoopNest, deps: &[Vec<i64>], bound: i64) -> Vec<Vec<i64>> {
     }
 }
 
-/// Explore configurations for a nest across the given hypercube
-/// dimensions; returns candidates ranked by simulated makespan.
-///
-/// Configurations whose mapping fails (machine larger than the block
-/// count) are skipped silently; other pipeline failures propagate.
-pub fn explore(
+/// The shared branch-and-bound gate: a max-heap of the `cap` smallest
+/// simulated makespans seen so far. A candidate is pruned only when the
+/// heap is full **and** its lower bound is *strictly* greater than the
+/// k-th best — ties must still be simulated because the final ranking
+/// breaks them on secondary keys.
+struct PruneGate {
+    heap: BinaryHeap<u64>,
+    cap: usize,
+}
+
+impl PruneGate {
+    fn new(cap: usize) -> PruneGate {
+        PruneGate {
+            heap: BinaryHeap::new(),
+            cap,
+        }
+    }
+
+    fn should_prune(&self, bound: u64) -> bool {
+        self.cap > 0 && self.heap.len() == self.cap && bound > *self.heap.peek().unwrap()
+    }
+
+    fn record(&mut self, makespan: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.heap.len() < self.cap {
+            self.heap.push(makespan);
+        } else if makespan < *self.heap.peek().unwrap() {
+            self.heap.pop();
+            self.heap.push(makespan);
+        }
+    }
+}
+
+/// The seed implementation of [`explore`], kept as the determinism
+/// oracle and the bench baseline: fully serial, no pruning, no stage
+/// caching — the entire pipeline (dependences → Π → partitioning → TIG
+/// → mapping → simulation) re-runs for every (Π, grouping, cube_dim)
+/// triple. `config.threads` and `config.prune` are ignored.
+/// [`explore`] must return a byte-identical ranked list;
+/// `tests-int/tests/explore.rs` and `repro_explore` both enforce it.
+pub fn explore_reference(
     nest: &LoopNest,
     cube_dims: &[usize],
     config: &ExploreConfig,
@@ -113,7 +190,7 @@ pub fn explore(
                 });
                 match run {
                     Ok(out) => {
-                        let sim = out.sim.expect("machine enabled");
+                        let sim = out.sim.as_ref().ok_or(PipelineError::NoSimulation)?;
                         results.push(Candidate {
                             pi: pi.clone(),
                             grouping,
@@ -146,6 +223,148 @@ pub fn explore(
     Ok(results)
 }
 
+/// Explore configurations for a nest across the given hypercube
+/// dimensions; returns candidates ranked by simulated makespan.
+///
+/// Configurations whose mapping fails (machine larger than the block
+/// count) are skipped silently; other pipeline failures propagate.
+pub fn explore(
+    nest: &LoopNest,
+    cube_dims: &[usize],
+    config: &ExploreConfig,
+) -> Result<Vec<Candidate>, PipelineError> {
+    explore_with(nest, cube_dims, config, &Recorder::disabled())
+}
+
+/// [`explore`] with instrumentation: `explore.candidates` /
+/// `explore.simulated` / `explore.pruned` counters, `pool.*` counters
+/// and per-worker busy spans, and an `explore.total` span.
+pub fn explore_with(
+    nest: &LoopNest,
+    cube_dims: &[usize],
+    config: &ExploreConfig,
+    recorder: &Recorder,
+) -> Result<Vec<Candidate>, PipelineError> {
+    let _total = recorder.span("explore.total");
+    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
+        .map_err(PipelineError::Deps)?;
+    let pis = legal_pis(nest, &deps, config.pi_bound);
+    let pipeline = Pipeline::new(nest.clone());
+
+    // One work item per (Π, grouping) pair: the partitioning prefix of
+    // the pipeline runs once per pair and is completed per cube_dim.
+    let pairs: Vec<(usize, usize)> = (0..pis.len())
+        .flat_map(|p| (0..deps.len()).map(move |g| (p, g)))
+        .collect();
+    recorder.add("explore.candidates", (pairs.len() * cube_dims.len()) as u64);
+
+    // Pruning is sound only when a k-th best exists to compare against
+    // (top > 0) and the machine is fault-free (crash remap can beat the
+    // fault-free lower bound; see A8 in EXPERIMENTS.md).
+    let pruning = config.prune && config.top > 0 && config.machine.faults.is_none();
+    let gate = Mutex::new(PruneGate::new(if pruning { config.top } else { 0 }));
+
+    let pool = Pool::with_recorder(config.threads, recorder.clone());
+    type PairOutcome = Result<(Vec<Candidate>, u64, u64), PipelineError>;
+    let outcomes: Vec<PairOutcome> = pool.map_indexed_with(
+        &pairs,
+        SimScratch::default,
+        |scratch, _idx, &(pi_idx, grouping)| {
+            // Per-candidate pipeline stages run un-instrumented: the
+            // sweep-level counters above are the meaningful signal, and
+            // thousands of interleaved stage spans are not.
+            let rec = Recorder::disabled();
+            let pi = &pis[pi_idx];
+            let base = PipelineConfig {
+                time_fn: Some(pi.clone()),
+                partition: loom_partition::PartitionConfig {
+                    grouping_choice: Some(grouping),
+                    seed: None,
+                },
+                machine: Some(config.machine.clone()),
+                ..Default::default()
+            };
+            let mut found = Vec::new();
+            let (mut pruned, mut simulated) = (0u64, 0u64);
+            let stage = match pipeline.stage_partition_with_deps(&base, &rec, deps.clone()) {
+                Ok(stage) => stage,
+                // Grouping choice not maximal: a legitimate skip.
+                Err(PipelineError::Partition(_)) => return Ok((found, pruned, simulated)),
+                Err(e) => return Err(e),
+            };
+            for &cube_dim in cube_dims {
+                let cfg = PipelineConfig {
+                    cube_dim,
+                    ..base.clone()
+                };
+                let (mapping, placement, target) = match stage.map_with(&cfg, &rec) {
+                    Ok(x) => x,
+                    // Cube too large for the block count: skip.
+                    Err(PipelineError::Mapping(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                if config.machine.static_check {
+                    stage.check_with(&mapping, &rec)?;
+                }
+                let program = stage.program(&placement);
+                if pruning {
+                    let bound = makespan_lower_bound(
+                        &program,
+                        &config.machine.params,
+                        config.machine.words_per_arc,
+                        config.machine.batch_messages,
+                    );
+                    if gate.lock().unwrap().should_prune(bound) {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+                let report = run_machine(&program, target, &config.machine, &rec, Some(scratch))?;
+                simulated += 1;
+                if pruning {
+                    gate.lock().unwrap().record(report.makespan);
+                }
+                found.push(Candidate {
+                    pi: pi.clone(),
+                    grouping,
+                    cube_dim,
+                    makespan: report.makespan,
+                    messages: report.messages,
+                    blocks: stage.partitioning.num_blocks(),
+                });
+            }
+            Ok((found, pruned, simulated))
+        },
+    );
+
+    // Merge in input order; the first error in input order propagates,
+    // whatever order the workers hit errors in.
+    let mut results: Vec<Candidate> = Vec::new();
+    let (mut pruned_total, mut simulated_total) = (0u64, 0u64);
+    for outcome in outcomes {
+        let (found, pruned, simulated) = outcome?;
+        results.extend(found);
+        pruned_total += pruned;
+        simulated_total += simulated;
+    }
+    recorder.add("explore.pruned", pruned_total);
+    recorder.add("explore.simulated", simulated_total);
+
+    results.sort_by_key(|c| {
+        (
+            c.makespan,
+            c.pi.iter().map(|x| x.abs()).sum::<i64>(),
+            c.pi.clone(),
+            c.grouping,
+            c.cube_dim,
+        )
+    });
+    if config.top > 0 {
+        results.truncate(config.top);
+    }
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +378,7 @@ mod tests {
                 params: MachineParams::low_latency(),
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -209,5 +429,89 @@ mod tests {
             .collect();
         assert!(steps[0] <= *steps.last().unwrap());
         assert_eq!(pis[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn parallel_and_pruned_match_serial_unpruned() {
+        let w = loom_workloads::matvec::workload(10);
+        let baseline = explore_reference(&w.nest, &[0, 1, 2], &cfg()).unwrap();
+        assert_eq!(
+            explore(
+                &w.nest,
+                &[0, 1, 2],
+                &ExploreConfig {
+                    threads: 1,
+                    prune: false,
+                    ..cfg()
+                },
+            )
+            .unwrap(),
+            baseline,
+            "stage-cached serial must match the seed implementation"
+        );
+        for threads in [2, 4] {
+            for prune in [false, true] {
+                let got = explore(
+                    &w.nest,
+                    &[0, 1, 2],
+                    &ExploreConfig {
+                        threads,
+                        prune,
+                        ..cfg()
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, baseline, "threads={threads} prune={prune}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_recorded_and_pruning_skips_work() {
+        let w = loom_workloads::matvec::workload(10);
+        let count_with = |top: usize, prune: bool| {
+            let rec = Recorder::enabled();
+            explore_with(
+                &w.nest,
+                &[0, 1, 2],
+                &ExploreConfig {
+                    threads: 2,
+                    top,
+                    prune,
+                    ..cfg()
+                },
+                &rec,
+            )
+            .unwrap();
+            let counters = rec.counters();
+            assert!(counters.contains_key("pool.tasks"));
+            let candidates = counters["explore.candidates"];
+            let simulated = counters["explore.simulated"];
+            let pruned = counters["explore.pruned"];
+            // The rest were mapping/partition skips.
+            assert!(pruned + simulated <= candidates);
+            assert!(simulated >= 1);
+            (simulated, pruned)
+        };
+        let (sim_unpruned, p0) = count_with(1, false);
+        let (sim_pruned, p1) = count_with(1, true);
+        assert_eq!(p0, 0, "prune=false must never prune");
+        assert!(
+            sim_pruned + p1 == sim_unpruned,
+            "pruning only skips simulations"
+        );
+        assert!(p1 > 0, "top=1 on matvec should prune something");
+    }
+
+    #[test]
+    fn top_zero_keeps_everything_and_disables_pruning() {
+        let w = loom_workloads::l1::workload(4);
+        let rec = Recorder::enabled();
+        let all = explore_with(&w.nest, &[0, 1], &ExploreConfig { top: 0, ..cfg() }, &rec).unwrap();
+        let counters = rec.counters();
+        // No truncation: every simulated candidate is in the result.
+        assert_eq!(all.len() as u64, counters["explore.simulated"]);
+        assert!(!all.is_empty());
+        assert_eq!(counters.get("explore.pruned"), Some(&0));
     }
 }

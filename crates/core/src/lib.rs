@@ -34,4 +34,7 @@ pub mod obs_export;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutput, Placement, Target};
+pub use pipeline::{
+    MachineOptions, PartitionedStage, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
+    Placement, Target,
+};

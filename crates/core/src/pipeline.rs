@@ -5,8 +5,8 @@ use loom_hyperplane::{SearchConfig, TimeFn};
 use loom_loopir::{DepOptions, LoopNest, Point};
 use loom_machine::trace::{verify_trace, TraceViolation};
 use loom_machine::{
-    simulate, simulate_with_faults, FaultConfig, MachineParams, Program, SimConfig, SimReport,
-    Topology,
+    simulate_scratch, simulate_with_faults_scratch, FaultConfig, MachineParams, Program, SimConfig,
+    SimReport, SimScratch, Topology,
 };
 use loom_mapping::other_targets::{map_partitioning_mesh, map_partitioning_ring};
 use loom_mapping::{map_partitioning, Mapping};
@@ -197,6 +197,14 @@ pub struct PipelineOutput {
     pub sim: Option<SimReport>,
 }
 
+impl PipelineOutput {
+    /// The simulation report, as a typed error instead of a panic when
+    /// the pipeline was configured with `machine: None`.
+    pub fn sim_report(&self) -> Result<&SimReport, PipelineError> {
+        self.sim.as_ref().ok_or(PipelineError::NoSimulation)
+    }
+}
+
 /// A pipeline failure, wrapping the failing stage's error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
@@ -219,6 +227,9 @@ pub enum PipelineError {
     /// [`MachineOptions::static_check`] is set). The full report —
     /// warnings included — rides along for rendering.
     StaticCheck(loom_check::Report),
+    /// A simulation-derived artifact was requested from a pipeline
+    /// configured with `machine: None`, so no simulation ever ran.
+    NoSimulation,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -234,6 +245,12 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::StaticCheck(report) => {
                 write!(f, "static check: {}", report.render_human().trim_end())
+            }
+            PipelineError::NoSimulation => {
+                write!(
+                    f,
+                    "no simulation: the pipeline ran with machine options disabled"
+                )
             }
         }
     }
@@ -273,13 +290,38 @@ impl Pipeline {
         recorder: &Recorder,
     ) -> Result<PipelineOutput, PipelineError> {
         let _total = recorder.span("pipeline.total");
+        self.stage_partition(config, recorder)?
+            .complete_with(config, recorder, None)
+    }
 
+    /// Run stages 1–3 (dependences → Π → statement offsets →
+    /// partitioning + TIG): the prefix of the pipeline that depends
+    /// only on the nest, the time function, and the grouping choice —
+    /// never on the machine. The returned [`PartitionedStage`] can be
+    /// completed once per machine size without re-running any of it.
+    pub fn stage_partition(
+        &self,
+        config: &PipelineConfig,
+        recorder: &Recorder,
+    ) -> Result<PartitionedStage<'_>, PipelineError> {
         // 1. Dependence analysis.
         let deps = {
             let _s = recorder.span("pipeline.deps");
             loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
                 .map_err(PipelineError::Deps)?
         };
+        self.stage_partition_with_deps(config, recorder, deps)
+    }
+
+    /// [`stage_partition`](Pipeline::stage_partition) with the
+    /// dependence set already extracted — exploration hoists extraction
+    /// out of its candidate loop and hands the shared set in here.
+    pub fn stage_partition_with_deps(
+        &self,
+        config: &PipelineConfig,
+        recorder: &Recorder,
+        deps: Vec<Point>,
+    ) -> Result<PartitionedStage<'_>, PipelineError> {
         recorder.add("pipeline.deps", deps.len() as u64);
 
         // 2. Time transformation (hyperplane method).
@@ -334,117 +376,145 @@ impl Pipeline {
         recorder.add("pipeline.blocks", partitioning.num_blocks() as u64);
         recorder.add("pipeline.interblock_arcs", comm.interblock_arcs as u64);
 
-        // 4. Mapping: Algorithm 2 on hypercubes, the extension
-        // allocators on meshes/rings. The hypercube mapping is always
-        // produced (it is the paper's artifact and cheap).
+        Ok(PartitionedStage {
+            nest: &self.nest,
+            deps,
+            pi,
+            stmt_offsets,
+            partitioning,
+            comm,
+            tig,
+        })
+    }
+}
+
+/// The machine-independent prefix of a pipeline run: everything up to
+/// and including partitioning and the TIG, produced by
+/// [`Pipeline::stage_partition`]. The mapping and simulation stages
+/// still have to run; exploration computes one stage per (Π, grouping)
+/// pair and completes it once per machine size, instead of re-running
+/// projection, grouping, and region growing for every `cube_dim`.
+#[derive(Clone, Debug)]
+pub struct PartitionedStage<'a> {
+    nest: &'a LoopNest,
+    /// The extracted dependence set `D`.
+    pub deps: Vec<Point>,
+    /// The time transformation Π.
+    pub pi: TimeFn,
+    /// Fine-grain statement schedule offsets δ_s (see
+    /// [`loom_hyperplane::offsets`]).
+    pub stmt_offsets: Vec<i64>,
+    /// Algorithm 1's partitioning.
+    pub partitioning: Partitioning,
+    /// Interblock communication statistics.
+    pub comm: CommStats,
+    /// The Task Interaction Graph of the blocks.
+    pub tig: Tig,
+}
+
+impl PartitionedStage<'_> {
+    /// Step 4 — mapping: Algorithm 2 on hypercubes, the extension
+    /// allocators on meshes/rings. The hypercube mapping is always
+    /// produced (it is the paper's artifact and cheap).
+    pub fn map_with(
+        &self,
+        config: &PipelineConfig,
+        recorder: &Recorder,
+    ) -> Result<(Mapping, Placement, Target), PipelineError> {
         let target = config.target.unwrap_or(Target::Hypercube(config.cube_dim));
         let cube_dim_for_alg2 = match target {
             Target::Hypercube(d) => d,
             _ => config.cube_dim,
         };
-        let (mapping, placement) = {
-            let _s = recorder.span("pipeline.mapping");
-            let mapping = map_partitioning(&partitioning, cube_dim_for_alg2)
-                .map_err(PipelineError::Mapping)?;
-            let placement = match target {
-                Target::Hypercube(_) => Placement::Hypercube(mapping.clone()),
-                Target::Mesh { rows, cols } => Placement::Other(
-                    map_partitioning_mesh(&partitioning, rows, cols)
-                        .map_err(PipelineError::Mapping)?,
-                ),
-                Target::Ring(n) => Placement::Other(
-                    map_partitioning_ring(&partitioning, n).map_err(PipelineError::Mapping)?,
-                ),
-            };
-            (mapping, placement)
+        let _s = recorder.span("pipeline.mapping");
+        let mapping = map_partitioning(&self.partitioning, cube_dim_for_alg2)
+            .map_err(PipelineError::Mapping)?;
+        let placement = match target {
+            Target::Hypercube(_) => Placement::Hypercube(mapping.clone()),
+            Target::Mesh { rows, cols } => Placement::Other(
+                map_partitioning_mesh(&self.partitioning, rows, cols)
+                    .map_err(PipelineError::Mapping)?,
+            ),
+            Target::Ring(n) => Placement::Other(
+                map_partitioning_ring(&self.partitioning, n).map_err(PipelineError::Mapping)?,
+            ),
         };
+        Ok((mapping, placement, target))
+    }
 
-        // 4b. Static verification (loom-check), when requested: every
-        // rule runs against the artifacts just produced, counters land
-        // as `check.<code>`, and error-severity diagnostics abort the
-        // pipeline before any simulation is paid for.
+    /// Step 4b — static verification (`loom-check`): every rule runs
+    /// against the stage's artifacts plus the given mapping, counters
+    /// land as `check.<code>`, and error-severity diagnostics abort the
+    /// pipeline before any simulation is paid for.
+    pub fn check_with(&self, mapping: &Mapping, recorder: &Recorder) -> Result<(), PipelineError> {
+        let _s = recorder.span("pipeline.check");
+        let report = loom_check::check_pipeline_with(
+            &loom_check::PipelineCheck {
+                nest: self.nest,
+                deps: &self.deps,
+                pi: &self.pi,
+                partitioning: &self.partitioning,
+                tig: &self.tig,
+                assignment: mapping.assignment(),
+                cube_dim: mapping.cube().dim(),
+            },
+            recorder,
+        );
+        if report.has_errors() {
+            return Err(PipelineError::StaticCheck(report));
+        }
+        Ok(())
+    }
+
+    /// The executable form of this stage's blocks under a placement.
+    pub fn program(&self, placement: &Placement) -> Program {
+        Program::from_partitioning(
+            &self.partitioning,
+            placement.assignment(),
+            placement.num_procs(),
+            self.nest.flops_per_iteration(),
+        )
+    }
+
+    /// Finish the pipeline (mapping → static check → simulation),
+    /// consuming the stage into a full [`PipelineOutput`].
+    pub fn complete(self, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+        self.complete_with(config, &Recorder::disabled(), None)
+    }
+
+    /// [`complete`](PartitionedStage::complete) with instrumentation
+    /// and an optional reusable [`SimScratch`]: back-to-back
+    /// completions through the same scratch skip the simulator's buffer
+    /// allocations while staying bit-identical to fresh-state runs.
+    pub fn complete_with(
+        self,
+        config: &PipelineConfig,
+        recorder: &Recorder,
+        scratch: Option<&mut SimScratch>,
+    ) -> Result<PipelineOutput, PipelineError> {
+        let (mapping, placement, target) = self.map_with(config, recorder)?;
         if config.machine.as_ref().is_some_and(|o| o.static_check) {
-            let _s = recorder.span("pipeline.check");
-            let report = loom_check::check_pipeline_with(
-                &loom_check::PipelineCheck {
-                    nest: &self.nest,
-                    deps: &deps,
-                    pi: &pi,
-                    partitioning: &partitioning,
-                    tig: &tig,
-                    assignment: mapping.assignment(),
-                    cube_dim: mapping.cube().dim(),
-                },
-                recorder,
-            );
-            if report.has_errors() {
-                return Err(PipelineError::StaticCheck(report));
-            }
+            self.check_with(&mapping, recorder)?;
         }
 
         // 5. Machine simulation.
         let sim = match &config.machine {
             None => None,
             Some(opts) => {
-                let _s = recorder.span("pipeline.simulate");
-                let program = Program::from_partitioning(
-                    &partitioning,
-                    placement.assignment(),
-                    placement.num_procs(),
-                    self.nest.flops_per_iteration(),
-                );
-                let sim_config = SimConfig {
-                    params: opts.params,
-                    topology: target.topology(),
-                    words_per_arc: opts.words_per_arc,
-                    batch_messages: opts.batch_messages,
-                    link_contention: opts.link_contention,
-                    record_trace: opts.record_trace || opts.validate_trace,
-                    collect_metrics: opts.collect_metrics,
-                };
-                let report = match &opts.faults {
-                    None => simulate(&program, &sim_config).map_err(PipelineError::Sim)?,
-                    Some(fc) => {
-                        let r = simulate_with_faults(&program, &sim_config, fc)
-                            .map_err(PipelineError::Sim)?;
-                        if let Some(deg) = r.degradation.as_ref() {
-                            recorder.add("fault.injected", deg.faults_injected);
-                            recorder.add("fault.hit", deg.faults_hit);
-                            recorder.add("fault.drops", deg.drops);
-                            recorder.add("fault.corruptions", deg.corruptions);
-                            recorder.add("fault.delays", deg.delays);
-                            recorder.add("fault.reroutes", deg.reroutes);
-                            recorder.add("fault.retries", deg.retries);
-                            recorder.add("fault.retransmitted_words", deg.retransmitted_words);
-                            recorder.add("fault.crashes", deg.crashes);
-                            recorder.add("fault.remapped_tasks", deg.remapped_tasks);
-                            recorder.add("fault.state_transfer_words", deg.state_transfer_words);
-                            recorder.add(
-                                "fault.makespan_inflation_permille",
-                                (deg.makespan_inflation() * 1000.0).round().max(0.0) as u64,
-                            );
-                        }
-                        r
-                    }
-                };
-                // Remap recovery legitimately moves tasks off their
-                // statically assigned processors, which is exactly what
-                // verify_trace rejects — skip validation for runs that
-                // actually remapped.
-                let remapped = report
-                    .degradation
-                    .as_ref()
-                    .is_some_and(|d| d.remapped_tasks > 0);
-                if opts.validate_trace && !remapped {
-                    let violations = verify_trace(&program, report.trace.as_deref().unwrap_or(&[]));
-                    if !violations.is_empty() {
-                        return Err(PipelineError::Trace(violations));
-                    }
-                }
-                Some(report)
+                let program = self.program(&placement);
+                Some(run_machine(&program, target, opts, recorder, scratch)?)
             }
         };
 
+        let PartitionedStage {
+            deps,
+            pi,
+            stmt_offsets,
+            partitioning,
+            comm,
+            tig,
+            ..
+        } = self;
         Ok(PipelineOutput {
             deps,
             pi,
@@ -458,6 +528,71 @@ impl Pipeline {
             sim,
         })
     }
+}
+
+/// Step 5 — simulate `program` on `target` under `opts`, with fault
+/// bookkeeping (`fault.*` counters) and post-hoc trace validation.
+/// `scratch` lets callers reuse the simulator's working buffers across
+/// runs; `None` simulates from fresh state. Shared by
+/// [`PartitionedStage::complete_with`] and exploration's pruned path.
+pub fn run_machine(
+    program: &Program,
+    target: Target,
+    opts: &MachineOptions,
+    recorder: &Recorder,
+    scratch: Option<&mut SimScratch>,
+) -> Result<SimReport, PipelineError> {
+    let _s = recorder.span("pipeline.simulate");
+    let mut local = SimScratch::default();
+    let scratch = scratch.unwrap_or(&mut local);
+    let sim_config = SimConfig {
+        params: opts.params,
+        topology: target.topology(),
+        words_per_arc: opts.words_per_arc,
+        batch_messages: opts.batch_messages,
+        link_contention: opts.link_contention,
+        record_trace: opts.record_trace || opts.validate_trace,
+        collect_metrics: opts.collect_metrics,
+    };
+    let report = match &opts.faults {
+        None => simulate_scratch(program, &sim_config, scratch).map_err(PipelineError::Sim)?,
+        Some(fc) => {
+            let r = simulate_with_faults_scratch(program, &sim_config, fc, scratch)
+                .map_err(PipelineError::Sim)?;
+            if let Some(deg) = r.degradation.as_ref() {
+                recorder.add("fault.injected", deg.faults_injected);
+                recorder.add("fault.hit", deg.faults_hit);
+                recorder.add("fault.drops", deg.drops);
+                recorder.add("fault.corruptions", deg.corruptions);
+                recorder.add("fault.delays", deg.delays);
+                recorder.add("fault.reroutes", deg.reroutes);
+                recorder.add("fault.retries", deg.retries);
+                recorder.add("fault.retransmitted_words", deg.retransmitted_words);
+                recorder.add("fault.crashes", deg.crashes);
+                recorder.add("fault.remapped_tasks", deg.remapped_tasks);
+                recorder.add("fault.state_transfer_words", deg.state_transfer_words);
+                recorder.add(
+                    "fault.makespan_inflation_permille",
+                    (deg.makespan_inflation() * 1000.0).round().max(0.0) as u64,
+                );
+            }
+            r
+        }
+    };
+    // Remap recovery legitimately moves tasks off their statically
+    // assigned processors, which is exactly what verify_trace rejects —
+    // skip validation for runs that actually remapped.
+    let remapped = report
+        .degradation
+        .as_ref()
+        .is_some_and(|d| d.remapped_tasks > 0);
+    if opts.validate_trace && !remapped {
+        let violations = verify_trace(program, report.trace.as_deref().unwrap_or(&[]));
+        if !violations.is_empty() {
+            return Err(PipelineError::Trace(violations));
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -497,6 +632,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.pi.coeffs(), &[2, 1]);
         assert!(out.sim.is_none());
+        assert!(matches!(out.sim_report(), Err(PipelineError::NoSimulation)));
     }
 
     #[test]

@@ -54,5 +54,8 @@ pub use fault::{
 };
 pub use metrics::SimMetrics;
 pub use program::Program;
-pub use sim::{simulate, simulate_with_faults, SimConfig, SimError, SimReport};
+pub use sim::{
+    simulate, simulate_scratch, simulate_with_faults, simulate_with_faults_scratch, SimConfig,
+    SimError, SimReport, SimScratch,
+};
 pub use topology::Topology;

@@ -252,6 +252,7 @@ struct PendingSend {
     attempt: u32,
 }
 
+#[derive(Default)]
 struct Proc {
     busy_until: u64,
     ready: BinaryHeap<Reverse<(i64, u32)>>,
@@ -259,6 +260,30 @@ struct Proc {
     /// Messages that arrived but still need `t_recv` of software
     /// processing before their data is usable.
     recvs: VecDeque<Vec<u32>>,
+}
+
+/// Reusable engine state for back-to-back simulations.
+///
+/// The engine's working buffers (adjacency lists, ready heaps, event
+/// heap, per-processor queues, link/retry tables) are taken from a
+/// `SimScratch` at the start of a run and handed back — cleared but
+/// with their allocations intact — when it ends, so a sweep that runs
+/// thousands of simulations (the explore path) pays the allocator once
+/// per worker instead of once per run. Reusing a scratch is
+/// **bit-identical** to starting fresh: every buffer is logically reset
+/// before use; only spare capacity is carried over.
+#[derive(Default)]
+pub struct SimScratch {
+    out: Vec<Vec<(u32, u64)>>,
+    indeg: Vec<u32>,
+    proc_of: Vec<u32>,
+    done: Vec<bool>,
+    alive: Vec<bool>,
+    running: Vec<Option<(u32, u64)>>,
+    procs: Vec<Proc>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    link_free: HashMap<(usize, usize), u64>,
+    retry_states: HashMap<u64, RetryState>,
 }
 
 /// Fault-layer state carried alongside the engine when a plan is
@@ -323,6 +348,7 @@ impl<'a> Engine<'a> {
         program: &'a Program,
         config: &'a SimConfig,
         faults: Option<FaultCtx<'a>>,
+        scratch: &mut SimScratch,
     ) -> Result<Engine<'a>, SimError> {
         let n_tasks = program.len();
         let n_procs = program.num_procs;
@@ -332,31 +358,58 @@ impl<'a> Engine<'a> {
                 available: config.topology.len(),
             });
         }
+        // Working buffers come from the scratch, logically reset so a
+        // reused scratch behaves exactly like a fresh one.
+        let mut out = std::mem::take(&mut scratch.out);
+        for v in &mut out {
+            v.clear();
+        }
+        out.resize_with(n_tasks, Vec::new);
+        let mut indeg = std::mem::take(&mut scratch.indeg);
+        indeg.clear();
+        indeg.resize(n_tasks, 0);
         // Adjacency (successor, words) and in-degrees.
-        let mut out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n_tasks];
-        let mut indeg: Vec<u32> = vec![0; n_tasks];
         for (k, &(a, b)) in program.arcs.iter().enumerate() {
             out[a as usize].push((b, program.arc_words[k]));
             indeg[b as usize] += 1;
         }
+        let mut proc_of = std::mem::take(&mut scratch.proc_of);
+        proc_of.clear();
+        proc_of.extend_from_slice(&program.proc_of);
+        let mut done = std::mem::take(&mut scratch.done);
+        done.clear();
+        done.resize(n_tasks, false);
+        let mut alive = std::mem::take(&mut scratch.alive);
+        alive.clear();
+        alive.resize(n_procs, true);
+        let mut running = std::mem::take(&mut scratch.running);
+        running.clear();
+        running.resize(n_procs, None);
+        let mut procs = std::mem::take(&mut scratch.procs);
+        for p in &mut procs {
+            p.busy_until = 0;
+            p.ready.clear();
+            p.sends.clear();
+            p.recvs.clear();
+        }
+        procs.resize_with(n_procs, Proc::default);
+        let mut heap = std::mem::take(&mut scratch.heap);
+        heap.clear();
+        let mut link_free = std::mem::take(&mut scratch.link_free);
+        link_free.clear();
+        let mut retry_states = std::mem::take(&mut scratch.retry_states);
+        retry_states.clear();
         Ok(Engine {
             program,
             config,
             out,
             indeg,
-            proc_of: program.proc_of.clone(),
-            done: vec![false; n_tasks],
-            alive: vec![true; n_procs],
-            running: vec![None; n_procs],
-            procs: (0..n_procs)
-                .map(|_| Proc {
-                    busy_until: 0,
-                    ready: BinaryHeap::new(),
-                    sends: VecDeque::new(),
-                    recvs: VecDeque::new(),
-                })
-                .collect(),
-            heap: BinaryHeap::new(),
+            proc_of,
+            done,
+            alive,
+            running,
+            procs,
+            heap,
             seq: 0,
             compute: vec![0; n_procs],
             comm: vec![0; n_procs],
@@ -366,11 +419,26 @@ impl<'a> Engine<'a> {
             makespan: 0,
             trace: config.record_trace.then(Vec::new),
             metrics: config.collect_metrics.then(|| SimMetrics::new(n_procs)),
-            link_free: HashMap::new(),
-            retry_states: HashMap::new(),
+            link_free,
+            retry_states,
             next_retry_id: 0,
             faults,
         })
+    }
+
+    /// Hand the working buffers back to `scratch` so the next run can
+    /// reuse their allocations.
+    fn reclaim(&mut self, scratch: &mut SimScratch) {
+        scratch.out = std::mem::take(&mut self.out);
+        scratch.indeg = std::mem::take(&mut self.indeg);
+        scratch.proc_of = std::mem::take(&mut self.proc_of);
+        scratch.done = std::mem::take(&mut self.done);
+        scratch.alive = std::mem::take(&mut self.alive);
+        scratch.running = std::mem::take(&mut self.running);
+        scratch.procs = std::mem::take(&mut self.procs);
+        scratch.heap = std::mem::take(&mut self.heap);
+        scratch.link_free = std::mem::take(&mut self.link_free);
+        scratch.retry_states = std::mem::take(&mut self.retry_states);
     }
 
     fn push_ev(&mut self, time: u64, kind: Kind) {
@@ -947,7 +1015,33 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn run(mut self) -> Result<SimReport, SimError> {
+    fn run(mut self, scratch: &mut SimScratch) -> Result<SimReport, SimError> {
+        let outcome = self.exec();
+        self.reclaim(scratch);
+        outcome?;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.sort_by_key(|r| (r.start, r.task));
+        }
+        let degradation = self.faults.take().map(|f| {
+            let mut deg = f.deg;
+            deg.faults_injected = f.plan.events.len() as u64;
+            deg.degraded_makespan = self.makespan;
+            deg
+        });
+        Ok(SimReport {
+            makespan: self.makespan,
+            compute: std::mem::take(&mut self.compute),
+            comm: std::mem::take(&mut self.comm),
+            messages: self.messages,
+            words: self.words_sent,
+            trace: self.trace.take(),
+            metrics: self.metrics.take(),
+            degradation,
+        })
+    }
+
+    /// The event loop proper: seed ready sets, drain the heap.
+    fn exec(&mut self) -> Result<(), SimError> {
         let n_tasks = self.program.len();
         // Seed the ready sets.
         for t in 0..n_tasks {
@@ -988,25 +1082,7 @@ impl<'a> Engine<'a> {
                 total: n_tasks,
             });
         }
-        if let Some(tr) = self.trace.as_mut() {
-            tr.sort_by_key(|r| (r.start, r.task));
-        }
-        let degradation = self.faults.map(|f| {
-            let mut deg = f.deg;
-            deg.faults_injected = f.plan.events.len() as u64;
-            deg.degraded_makespan = self.makespan;
-            deg
-        });
-        Ok(SimReport {
-            makespan: self.makespan,
-            compute: self.compute,
-            comm: self.comm,
-            messages: self.messages,
-            words: self.words_sent,
-            trace: self.trace,
-            metrics: self.metrics,
-            degradation,
-        })
+        Ok(())
     }
 }
 
@@ -1019,7 +1095,18 @@ impl<'a> Engine<'a> {
 /// task with the smallest hyperplane step — so the execution order defined
 /// by the time transformation is preserved within every processor.
 pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, SimError> {
-    Engine::new(program, config, None)?.run()
+    simulate_scratch(program, config, &mut SimScratch::default())
+}
+
+/// [`simulate`] with reusable engine state: back-to-back runs through
+/// the same [`SimScratch`] avoid re-allocating the engine's working
+/// buffers while remaining bit-identical to fresh-state runs.
+pub fn simulate_scratch(
+    program: &Program,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimReport, SimError> {
+    Engine::new(program, config, None, scratch)?.run(scratch)
 }
 
 /// Run the program under a deterministic fault plan.
@@ -1036,10 +1123,22 @@ pub fn simulate_with_faults(
     config: &SimConfig,
     faults: &FaultConfig,
 ) -> Result<SimReport, SimError> {
+    simulate_with_faults_scratch(program, config, faults, &mut SimScratch::default())
+}
+
+/// [`simulate_with_faults`] with reusable engine state: the baseline
+/// and degraded runs share one [`SimScratch`], and back-to-back calls
+/// reuse its buffers while remaining bit-identical to fresh-state runs.
+pub fn simulate_with_faults_scratch(
+    program: &Program,
+    config: &SimConfig,
+    faults: &FaultConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimReport, SimError> {
     let mut base_cfg = *config;
     base_cfg.record_trace = false;
     base_cfg.collect_metrics = false;
-    let baseline = Engine::new(program, &base_cfg, None)?.run()?;
+    let baseline = Engine::new(program, &base_cfg, None, scratch)?.run(scratch)?;
     let ctx = FaultCtx {
         plan: &faults.plan,
         policy: faults.policy,
@@ -1053,7 +1152,7 @@ pub fn simulate_with_faults(
             .iter()
             .any(|e| matches!(e, crate::fault::FaultEvent::ProcSlow { .. })),
     };
-    let mut report = Engine::new(program, config, Some(ctx))?.run()?;
+    let mut report = Engine::new(program, config, Some(ctx), scratch)?.run(scratch)?;
     if let Some(deg) = report.degradation.as_mut() {
         deg.baseline_makespan = baseline.makespan;
     }

@@ -16,6 +16,9 @@
 //! * [`chrome`] — a builder for Chrome trace-event JSON
 //!   ([`chrome::TraceBuilder`]) loadable in Perfetto or
 //!   `chrome://tracing`,
+//! * [`pool`] — a deterministic scoped-thread work pool ([`Pool`])
+//!   whose `map_indexed` returns results in input order and whose
+//!   single-thread mode is the exact serial path,
 //! * [`rng`] — a deterministic [`SplitMix64`] generator for seeded
 //!   baselines and property-style tests,
 //! * [`bench`] — a tiny wall-clock micro-benchmark harness
@@ -39,10 +42,12 @@ pub mod bench;
 pub mod chrome;
 pub mod histogram;
 pub mod json;
+pub mod pool;
 pub mod recorder;
 pub mod rng;
 
 pub use histogram::Histogram;
 pub use json::Json;
+pub use pool::Pool;
 pub use recorder::{Counter, Recorder, Span, SpanRecord};
 pub use rng::SplitMix64;
