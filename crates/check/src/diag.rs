@@ -33,6 +33,24 @@ pub enum RuleId {
     /// live processor or physical link, windows are well-ordered, and
     /// the plan survives a JSON round trip unchanged.
     FaultPlan,
+    /// `LC009` — parametric legality and Lemma 1: `Π·d ≥ 1` and
+    /// per-block step uniqueness proven as lattice statements that are
+    /// independent of the iteration-space bounds wherever possible
+    /// (symbolic mode's replacement for `LC001`/`LC002`).
+    ParametricLegality,
+    /// `LC010` — exact front-end dependence analysis: the dependence
+    /// vectors derived from the array subscripts must be uniform and
+    /// agree with the declared dependence set `D`.
+    AccessDependence,
+    /// `LC011` — symbolic communication protocol: the per-block
+    /// send/recv summary derived at projection-line granularity must
+    /// match the Task Interaction Graph exactly (symbolic mode's
+    /// replacement for the `LC007` message-matching fixpoint).
+    ProtocolSummary,
+    /// `LC012` — blocking-wait cycles: no cycle of inter-block waits
+    /// with non-positive total schedule lag (symbolic mode's
+    /// deadlock-freedom proof, replacing the enumerative fixpoint).
+    BlockingCycle,
 }
 
 impl RuleId {
@@ -47,6 +65,10 @@ impl RuleId {
             RuleId::GroupingRank => "LC006",
             RuleId::UnmatchedMessage => "LC007",
             RuleId::FaultPlan => "LC008",
+            RuleId::ParametricLegality => "LC009",
+            RuleId::AccessDependence => "LC010",
+            RuleId::ProtocolSummary => "LC011",
+            RuleId::BlockingCycle => "LC012",
         }
     }
 
@@ -61,11 +83,15 @@ impl RuleId {
             RuleId::GroupingRank => "grouping-rank",
             RuleId::UnmatchedMessage => "unmatched-message",
             RuleId::FaultPlan => "fault-plan",
+            RuleId::ParametricLegality => "parametric-legality",
+            RuleId::AccessDependence => "access-dependence",
+            RuleId::ProtocolSummary => "protocol-summary",
+            RuleId::BlockingCycle => "blocking-cycle",
         }
     }
 
     /// Every rule, in code order.
-    pub fn all() -> [RuleId; 8] {
+    pub fn all() -> [RuleId; 12] {
         [
             RuleId::ScheduleLegality,
             RuleId::BlockSharedStep,
@@ -75,6 +101,10 @@ impl RuleId {
             RuleId::GroupingRank,
             RuleId::UnmatchedMessage,
             RuleId::FaultPlan,
+            RuleId::ParametricLegality,
+            RuleId::AccessDependence,
+            RuleId::ProtocolSummary,
+            RuleId::BlockingCycle,
         ]
     }
 }
@@ -163,6 +193,16 @@ pub enum Span {
         /// Index into `FaultPlan::events`.
         index: usize,
     },
+    /// A pair of array accesses (rendered subscript forms, e.g.
+    /// `A[2i]`), the locus of the front-end dependence rules.
+    AccessPair {
+        /// Array both accesses touch.
+        array: String,
+        /// Rendered first access.
+        a: String,
+        /// Rendered second access.
+        b: String,
+    },
 }
 
 fn ints(v: &[i64]) -> String {
@@ -186,6 +226,7 @@ impl fmt::Display for Span {
             Span::Element { array, element } => write!(f, "element {array}{}", ints(element)),
             Span::ProgramOp { proc, op } => write!(f, "P{proc} op {op}"),
             Span::FaultEvent { index } => write!(f, "fault event [{index}]"),
+            Span::AccessPair { array: _, a, b } => write!(f, "accesses {a} and {b}"),
         }
     }
 }
@@ -231,6 +272,12 @@ impl Span {
             Span::FaultEvent { index } => Json::obj(vec![
                 ("kind", Json::from("fault_event")),
                 ("index", Json::from(*index)),
+            ]),
+            Span::AccessPair { array, a, b } => Json::obj(vec![
+                ("kind", Json::from("access_pair")),
+                ("array", Json::from(array.as_str())),
+                ("a", Json::from(a.as_str())),
+                ("b", Json::from(b.as_str())),
             ]),
         }
     }
@@ -387,6 +434,106 @@ impl Report {
         out
     }
 
+    /// The SARIF 2.1.0 rendering (the subset GitHub code scanning
+    /// ingests): one run, one `loom-check` driver listing every rule,
+    /// one result per diagnostic. Severities map to SARIF levels as
+    /// `Error` → `error`, `Warning` → `warning`, `Info` → `note`. When
+    /// `artifact` names the checked source file, each result carries a
+    /// physical location pointing at it (line 1 — the diagnostics
+    /// address derived structures, not source ranges); the precise
+    /// locus is always present as a logical location holding the span's
+    /// human rendering.
+    pub fn to_sarif(&self, artifact: Option<&str>) -> Json {
+        let rules: Vec<Json> = RuleId::all()
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("id", Json::from(r.code())),
+                    ("name", Json::from(r.name())),
+                    (
+                        "shortDescription",
+                        Json::obj(vec![("text", Json::from(r.name()))]),
+                    ),
+                ])
+            })
+            .collect();
+        let results: Vec<Json> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let level = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Info => "note",
+                };
+                let rule_index = RuleId::all().iter().position(|r| *r == d.rule).unwrap_or(0);
+                let mut location = vec![(
+                    "logicalLocations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "fullyQualifiedName",
+                        Json::from(d.span.to_string()),
+                    )])]),
+                )];
+                if let Some(uri) = artifact {
+                    location.push((
+                        "physicalLocation",
+                        Json::obj(vec![
+                            (
+                                "artifactLocation",
+                                Json::obj(vec![("uri", Json::from(uri))]),
+                            ),
+                            (
+                                "region",
+                                Json::obj(vec![
+                                    ("startLine", Json::from(1u64)),
+                                    ("startColumn", Json::from(1u64)),
+                                ]),
+                            ),
+                        ]),
+                    ));
+                }
+                Json::obj(vec![
+                    ("ruleId", Json::from(d.rule.code())),
+                    ("ruleIndex", Json::from(rule_index)),
+                    ("level", Json::from(level)),
+                    (
+                        "message",
+                        Json::obj(vec![(
+                            "text",
+                            Json::from(format!("{}: {}", d.span, d.message)),
+                        )]),
+                    ),
+                    ("locations", Json::Arr(vec![Json::obj(location)])),
+                ])
+            })
+            .collect();
+        let driver = Json::obj(vec![
+            ("name", Json::from("loom-check")),
+            ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+            (
+                "informationUri",
+                Json::from("https://example.invalid/loom/docs/CHECKS.md"),
+            ),
+            ("rules", Json::Arr(rules)),
+        ]);
+        Json::obj(vec![
+            (
+                "$schema",
+                Json::from(
+                    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+                ),
+            ),
+            ("version", Json::from("2.1.0")),
+            (
+                "runs",
+                Json::Arr(vec![Json::obj(vec![
+                    ("tool", Json::obj(vec![("driver", driver)])),
+                    ("results", Json::Arr(results)),
+                ])]),
+            ),
+        ])
+    }
+
     /// The machine rendering: diagnostics, per-rule counts, and totals.
     pub fn to_json(&self) -> Json {
         let counts = self
@@ -415,8 +562,53 @@ mod tests {
         let codes: Vec<&str> = RuleId::all().iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            vec!["LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008"]
+            vec![
+                "LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008", "LC009",
+                "LC010", "LC011", "LC012"
+            ]
         );
+    }
+
+    #[test]
+    fn sarif_structure_and_levels() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            RuleId::AccessDependence,
+            Span::AccessPair {
+                array: "A".into(),
+                a: "A[2i]".into(),
+                b: "A[i]".into(),
+            },
+            "non-uniform",
+        ));
+        r.push(Diagnostic::info(RuleId::DataRace, Span::Nest, "skipped"));
+        let doc = r.to_sarif(Some("samples/nonuniform.loom"));
+        let parsed = Json::parse(&doc.render_pretty()).expect("valid JSON");
+        assert_eq!(parsed.get("version"), Some(&Json::from("2.1.0")));
+        let run = parsed.get("runs").and_then(|r| r.idx(0)).unwrap();
+        let results = run.get("results").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ruleId"), Some(&Json::from("LC010")));
+        assert_eq!(results[0].get("level"), Some(&Json::from("error")));
+        assert_eq!(results[1].get("level"), Some(&Json::from("note")));
+        let loc = results[0]
+            .get("locations")
+            .and_then(|l| l.idx(0))
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|l| l.get("artifactLocation"))
+            .and_then(|l| l.get("uri"));
+        assert_eq!(loc, Some(&Json::from("samples/nonuniform.loom")));
+        // Every known rule is declared in the driver.
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_arr())
+            .unwrap();
+        assert_eq!(rules.len(), RuleId::all().len());
+        // Without an artifact there is no physical location.
+        let bare = r.to_sarif(None);
+        assert!(!bare.render().contains("physicalLocation"));
     }
 
     #[test]

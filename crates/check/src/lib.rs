@@ -25,12 +25,26 @@
 //! | `LC006` | grouping-rank      | Ω is a rank-β independent set           |
 //! | `LC007` | unmatched-message  | every `Recv` is satisfiable, no orphans |
 //! | `LC008` | fault-plan         | fault plans reference live hardware     |
+//! | `LC009` | parametric-legality| legality + Lemma 1, proven symbolically |
+//! | `LC010` | access-dependence  | declared `D` matches the subscripts     |
+//! | `LC011` | protocol-summary   | symbolic send/recv summary ≡ TIG        |
+//! | `LC012` | blocking-cycle     | no wait cycle with total lag ≤ 0        |
+//!
+//! `LC001`–`LC008` are *enumerative*: they certify one instantiated
+//! iteration space by walking its points and messages. `LC009`–`LC012`
+//! form the *symbolic* engine ([`symbolic`], backed by the bounded
+//! Presburger core in [`presburger`]): they prove the same properties
+//! from the lattice and affine structure in time independent of the
+//! iteration-space extent, falling back to enumeration only on the
+//! rare `Unknown`. [`CheckMode`] selects which engine
+//! [`check_pipeline_mode`] runs; the enumerative rules stay available
+//! as the cross-validation oracle.
 //!
 //! The checks run standalone (each `check_*` function takes exactly
 //! the artifacts it inspects), through [`check_pipeline`] on a bundle
 //! of everything the pipeline produced, via `loom check` on the CLI,
 //! or as a gated `loom-core` pipeline stage
-//! (`MachineOptions::static_check`).
+//! (`MachineOptions::static_check` / `symbolic_check`).
 
 #![deny(missing_docs)]
 
@@ -39,7 +53,9 @@ mod faultplan;
 mod gray;
 mod legality;
 mod lemma1;
+pub mod presburger;
 mod races;
+pub mod symbolic;
 mod theorem2;
 
 pub use diag::{Diagnostic, Report, RuleId, Severity, Span};
@@ -48,6 +64,10 @@ pub use gray::check_gray;
 pub use legality::check_legality;
 pub use lemma1::check_lemma1;
 pub use races::check_races;
+pub use symbolic::{
+    check_access_dependences, check_blocking_cycles, check_legality_symbolic,
+    check_lemma1_symbolic, check_lemma1_symbolic_groups, check_protocol, SymbolicStats,
+};
 pub use theorem2::{check_grouping_vectors, check_neighbor_bound, check_theorem2};
 
 use loom_hyperplane::TimeFn;
@@ -73,6 +93,21 @@ pub struct PipelineCheck<'a> {
     pub cube_dim: usize,
 }
 
+/// Which verification engine [`check_pipeline_mode`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckMode {
+    /// The original point-and-message-walking rules (`LC001`–`LC007`).
+    /// Cost grows with the iteration-space extent.
+    Enumerative,
+    /// The symbolic engine: `LC009` (parametric legality + Lemma 1),
+    /// `LC010` (exact front-end dependence analysis), `LC011`/`LC012`
+    /// (size-independent protocol verification) replace `LC001`,
+    /// `LC002`, `LC005`, and `LC007`; the structural rules `LC003`,
+    /// `LC004`, and `LC006` run unchanged. Cost is O(lines·deps),
+    /// independent of the extent along Π.
+    Symbolic,
+}
+
 /// Run every check against a pipeline's artifacts.
 ///
 /// The race scan (`LC005`/`LC007`) needs an SPMD program; it is
@@ -89,14 +124,34 @@ pub fn check_pipeline(input: &PipelineCheck<'_>) -> Report {
 /// the run records a `check.total` span and one `check.<code>` counter
 /// per diagnostic.
 pub fn check_pipeline_with(input: &PipelineCheck<'_>, recorder: &Recorder) -> Report {
+    check_pipeline_mode(input, CheckMode::Enumerative, recorder)
+}
+
+/// [`check_pipeline_with`] with an explicit engine choice.
+///
+/// Symbolic runs additionally record how the proof obligations were
+/// discharged as `check.symbolic.lattice` / `check.symbolic.fm` /
+/// `check.symbolic.fallback` counters.
+pub fn check_pipeline_mode(
+    input: &PipelineCheck<'_>,
+    mode: CheckMode,
+    recorder: &Recorder,
+) -> Report {
     let _total = recorder.span("check.total");
     let mut report = Report::new();
-    report.extend(check_legality(input.pi, input.deps));
-    report.extend(check_lemma1(
-        input.pi,
-        input.partitioning.structure().points(),
-        input.partitioning.blocks(),
-    ));
+    match mode {
+        CheckMode::Enumerative => {
+            report.extend(check_legality(input.pi, input.deps));
+            report.extend(check_lemma1(
+                input.pi,
+                input.partitioning.structure().points(),
+                input.partitioning.blocks(),
+            ));
+        }
+        CheckMode::Symbolic => {
+            report.extend(check_legality_symbolic(input.pi, input.deps));
+        }
+    }
     report.extend(check_theorem2(input.partitioning));
     report.extend(check_grouping_vectors(
         input.partitioning.projected(),
@@ -108,18 +163,32 @@ pub fn check_pipeline_with(input: &PipelineCheck<'_>, recorder: &Recorder) -> Re
         input.assignment,
         input.cube_dim,
     ));
-    match loom_codegen::generate(
-        input.nest,
-        input.partitioning,
-        input.assignment,
-        1usize << input.cube_dim,
-    ) {
-        Ok(cg) => report.extend(check_races(input.nest, &cg.program)),
-        Err(e) => report.push(Diagnostic::info(
-            RuleId::DataRace,
-            Span::Nest,
-            format!("race analysis skipped: no SPMD program ({e})"),
-        )),
+    match mode {
+        CheckMode::Enumerative => {
+            match loom_codegen::generate(
+                input.nest,
+                input.partitioning,
+                input.assignment,
+                1usize << input.cube_dim,
+            ) {
+                Ok(cg) => report.extend(check_races(input.nest, &cg.program)),
+                Err(e) => report.push(Diagnostic::info(
+                    RuleId::DataRace,
+                    Span::Nest,
+                    format!("race analysis skipped: no SPMD program ({e})"),
+                )),
+            }
+        }
+        CheckMode::Symbolic => {
+            let mut stats = SymbolicStats::default();
+            report.extend(check_lemma1_symbolic(input.partitioning, &mut stats));
+            report.extend(check_access_dependences(input.nest, Some(input.deps)));
+            report.extend(check_protocol(input.partitioning, input.tig, &mut stats));
+            report.extend(check_blocking_cycles(input.partitioning));
+            recorder.add("check.symbolic.lattice", stats.lattice_proofs);
+            recorder.add("check.symbolic.fm", stats.fm_decided);
+            recorder.add("check.symbolic.fallback", stats.enumerated);
+        }
     }
     for (code, n) in report.rule_counts() {
         recorder.add(&format!("check.{code}"), n);
@@ -172,6 +241,46 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.severity == Severity::Info && d.rule == RuleId::DataRace));
+    }
+
+    #[test]
+    fn symbolic_pipeline_is_clean_and_counts_proofs() {
+        for w in [
+            loom_workloads::l1::workload(4),
+            loom_workloads::matvec::workload(8),
+            loom_workloads::matmul::workload(4),
+        ] {
+            let deps = w.verified_deps();
+            let pi = w.time_fn();
+            let p = partition(
+                w.nest.space().clone(),
+                deps.clone(),
+                pi.clone(),
+                &PartitionConfig::default(),
+            )
+            .unwrap();
+            let tig = Tig::from_partitioning(&p);
+            let m = map_partitioning(&p, 1).unwrap();
+            let rec = Recorder::enabled();
+            let r = check_pipeline_mode(
+                &PipelineCheck {
+                    nest: &w.nest,
+                    deps: &deps,
+                    pi: &pi,
+                    partitioning: &p,
+                    tig: &tig,
+                    assignment: m.assignment(),
+                    cube_dim: 1,
+                },
+                CheckMode::Symbolic,
+                &rec,
+            );
+            assert!(!r.has_errors(), "{}: {}", w.nest.name(), r.render_human());
+            let counters = rec.counters();
+            assert!(counters.contains_key("check.symbolic.lattice"));
+            assert!(counters.contains_key("check.symbolic.fm"));
+            assert_eq!(counters.get("check.symbolic.fallback"), Some(&0));
+        }
     }
 
     #[test]

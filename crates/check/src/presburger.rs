@@ -1,0 +1,525 @@
+//! A bounded Presburger-lite decision procedure for conjunctions of
+//! affine integer constraints.
+//!
+//! The symbolic rules (`LC009`–`LC012`) reduce their proof obligations
+//! to questions of the form "does the system `A·x = b ∧ C·x ≥ e` have
+//! an integer solution?". This module decides such systems exactly in
+//! the common case and says so honestly when it cannot:
+//!
+//! * **Equalities** are eliminated first through the integer lattice
+//!   solver in `loom_rational::intlinalg` (Hermite-style column
+//!   echelon): either the equalities are integrally infeasible —
+//!   [`Verdict::Unsat`], no enumeration needed — or the solution set is
+//!   a coset `x₀ + B·t` and the inequalities are rewritten over the
+//!   lattice coordinates `t`.
+//! * **Inequalities** go through Fourier–Motzkin elimination with GCD
+//!   tightening (each constraint is divided by the gcd of its variable
+//!   coefficients and the constant floored — sound for integer
+//!   solutions, and strictly stronger than rational FM). An infeasible
+//!   final system is a proof: [`Verdict::Unsat`].
+//! * A feasible final system triggers witness reconstruction: variables
+//!   are re-introduced in reverse elimination order, each clamped into
+//!   its integer bound interval. The candidate is then re-verified
+//!   against **every original constraint** in checked `i128`; only a
+//!   verified witness becomes [`Verdict::Sat`].
+//!
+//! Anything else — arithmetic overflow, constraint blowup past the
+//! budget, or an integer gap FM's rational relaxation cannot see —
+//! yields [`Verdict::Unknown`], and callers fall back to the
+//! enumerative rules. `Unsat` is therefore always a proof and `Sat`
+//! always carries a checkable witness; only `Unknown` costs precision,
+//! never soundness.
+
+use loom_rational::intlinalg::{try_solve_integer, IMat};
+
+/// The outcome of [`System::solve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// An integer solution exists; the witness satisfies every
+    /// constraint (re-verified in checked `i128` before returning).
+    Sat(Vec<i64>),
+    /// No integer solution exists, proven for the whole (possibly
+    /// unbounded) constraint set.
+    Unsat,
+    /// The procedure could not decide within its budget (overflow,
+    /// constraint blowup, or an integer gap after rational relaxation).
+    Unknown,
+}
+
+/// One affine constraint `Σ coeffs·x + constant {≥,=} 0` over `i128`.
+#[derive(Clone, Debug)]
+struct Lin {
+    coeffs: Vec<i128>,
+    constant: i128,
+}
+
+impl Lin {
+    fn eval(&self, x: &[i64]) -> Option<i128> {
+        let mut acc = self.constant;
+        for (&c, &v) in self.coeffs.iter().zip(x) {
+            acc = acc.checked_add(c.checked_mul(v as i128)?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// A conjunction of affine constraints over `n` integer variables.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    n: usize,
+    ges: Vec<Lin>,
+    eqs: Vec<Lin>,
+}
+
+/// Caps keeping Fourier–Motzkin elimination from blowing up: beyond
+/// either, [`System::solve`] gives up with [`Verdict::Unknown`].
+const MAX_CONSTRAINTS: usize = 4096;
+const MAX_COEFF: i128 = 1 << 96;
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+impl System {
+    /// An empty (trivially satisfiable) system over `n` variables.
+    pub fn new(n: usize) -> System {
+        System {
+            n,
+            ges: Vec::new(),
+            eqs: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Add `Σ coeffs·x + constant ≥ 0`.
+    pub fn ge0(&mut self, coeffs: &[i64], constant: i64) {
+        assert_eq!(coeffs.len(), self.n, "constraint arity mismatch");
+        self.ges.push(Lin {
+            coeffs: coeffs.iter().map(|&c| c as i128).collect(),
+            constant: constant as i128,
+        });
+    }
+
+    /// Add `Σ coeffs·x + constant = 0`.
+    pub fn eq0(&mut self, coeffs: &[i64], constant: i64) {
+        assert_eq!(coeffs.len(), self.n, "constraint arity mismatch");
+        self.eqs.push(Lin {
+            coeffs: coeffs.iter().map(|&c| c as i128).collect(),
+            constant: constant as i128,
+        });
+    }
+
+    /// Add the two-sided bound `lo ≤ Σ coeffs·x ≤ hi`.
+    pub fn between(&mut self, coeffs: &[i64], lo: i64, hi: i64) {
+        self.ge0(coeffs, -lo);
+        let neg: Vec<i64> = coeffs.iter().map(|&c| -c).collect();
+        self.ge0(&neg, hi);
+    }
+
+    /// Decide integer feasibility. See the module docs for the
+    /// soundness contract of each verdict.
+    pub fn solve(&self) -> Verdict {
+        // 1. Eliminate equalities through the integer lattice. The
+        //    inequalities are rewritten over the lattice coordinates t
+        //    of the coset x = x0 + B·t.
+        let (x0, basis, ineqs) = if self.eqs.is_empty() {
+            let id: Vec<Vec<i64>> = (0..self.n)
+                .map(|j| (0..self.n).map(|k| i64::from(k == j)).collect())
+                .collect();
+            (vec![0i64; self.n], id, self.ges.clone())
+        } else {
+            let mut rows: Vec<Vec<i64>> = Vec::with_capacity(self.eqs.len());
+            let mut rhs: Vec<i64> = Vec::with_capacity(self.eqs.len());
+            for eq in &self.eqs {
+                let mut row = Vec::with_capacity(self.n);
+                for &c in &eq.coeffs {
+                    let Ok(c) = i64::try_from(c) else {
+                        return Verdict::Unknown;
+                    };
+                    row.push(c);
+                }
+                let Ok(b) = i64::try_from(-eq.constant) else {
+                    return Verdict::Unknown;
+                };
+                rows.push(row);
+                rhs.push(b);
+            }
+            let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let a = IMat::from_rows(&refs);
+            match try_solve_integer(&a, &rhs) {
+                Err(_) => return Verdict::Unknown,
+                Ok(None) => return Verdict::Unsat,
+                Ok(Some((x0, basis))) => {
+                    let m = basis.len();
+                    let mut ineqs = Vec::with_capacity(self.ges.len());
+                    for ge in &self.ges {
+                        // c·(x0 + B·t) + k ≥ 0  ⇒  (c·B)·t + (c·x0 + k) ≥ 0.
+                        let mut coeffs = vec![0i128; m];
+                        for (j, b) in basis.iter().enumerate() {
+                            let mut acc: i128 = 0;
+                            for (&c, &bv) in ge.coeffs.iter().zip(b) {
+                                let Some(p) = c.checked_mul(bv as i128) else {
+                                    return Verdict::Unknown;
+                                };
+                                let Some(s) = acc.checked_add(p) else {
+                                    return Verdict::Unknown;
+                                };
+                                acc = s;
+                            }
+                            coeffs[j] = acc;
+                        }
+                        let Some(constant) = ge.eval(&x0) else {
+                            return Verdict::Unknown;
+                        };
+                        ineqs.push(Lin { coeffs, constant });
+                    }
+                    (x0, basis, ineqs)
+                }
+            }
+        };
+
+        let m = basis.len();
+        match fm_solve(m, ineqs) {
+            FmOutcome::Unsat => Verdict::Unsat,
+            FmOutcome::Unknown => Verdict::Unknown,
+            FmOutcome::Witness(t) => {
+                // Map the lattice witness back to x-space and re-verify
+                // against every original constraint.
+                let mut x = vec![0i64; self.n];
+                for k in 0..self.n {
+                    let mut acc = x0[k] as i128;
+                    for (j, b) in basis.iter().enumerate() {
+                        let Some(p) = (b[k] as i128).checked_mul(t[j] as i128) else {
+                            return Verdict::Unknown;
+                        };
+                        let Some(s) = acc.checked_add(p) else {
+                            return Verdict::Unknown;
+                        };
+                        acc = s;
+                    }
+                    let Ok(v) = i64::try_from(acc) else {
+                        return Verdict::Unknown;
+                    };
+                    x[k] = v;
+                }
+                let ok = self.eqs.iter().all(|e| e.eval(&x) == Some(0))
+                    && self.ges.iter().all(|g| g.eval(&x).is_some_and(|v| v >= 0));
+                if ok {
+                    Verdict::Sat(x)
+                } else {
+                    Verdict::Unknown
+                }
+            }
+        }
+    }
+}
+
+enum FmOutcome {
+    Witness(Vec<i64>),
+    Unsat,
+    Unknown,
+}
+
+/// Tighten `Σ c·x + k ≥ 0` by the gcd of the variable coefficients:
+/// `Σ (c/g)·x + ⌊k/g⌋ ≥ 0` has the same integer solutions. Returns
+/// `None` for a variable-free constraint (`Some(false)` semantics are
+/// folded into the bool: `Err(())` signals infeasible-constant).
+fn tighten(lin: &mut Lin) -> Result<bool, ()> {
+    let g = lin.coeffs.iter().fold(0i128, |g, &c| gcd128(g, c));
+    if g == 0 {
+        return if lin.constant >= 0 {
+            Ok(false)
+        } else {
+            Err(())
+        };
+    }
+    if g > 1 {
+        for c in &mut lin.coeffs {
+            *c /= g;
+        }
+        lin.constant = floor_div(lin.constant, g);
+    }
+    Ok(true)
+}
+
+/// Fourier–Motzkin over `m` variables with GCD tightening, recording
+/// each eliminated variable's bound constraints for witness
+/// reconstruction.
+fn fm_solve(m: usize, mut cons: Vec<Lin>) -> FmOutcome {
+    // (var, lower bounds, upper bounds) in elimination order.
+    let mut trail: Vec<(usize, Vec<Lin>, Vec<Lin>)> = Vec::new();
+    let mut alive: Vec<usize> = (0..m).collect();
+
+    loop {
+        // Normalize; constants either hold or refute the system.
+        let mut next = Vec::with_capacity(cons.len());
+        for mut c in cons {
+            match tighten(&mut c) {
+                Err(()) => return FmOutcome::Unsat,
+                Ok(false) => {}
+                Ok(true) => next.push(c),
+            }
+        }
+        cons = next;
+        if alive.is_empty() || cons.is_empty() {
+            break;
+        }
+
+        // Eliminate the variable minimizing the lower×upper fan-out.
+        let &var = alive
+            .iter()
+            .min_by_key(|&&v| {
+                let lo = cons.iter().filter(|c| c.coeffs[v] > 0).count();
+                let hi = cons.iter().filter(|c| c.coeffs[v] < 0).count();
+                lo * hi + lo + hi
+            })
+            .expect("nonempty alive set");
+        alive.retain(|&v| v != var);
+
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut rest = Vec::new();
+        for c in cons {
+            match c.coeffs[var].cmp(&0) {
+                std::cmp::Ordering::Greater => lowers.push(c),
+                std::cmp::Ordering::Less => uppers.push(c),
+                std::cmp::Ordering::Equal => rest.push(c),
+            }
+        }
+        // a·x ≥ −L (a>0) and (−b)·x ≤ U (b<0) combine to (−b)·L + a·U.
+        for lo in &lowers {
+            let a = lo.coeffs[var];
+            for up in &uppers {
+                let nb = -up.coeffs[var];
+                let mut combined = Lin {
+                    coeffs: vec![0; m],
+                    constant: 0,
+                };
+                let mut overflow = false;
+                for k in 0..m {
+                    let v = nb
+                        .checked_mul(lo.coeffs[k])
+                        .and_then(|x| a.checked_mul(up.coeffs[k]).and_then(|y| x.checked_add(y)));
+                    match v {
+                        Some(v) if v.abs() <= MAX_COEFF => combined.coeffs[k] = v,
+                        _ => {
+                            overflow = true;
+                            break;
+                        }
+                    }
+                }
+                let konst = nb
+                    .checked_mul(lo.constant)
+                    .and_then(|x| a.checked_mul(up.constant).and_then(|y| x.checked_add(y)));
+                match konst {
+                    Some(k) if !overflow && k.abs() <= MAX_COEFF => combined.constant = k,
+                    _ => return FmOutcome::Unknown,
+                }
+                debug_assert_eq!(combined.coeffs[var], 0);
+                rest.push(combined);
+            }
+        }
+        if rest.len() > MAX_CONSTRAINTS {
+            return FmOutcome::Unknown;
+        }
+        trail.push((var, lowers, uppers));
+        cons = rest;
+    }
+
+    // Leftover constraints are variable-free (alive is empty) or the
+    // system ran out of constraints early; either way the relaxation is
+    // feasible. Reconstruct an integer witness in reverse order.
+    for c in &cons {
+        if c.constant < 0 {
+            return FmOutcome::Unsat;
+        }
+    }
+    let mut x = vec![0i64; m];
+    for (var, lowers, uppers) in trail.iter().rev() {
+        let mut lo: Option<i128> = None;
+        let mut hi: Option<i128> = None;
+        for c in lowers {
+            // a·x_var ≥ −(k + Σ_{j≠var} c_j·x_j)  with  a > 0.
+            let a = c.coeffs[*var];
+            let mut rest = c.constant;
+            for (j, &cj) in c.coeffs.iter().enumerate() {
+                if j == *var {
+                    continue;
+                }
+                let Some(p) = cj.checked_mul(x[j] as i128) else {
+                    return FmOutcome::Unknown;
+                };
+                let Some(s) = rest.checked_add(p) else {
+                    return FmOutcome::Unknown;
+                };
+                rest = s;
+            }
+            let bound = -floor_div(rest, a); // ceil(−rest/a)
+            lo = Some(lo.map_or(bound, |b: i128| b.max(bound)));
+        }
+        for c in uppers {
+            let nb = -c.coeffs[*var];
+            let mut rest = c.constant;
+            for (j, &cj) in c.coeffs.iter().enumerate() {
+                if j == *var {
+                    continue;
+                }
+                let Some(p) = cj.checked_mul(x[j] as i128) else {
+                    return FmOutcome::Unknown;
+                };
+                let Some(s) = rest.checked_add(p) else {
+                    return FmOutcome::Unknown;
+                };
+                rest = s;
+            }
+            let bound = floor_div(rest, nb);
+            hi = Some(hi.map_or(bound, |b: i128| b.min(bound)));
+        }
+        let v = match (lo, hi) {
+            (None, None) => 0,
+            (Some(l), None) => l.max(0),
+            (None, Some(h)) => h.min(0),
+            (Some(l), Some(h)) if l <= h => 0i128.clamp(l, h),
+            // Rational relaxation feasible but this integer interval is
+            // empty: an integer gap FM cannot resolve.
+            _ => return FmOutcome::Unknown,
+        };
+        let Ok(v) = i64::try_from(v) else {
+            return FmOutcome::Unknown;
+        };
+        x[*var] = v;
+    }
+    FmOutcome::Witness(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert_eq!(System::new(2).solve(), Verdict::Sat(vec![0, 0]));
+    }
+
+    #[test]
+    fn box_is_sat_with_witness_inside() {
+        let mut s = System::new(2);
+        s.between(&[1, 0], 2, 5);
+        s.between(&[0, 1], -3, -1);
+        match s.solve() {
+            Verdict::Sat(x) => {
+                assert!((2..=5).contains(&x[0]));
+                assert!((-3..=-1).contains(&x[1]));
+            }
+            v => panic!("expected Sat, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_unsat() {
+        let mut s = System::new(1);
+        s.ge0(&[1], -5); // x ≥ 5
+        s.ge0(&[-1], 3); // x ≤ 3
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn gcd_tightening_catches_parity_gap() {
+        // 1 ≤ 2x ≤ 1 has the rational solution x = 1/2 but no integer
+        // one; tightening turns it into 1 ≤ x ≤ 0.
+        let mut s = System::new(1);
+        s.between(&[2], 1, 1);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn infeasible_equalities_unsat() {
+        // 2x = 1 over the integers.
+        let mut s = System::new(1);
+        s.eq0(&[2], -1);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn equalities_restrict_inequality_witness() {
+        // x + y = 4, x − y = 2 ⇒ (3, 1); bounds must hold at it.
+        let mut s = System::new(2);
+        s.eq0(&[1, 1], -4);
+        s.eq0(&[1, -1], -2);
+        s.between(&[1, 0], 0, 10);
+        s.between(&[0, 1], 0, 10);
+        assert_eq!(s.solve(), Verdict::Sat(vec![3, 1]));
+    }
+
+    #[test]
+    fn equality_coset_with_bounds_unsat() {
+        // x ≡ 0 (mod 3) via x = 3t, and 4 ≤ x ≤ 5: no multiple of 3.
+        let mut s = System::new(2);
+        s.eq0(&[1, -3], 0); // x = 3t
+        s.between(&[1, 0], 4, 5);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn triangular_system_sat() {
+        // 0 ≤ y ≤ x ≤ 4 with x + y = 6 → (3,3) or (4,2).
+        let mut s = System::new(2);
+        s.ge0(&[0, 1], 0); // y ≥ 0
+        s.ge0(&[1, -1], 0); // x ≥ y
+        s.ge0(&[-1, 0], 4); // x ≤ 4
+        s.eq0(&[1, 1], -6);
+        match s.solve() {
+            Verdict::Sat(x) => {
+                assert_eq!(x[0] + x[1], 6);
+                assert!(x[1] >= 0 && x[0] >= x[1] && x[0] <= 4);
+            }
+            v => panic!("expected Sat, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_is_reverified() {
+        // A satisfiable system whose witness must satisfy every original
+        // constraint, including ones FM dropped early as redundant.
+        let mut s = System::new(3);
+        for v in 0..3 {
+            let mut c = vec![0i64; 3];
+            c[v] = 1;
+            s.between(&c, -7, 7);
+        }
+        s.eq0(&[1, 1, 1], 0);
+        s.ge0(&[1, -1, 0], -2); // x − y ≥ 2
+        match s.solve() {
+            Verdict::Sat(x) => {
+                assert_eq!(x.iter().sum::<i64>(), 0);
+                assert!(x[0] - x[1] >= 2);
+            }
+            v => panic!("expected Sat, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_directions_still_sat() {
+        let mut s = System::new(2);
+        s.ge0(&[1, 1], -100); // x + y ≥ 100, nothing else
+        match s.solve() {
+            Verdict::Sat(x) => assert!(x[0] + x[1] >= 100),
+            v => panic!("expected Sat, got {v:?}"),
+        }
+    }
+}

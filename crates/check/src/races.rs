@@ -192,7 +192,21 @@ pub fn check_races(nest: &LoopNest, program: &SpmdProgram) -> Vec<Diagnostic> {
             }
         }
     }
-    out
+    dedupe(out)
+}
+
+/// Drop repeated diagnostics, keeping first-occurrence order.
+///
+/// The scan phases can surface the same fact more than once — e.g. a
+/// racing pair found through two statements that access the same
+/// element — and rendering the identical (rule, severity, span,
+/// message) tuple twice only pads the report.
+fn dedupe(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut seen = std::collections::BTreeSet::new();
+    diags
+        .into_iter()
+        .filter(|d| seen.insert((d.rule, d.severity, d.span.to_string(), d.message.clone())))
+        .collect()
 }
 
 #[cfg(test)]
@@ -264,6 +278,28 @@ mod tests {
                 .any(|d| d.rule == RuleId::DataRace && d.severity == crate::Severity::Error),
             "{ds:?}"
         );
+    }
+
+    #[test]
+    fn identical_diagnostics_are_deduplicated() {
+        let d = |msg: &str| {
+            Diagnostic::error(
+                RuleId::DataRace,
+                Span::Element {
+                    array: "A".to_string(),
+                    element: vec![1, 2],
+                },
+                msg.to_string(),
+            )
+        };
+        let deduped = dedupe(vec![d("same"), d("same"), d("other"), d("same")]);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].message, "same");
+        assert_eq!(deduped[1].message, "other");
+        // Same message under a different span survives.
+        let mut w = d("same");
+        w.span = Span::Nest;
+        assert_eq!(dedupe(vec![d("same"), w]).len(), 2);
     }
 
     #[test]

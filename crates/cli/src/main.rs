@@ -9,7 +9,8 @@
 //!                [--t-calc 1 --t-start 50 --t-comm 5] [--batch] [--contention]
 //!                [--fault-plan plan.json --fault-seed 7 --recovery remap]
 //! loom codegen   --workload l1 --size 4 --cube 1 [--run]
-//! loom check     --workload sor --size 8 --cube 2 [--json] [--allow LC004]
+//! loom check     --workload sor --size 8 --cube 2 [--symbolic]
+//!                [--format human|json|sarif] [--allow LC004]
 //! loom viz       --workload sor --size 8 [--dot]
 //! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
 //!                [--threads 4] [--no-prune] [--bench-out bench.json]
@@ -37,7 +38,8 @@ fn usage() -> ! {
          \x20 simulate  --workload W --cube N   full pipeline + machine simulation\n\
          \x20 sim       alias for simulate\n\
          \x20 codegen   --workload W --cube N   emit SPMD pseudo-code [--run verifies]\n\
-         \x20 check     --workload W --cube N   static verifier [--json] [--allow IDS]\n\
+         \x20 check     --workload W --cube N   static verifier [--symbolic]\n\
+         \x20           [--format human|json|sarif] [--allow IDS]\n\
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
          \x20           [--threads T] [--no-prune] [--bench-out FILE] [--metrics-out FILE]\n\
@@ -56,35 +58,42 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Parse `--file` into a nest, exiting with a usage error on I/O or
+/// syntax problems.
+fn parse_file_nest(path: &str) -> loom_loopir::LoopNest {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let name = path.rsplit('/').next().unwrap_or("nest").to_string();
+    loom_loopir::parse::parse_nest(&name, &src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+/// `--pi` if given, else the optimal legal time function for `deps`.
+fn pick_pi(a: &Args, nest: &loom_loopir::LoopNest, deps: &[Vec<i64>], label: &str) -> Vec<i64> {
+    a.int_list_flag("pi").unwrap_or_else(|| {
+        loom_hyperplane::find_optimal(deps, nest.space(), loom_hyperplane::SearchConfig::default())
+            .unwrap_or_else(|e| {
+                eprintln!("{label}: no legal time function: {e}");
+                std::process::exit(1)
+            })
+            .coeffs()
+            .to_vec()
+    })
+}
+
 fn pick_workload(a: &Args) -> Workload {
     if let Some(path) = a.flags.get("file") {
-        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2)
-        });
-        let name = path.rsplit('/').next().unwrap_or("nest").to_string();
-        let nest = loom_loopir::parse::parse_nest(&name, &src).unwrap_or_else(|e| {
-            eprintln!("{path}: {e}");
-            std::process::exit(2)
-        });
+        let nest = parse_file_nest(path);
         let deps = loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default())
             .unwrap_or_else(|e| {
                 eprintln!("{path}: {e}");
                 std::process::exit(2)
             });
-        let pi = a.int_list_flag("pi").unwrap_or_else(|| {
-            loom_hyperplane::find_optimal(
-                &deps,
-                nest.space(),
-                loom_hyperplane::SearchConfig::default(),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("{path}: no legal time function: {e}");
-                std::process::exit(1)
-            })
-            .coeffs()
-            .to_vec()
-        });
+        let pi = pick_pi(a, &nest, &deps, path);
         return Workload { nest, deps, pi };
     }
     let size = a.int_flag("size", 8);
@@ -466,15 +475,77 @@ fn cmd_codegen(a: &Args) {
     }
 }
 
+/// Render a check report in the selected `--format` (`human`, `json`,
+/// or `sarif`; the legacy `--json` switch still selects JSON).
+fn render_report(a: &Args, report: &loom_check::Report) {
+    let format = if a.switch("json") {
+        "json".to_string()
+    } else {
+        a.str_flag("format", "human")
+    };
+    match format.as_str() {
+        "human" => print!("{}", report.render_human()),
+        "json" => println!("{}", report.to_json().render_pretty()),
+        "sarif" => {
+            let artifact = a.flags.get("file").map(|s| s.as_str());
+            println!("{}", report.to_sarif(artifact).render_pretty())
+        }
+        other => {
+            eprintln!("unknown --format `{other}` (expected human, json, or sarif)");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn apply_allow(a: &Args, report: &mut loom_check::Report) {
+    if let Some(allow) = a.flags.get("allow") {
+        let codes: Vec<String> = allow
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        report.allow(&codes);
+    }
+}
+
 fn cmd_check(a: &Args) {
-    let w = pick_workload(a);
+    let symbolic = a.switch("symbolic");
+    // Load `--file` nests by hand: a non-uniform nest must come back as
+    // an LC010 report on stdout, not a front-end abort on stderr.
+    let w = if let Some(path) = a.flags.get("file") {
+        let nest = parse_file_nest(path);
+        match loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default()) {
+            Ok(deps) => {
+                let pi = pick_pi(a, &nest, &deps, path);
+                Workload { nest, deps, pi }
+            }
+            Err(loom_loopir::Error::NonUniform { .. }) => {
+                let mut report = loom_check::Report::from_diagnostics(
+                    loom_check::check_access_dependences(&nest, None),
+                );
+                apply_allow(a, &mut report);
+                render_report(a, &report);
+                std::process::exit(if report.has_errors() { 1 } else { 0 })
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2)
+            }
+        }
+    } else {
+        pick_workload(a)
+    };
     let pi = loom_hyperplane::TimeFn::new(a.int_list_flag("pi").unwrap_or_else(|| w.pi.clone()));
     let cube_dim = a.int_flag("cube", 1).max(0) as usize;
 
     // Stage the pipeline by hand rather than through `run_pipeline`: an
-    // illegal Π must come back as an LC001 diagnostic on stdout, not as
-    // a partitioner error on stderr.
-    let mut report = loom_check::Report::from_diagnostics(loom_check::check_legality(&pi, &w.deps));
+    // illegal Π must come back as an LC001/LC009 diagnostic on stdout,
+    // not as a partitioner error on stderr.
+    let mut report = loom_check::Report::from_diagnostics(if symbolic {
+        loom_check::check_legality_symbolic(&pi, &w.deps)
+    } else {
+        loom_check::check_legality(&pi, &w.deps)
+    });
     if !report.has_errors() {
         let config = loom_partition::PartitionConfig {
             grouping_choice: a.flags.get("grouping").map(|v| {
@@ -496,29 +567,26 @@ fn cmd_check(a: &Args) {
             eprintln!("mapping failed: {e}");
             std::process::exit(1)
         });
-        report = loom_check::check_pipeline(&loom_check::PipelineCheck {
-            nest: &w.nest,
-            deps: &w.deps,
-            pi: &pi,
-            partitioning: &partitioning,
-            tig: &tig,
-            assignment: mapping.assignment(),
-            cube_dim: mapping.cube().dim(),
-        });
+        report = loom_check::check_pipeline_mode(
+            &loom_check::PipelineCheck {
+                nest: &w.nest,
+                deps: &w.deps,
+                pi: &pi,
+                partitioning: &partitioning,
+                tig: &tig,
+                assignment: mapping.assignment(),
+                cube_dim: mapping.cube().dim(),
+            },
+            if symbolic {
+                loom_check::CheckMode::Symbolic
+            } else {
+                loom_check::CheckMode::Enumerative
+            },
+            &Recorder::disabled(),
+        );
     }
-    if let Some(allow) = a.flags.get("allow") {
-        let codes: Vec<String> = allow
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
-        report.allow(&codes);
-    }
-    if a.switch("json") {
-        println!("{}", report.to_json().render_pretty());
-    } else {
-        print!("{}", report.render_human());
-    }
+    apply_allow(a, &mut report);
+    render_report(a, &report);
     if report.has_errors() {
         std::process::exit(1);
     }

@@ -469,13 +469,16 @@ mod tests {
     #[test]
     fn counters_recorded_and_pruning_skips_work() {
         let w = loom_workloads::matvec::workload(10);
+        // Serial path: with threads > 1 whether a given candidate is
+        // pruned depends on which worker reaches the shared gate first,
+        // so the pruned count is timing-dependent under load.
         let count_with = |top: usize, prune: bool| {
             let rec = Recorder::enabled();
             explore_with(
                 &w.nest,
                 &[0, 1, 2],
                 &ExploreConfig {
-                    threads: 2,
+                    threads: 1,
                     top,
                     prune,
                     ..cfg()

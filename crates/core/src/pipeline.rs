@@ -77,6 +77,13 @@ pub struct MachineOptions {
     /// artifacts after mapping (before simulation) and fail with
     /// [`PipelineError::StaticCheck`] on any error-severity diagnostic.
     pub static_check: bool,
+    /// Run the static check with the symbolic engine
+    /// ([`loom_check::CheckMode::Symbolic`]): `LC009`–`LC012` prove
+    /// legality, Lemma 1, and the communication protocol in time
+    /// independent of the iteration-space extent, instead of the
+    /// enumerative point-and-message walk. Only consulted when
+    /// `static_check` is set.
+    pub symbolic_check: bool,
     /// Inject faults during simulation: the deterministic plan plus the
     /// recovery policy ([`loom_machine::fault`]). `None` simulates the
     /// paper's perfectly reliable machine.
@@ -94,6 +101,7 @@ impl Default for MachineOptions {
             collect_metrics: false,
             validate_trace: false,
             static_check: false,
+            symbolic_check: false,
             faults: None,
         }
     }
@@ -447,8 +455,20 @@ impl PartitionedStage<'_> {
     /// land as `check.<code>`, and error-severity diagnostics abort the
     /// pipeline before any simulation is paid for.
     pub fn check_with(&self, mapping: &Mapping, recorder: &Recorder) -> Result<(), PipelineError> {
+        self.check_mode(mapping, loom_check::CheckMode::Enumerative, recorder)
+    }
+
+    /// [`check_with`](PartitionedStage::check_with) with an explicit
+    /// engine choice; symbolic runs additionally record the
+    /// `check.symbolic.*` proof-discharge counters.
+    pub fn check_mode(
+        &self,
+        mapping: &Mapping,
+        mode: loom_check::CheckMode,
+        recorder: &Recorder,
+    ) -> Result<(), PipelineError> {
         let _s = recorder.span("pipeline.check");
-        let report = loom_check::check_pipeline_with(
+        let report = loom_check::check_pipeline_mode(
             &loom_check::PipelineCheck {
                 nest: self.nest,
                 deps: &self.deps,
@@ -458,6 +478,7 @@ impl PartitionedStage<'_> {
                 assignment: mapping.assignment(),
                 cube_dim: mapping.cube().dim(),
             },
+            mode,
             recorder,
         );
         if report.has_errors() {
@@ -493,8 +514,13 @@ impl PartitionedStage<'_> {
         scratch: Option<&mut SimScratch>,
     ) -> Result<PipelineOutput, PipelineError> {
         let (mapping, placement, target) = self.map_with(config, recorder)?;
-        if config.machine.as_ref().is_some_and(|o| o.static_check) {
-            self.check_with(&mapping, recorder)?;
+        if let Some(opts) = config.machine.as_ref().filter(|o| o.static_check) {
+            let mode = if opts.symbolic_check {
+                loom_check::CheckMode::Symbolic
+            } else {
+                loom_check::CheckMode::Enumerative
+            };
+            self.check_mode(&mapping, mode, recorder)?;
         }
 
         // 5. Machine simulation.
@@ -865,7 +891,32 @@ mod tests {
     fn static_check_off_by_default() {
         let opts = MachineOptions::default();
         assert!(!opts.static_check);
+        assert!(!opts.symbolic_check);
         assert!(opts.faults.is_none());
+    }
+
+    #[test]
+    fn symbolic_check_gate_passes_and_records_proof_counters() {
+        let w = loom_workloads::l1::workload(4);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 1,
+                    machine: Some(MachineOptions {
+                        static_check: true,
+                        symbolic_check: true,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        assert!(out.sim.is_some());
+        let counters = rec.counters();
+        assert!(counters.contains_key("check.symbolic.lattice"));
+        assert_eq!(counters.get("check.symbolic.fallback"), Some(&0));
     }
 
     #[test]

@@ -145,15 +145,16 @@ fn offsets(acc: &Access) -> Vec<i64> {
     acc.subscripts().iter().map(|s| s.constant_term()).collect()
 }
 
-/// Extract all uniform dependences of a loop nest.
-///
-/// The result is deterministic: dependences are sorted by array, then
-/// kind, then vector.
-pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Dependence>, Error> {
-    let n = nest.dim();
-    // Gather (stmt index, access, is_write) per array, preserving program order.
-    type AccessesOfArray<'a> = Vec<(usize, &'a Access, bool)>;
-    let mut by_array: Vec<(String, AccessesOfArray<'_>)> = Vec::new();
+/// One occurrence of an array access inside a nest body: the statement
+/// index, the access itself, and whether it is the statement's write.
+pub type AccessSite<'a> = (usize, &'a Access, bool);
+
+/// Gather every access per array, preserving program order (the raw
+/// material both [`extract_dependences`] and the symbolic front-end
+/// dependence analysis in `loom-check` scan pairwise). Arrays appear in
+/// order of first occurrence.
+pub fn accesses_by_array(nest: &LoopNest) -> Vec<(String, Vec<AccessSite<'_>>)> {
+    let mut by_array: Vec<(String, Vec<AccessSite<'_>>)> = Vec::new();
     for (si, stmt) in nest.stmts().iter().enumerate() {
         for (acc, is_write) in
             std::iter::once((stmt.write(), true)).chain(stmt.reads().iter().map(|r| (r, false)))
@@ -164,6 +165,16 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
             }
         }
     }
+    by_array
+}
+
+/// Extract all uniform dependences of a loop nest.
+///
+/// The result is deterministic: dependences are sorted by array, then
+/// kind, then vector.
+pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Dependence>, Error> {
+    let n = nest.dim();
+    let by_array = accesses_by_array(nest);
 
     let mut out: Vec<Dependence> = Vec::new();
     for (array, accs) in &by_array {

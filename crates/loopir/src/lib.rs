@@ -33,7 +33,9 @@ pub mod space;
 
 pub use access::Access;
 pub use aff::Aff;
-pub use deps::{extract_dependences, DepKind, DepOptions, Dependence};
+pub use deps::{
+    accesses_by_array, extract_dependences, AccessSite, DepKind, DepOptions, Dependence,
+};
 pub use nest::{LoopNest, Stmt};
 pub use space::IterSpace;
 
