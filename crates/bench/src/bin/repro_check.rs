@@ -170,6 +170,7 @@ fn main() {
     std::fs::write(&out_path, doc.render_pretty()).expect("write bench artifact");
     println!("wrote {out_path}");
     loom_bench::maybe_write_metrics("a10_check", &doc);
+    loom_bench::maybe_append_history("check", &doc);
     println!(
         "\nevery row runs both engines on the same partitioning, TIG, and\n\
          mapping: the enumerative column grows with the point count, the\n\

@@ -178,6 +178,7 @@ fn main() {
     std::fs::write(&out_path, doc.render_pretty()).expect("write bench artifact");
     println!("wrote {out_path}");
     maybe_write_metrics("a9_explore", &doc);
+    loom_bench::maybe_append_history("explore", &doc);
     println!(
         "\nevery row is double-checked: the pruned parallel sweep returned the\n\
          byte-identical top-10 the seed's serial explorer did; the speedup\n\

@@ -51,21 +51,79 @@ pub fn write_metrics_to(dir: &Path, name: &str, doc: &Json) -> std::io::Result<(
     std::fs::write(dir.join(format!("{name}.json")), doc.render_pretty())
 }
 
-/// If `LOOM_METRICS_DIR` is set, write `doc` to `<dir>/<name>.json` and
-/// note it on stderr — the repro binaries call this so every experiment
-/// can leave machine-readable metrics next to its printed table without
-/// changing its stdout.
+/// Write a metrics document to `<dir>/<name>-<disc>.json`, pretty-
+/// rendered, creating `dir` if needed. The discriminator keeps
+/// concurrent runs that share a metrics directory from clobbering each
+/// other's files; [`maybe_write_metrics`] passes the process id.
+pub fn write_metrics_discriminated(
+    dir: &Path,
+    name: &str,
+    disc: &str,
+    doc: &Json,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}-{disc}.json"));
+    std::fs::write(&path, doc.render_pretty())?;
+    Ok(path)
+}
+
+/// If `LOOM_METRICS_DIR` is set, write `doc` to `<dir>/<name>-<pid>.json`
+/// and note it on stderr — the repro binaries call this so every
+/// experiment can leave machine-readable metrics next to its printed
+/// table without changing its stdout. The pid in the filename makes
+/// concurrent runs sharing one directory collision-safe.
 pub fn maybe_write_metrics(name: &str, doc: &Json) {
     let Ok(dir) = std::env::var("LOOM_METRICS_DIR") else {
         return;
     };
-    let dir = Path::new(&dir);
-    match write_metrics_to(dir, name, doc) {
-        Ok(()) => eprintln!(
-            "metrics: wrote {}",
-            dir.join(format!("{name}.json")).display()
-        ),
-        Err(e) => eprintln!("metrics: cannot write {name}.json: {e}"),
+    let disc = std::process::id().to_string();
+    match write_metrics_discriminated(Path::new(&dir), name, &disc, doc) {
+        Ok(path) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: cannot write {name}-{disc}.json: {e}"),
+    }
+}
+
+/// Append one history record — `{"ts": …, "bench": name, "doc": …}` on
+/// a single JSONL line — to `path`, creating the file (and parent
+/// directory) if needed. The regression observatory's `loom obs diff`
+/// reads records back out of this file.
+pub fn append_history_to(path: &Path, name: &str, ts_unix: u64, doc: &Json) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let record = Json::obj(vec![
+        ("ts", Json::from(ts_unix)),
+        ("bench", Json::from(name)),
+        ("doc", doc.clone()),
+    ]);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.render())
+}
+
+/// If `LOOM_BENCH_HISTORY` is set, append `doc` as one timestamped
+/// JSONL record. The variable names either the history file itself or a
+/// directory (then `bench-history.jsonl` inside it is used).
+pub fn maybe_append_history(name: &str, doc: &Json) {
+    let Ok(dest) = std::env::var("LOOM_BENCH_HISTORY") else {
+        return;
+    };
+    let dest = Path::new(&dest);
+    let path = if dest.is_dir() {
+        dest.join("bench-history.jsonl")
+    } else {
+        dest.to_path_buf()
+    };
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    match append_history_to(&path, name, ts, doc) {
+        Ok(()) => eprintln!("history: appended {name} to {}", path.display()),
+        Err(e) => eprintln!("history: cannot append to {}: {e}", path.display()),
     }
 }
 
@@ -141,6 +199,46 @@ mod tests {
         write_metrics_to(&dir, "a6_contention", &doc).unwrap();
         let body = std::fs::read_to_string(dir.join("a6_contention.json")).unwrap();
         assert_eq!(Json::parse(&body).unwrap(), doc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn discriminated_metrics_files_do_not_collide() {
+        let dir = std::env::temp_dir().join("loom-metrics-disc-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Json::obj(vec![("run", Json::from(1u64))]);
+        let b = Json::obj(vec![("run", Json::from(2u64))]);
+        let pa = write_metrics_discriminated(&dir, "a9_explore", "111", &a).unwrap();
+        let pb = write_metrics_discriminated(&dir, "a9_explore", "222", &b).unwrap();
+        assert_ne!(pa, pb);
+        assert_eq!(
+            Json::parse(&std::fs::read_to_string(&pa).unwrap()).unwrap(),
+            a
+        );
+        assert_eq!(
+            Json::parse(&std::fs::read_to_string(&pb).unwrap()).unwrap(),
+            b
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn history_appends_one_parseable_line_per_record() {
+        let dir = std::env::temp_dir().join("loom-history-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("bench-history.jsonl");
+        let doc = Json::obj(vec![("speedup", Json::from(2.5f64))]);
+        append_history_to(&path, "explore", 1000, &doc).unwrap();
+        append_history_to(&path, "check", 2000, &doc).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ts").unwrap().as_u64(), Some(1000));
+        assert_eq!(first.get("bench").unwrap().as_str(), Some("explore"));
+        assert_eq!(first.get("doc").unwrap(), &doc);
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("bench").unwrap().as_str(), Some("check"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -64,6 +64,16 @@ impl Args {
         self.flags.get(key).map(String::as_str) == Some("true")
     }
 
+    /// The observability output flags shared by `simulate`, `check`,
+    /// `explore`, and `profile`.
+    pub fn obs_flags(&self) -> ObsFlags {
+        ObsFlags {
+            metrics_out: self.flags.get("metrics-out").cloned(),
+            trace_out: self.flags.get("trace-out").cloned(),
+            flame_out: self.flags.get("flame-out").cloned(),
+        }
+    }
+
     /// A comma-separated integer list flag (e.g. `--pi 1,1,1`).
     pub fn int_list_flag(&self, key: &str) -> Option<Vec<i64>> {
         let v = self.flags.get(key)?;
@@ -76,6 +86,20 @@ impl Args {
             }
         }
     }
+}
+
+/// Output-artifact flags every observability-producing subcommand
+/// accepts with the same names: `--metrics-out FILE`, `--trace-out
+/// FILE`, `--flame-out FILE`. Parsed in one place so the flag surface
+/// stays uniform across the CLI.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsFlags {
+    /// Counters/spans/simulator metrics JSON destination.
+    pub metrics_out: Option<String>,
+    /// Chrome/Perfetto trace JSON destination.
+    pub trace_out: Option<String>,
+    /// Collapsed-stack (flamegraph) span export destination.
+    pub flame_out: Option<String>,
 }
 
 #[cfg(test)]
@@ -122,6 +146,20 @@ mod tests {
         let a = args(&["repro", "fig3", "table1"]);
         assert_eq!(a.command.as_deref(), Some("repro"));
         assert_eq!(a.positional, vec!["fig3", "table1"]);
+    }
+
+    #[test]
+    fn obs_flags_parse_uniformly() {
+        let a = args(&["profile", "--metrics-out", "m.json", "--flame-out", "f.txt"]);
+        assert_eq!(
+            a.obs_flags(),
+            ObsFlags {
+                metrics_out: Some("m.json".into()),
+                trace_out: None,
+                flame_out: Some("f.txt".into()),
+            }
+        );
+        assert_eq!(args(&["check"]).obs_flags(), ObsFlags::default());
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //! loom viz       --workload sor --size 8 [--dot]
 //! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
 //!                [--threads 4] [--no-prune] [--bench-out bench.json]
+//! loom profile   --workload matvec --size 16 --cube 2 [--top 3] [--json]
+//!                [--trace-out t.json] [--metrics-out m.json] [--flame-out f.txt]
+//! loom obs diff  old.json new.json [--threshold 1] [--warn-only] [--json]
 //! loom table1    [--m 1024]
 //! ```
+//!
+//! Setting `LOOM_FLIGHT_DIR` makes every pipeline-running subcommand
+//! flush its flight-recorder ring (JSONL) into that directory on exit.
 
 mod args;
 
@@ -25,7 +31,7 @@ use loom_core::pipeline::MachineOptions;
 use loom_core::report::Table;
 use loom_core::{Pipeline, PipelineConfig};
 use loom_machine::MachineParams;
-use loom_obs::Recorder;
+use loom_obs::{FlightRecorder, Json, Recorder};
 use loom_workloads::Workload;
 
 fn usage() -> ! {
@@ -43,12 +49,18 @@ fn usage() -> ! {
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
          \x20           [--threads T] [--no-prune] [--bench-out FILE] [--metrics-out FILE]\n\
+         \x20 profile   --workload W --cube N   critical-path profile of a simulated run\n\
+         \x20           [--top K] [--json] [--trace-out FILE] [--flame-out FILE]\n\
+         \x20 obs diff  OLD NEW                 compare two bench/metrics JSON documents\n\
+         \x20           [--threshold B] [--warn-only] [--json]\n\
          \x20 table1    [--m M]                 the paper's Table I\n\
          common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…\n\
+         output flags (simulate/check/explore/profile):\n\
+         \x20               --metrics-out FILE (counters + simulator metrics JSON),\n\
+         \x20               --trace-out FILE (Chrome/Perfetto trace JSON),\n\
+         \x20               --flame-out FILE (collapsed-stack flamegraph export)\n\
          simulate flags: --t-calc/--t-start/--t-comm, --batch, --contention,\n\
          \x20               --mesh RxC | --ring N (instead of --cube),\n\
-         \x20               --metrics-out FILE (metrics JSON),\n\
-         \x20               --trace-out FILE (Chrome/Perfetto trace JSON),\n\
          \x20               --validate (replay the trace through verify_trace)\n\
          fault flags:    --fault-plan FILE (JSON fault plan, see docs/RESILIENCE.md),\n\
          \x20               --fault-seed N (override the plan's noise seed),\n\
@@ -239,6 +251,28 @@ fn run_pipeline_with(
         })
 }
 
+/// An enabled recorder whose flight ring honors `LOOM_FLIGHT_DIR`.
+fn obs_recorder() -> Recorder {
+    Recorder::enabled_with_flight(FlightRecorder::from_env())
+}
+
+/// Flush the recorder's flight ring to `LOOM_FLIGHT_DIR` (no-op when
+/// the variable is unset).
+fn flush_flight(rec: &Recorder, name: &str) {
+    if let Some(path) = rec.flight().flush_to_env_dir(name) {
+        eprintln!("flight log written to {}", path.display());
+    }
+}
+
+/// Write the collapsed-stack span export for `--flame-out`.
+fn write_flame(rec: &Recorder, path: &str) {
+    write_out(
+        path,
+        loom_obs::flight::collapsed_stacks(&rec.spans()),
+        "flamegraph",
+    );
+}
+
 fn write_out(path: &str, contents: String, what: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("{what} written to {path}"),
@@ -364,7 +398,7 @@ fn cmd_map(a: &Args) {
 
 fn cmd_simulate(a: &Args) {
     let w = pick_workload(a);
-    let rec = Recorder::enabled();
+    let rec = obs_recorder();
     let out = run_pipeline_with(a, &w, true, &rec);
     let sim = out.sim.as_ref().expect("machine enabled");
     let params = machine_params(a);
@@ -424,11 +458,12 @@ fn cmd_simulate(a: &Args) {
         // PipelineError::Trace, so reaching here means a clean replay.
         println!("trace validated: no violations");
     }
-    if let Some(path) = a.flags.get("metrics-out") {
+    let obs = a.obs_flags();
+    if let Some(path) = &obs.metrics_out {
         let doc = loom_core::obs_export::metrics_json(&rec, Some(sim));
         write_out(path, doc.render_pretty(), "metrics");
     }
-    if let Some(path) = a.flags.get("trace-out") {
+    if let Some(path) = &obs.trace_out {
         match loom_machine::trace::chrome_trace(sim, out.placement.num_procs()) {
             Some(doc) => write_out(path, doc.render_pretty(), "trace"),
             None => {
@@ -437,6 +472,10 @@ fn cmd_simulate(a: &Args) {
             }
         }
     }
+    if let Some(path) = &obs.flame_out {
+        write_flame(&rec, path);
+    }
+    flush_flight(&rec, "simulate");
 }
 
 fn cmd_codegen(a: &Args) {
@@ -537,6 +576,7 @@ fn cmd_check(a: &Args) {
     };
     let pi = loom_hyperplane::TimeFn::new(a.int_list_flag("pi").unwrap_or_else(|| w.pi.clone()));
     let cube_dim = a.int_flag("cube", 1).max(0) as usize;
+    let rec = obs_recorder();
 
     // Stage the pipeline by hand rather than through `run_pipeline`: an
     // illegal Π must come back as an LC001/LC009 diagnostic on stdout,
@@ -582,11 +622,20 @@ fn cmd_check(a: &Args) {
             } else {
                 loom_check::CheckMode::Enumerative
             },
-            &Recorder::disabled(),
+            &rec,
         );
     }
     apply_allow(a, &mut report);
     render_report(a, &report);
+    let obs = a.obs_flags();
+    if let Some(path) = &obs.metrics_out {
+        let doc = loom_core::obs_export::metrics_json(&rec, None);
+        write_out(path, doc.render_pretty(), "metrics");
+    }
+    if let Some(path) = &obs.flame_out {
+        write_flame(&rec, path);
+    }
+    flush_flight(&rec, "check");
     if report.has_errors() {
         std::process::exit(1);
     }
@@ -635,13 +684,17 @@ fn cmd_explore(a: &Args) {
         threads: a.int_flag("threads", 0).max(0) as usize,
         prune: !a.switch("no-prune"),
     };
-    let rec = Recorder::enabled();
+    let rec = obs_recorder();
     let start = std::time::Instant::now();
     let best = loom_core::explore::explore_with(&w.nest, &dims, &cfg, &rec).unwrap_or_else(|e| {
         eprintln!("exploration failed: {e}");
         std::process::exit(1)
     });
     let wall_us = start.elapsed().as_micros() as u64;
+    if let Some(path) = &a.obs_flags().flame_out {
+        write_flame(&rec, path);
+    }
+    flush_flight(&rec, "explore");
     if let Some(path) = a.flags.get("metrics-out") {
         let doc = loom_core::obs_export::metrics_json(&rec, None);
         std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
@@ -687,6 +740,141 @@ fn cmd_explore(a: &Args) {
     println!("{t}");
 }
 
+fn cmd_profile(a: &Args) {
+    let w = pick_workload(a);
+    let rec = obs_recorder();
+    let cfg = PipelineConfig {
+        time_fn: a.int_list_flag("pi").or(Some(w.pi.clone())),
+        cube_dim: a.int_flag("cube", 1).max(0) as usize,
+        target: pick_target(a),
+        machine: None,
+        ..Default::default()
+    };
+    // Stage by hand: the profiler needs the Program and SimConfig,
+    // which PipelineOutput does not carry.
+    let pipeline = Pipeline::new(w.nest.clone());
+    let stage = pipeline.stage_partition(&cfg, &rec).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1)
+    });
+    let (_mapping, placement, target) = stage.map_with(&cfg, &rec).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1)
+    });
+    let program = stage.program(&placement);
+    let sim_cfg = loom_machine::SimConfig {
+        params: machine_params(a),
+        topology: target.topology(),
+        words_per_arc: 1,
+        batch_messages: a.switch("batch"),
+        link_contention: a.switch("contention"),
+        record_trace: true,
+        collect_metrics: true,
+    };
+    let report = {
+        let _s = rec.span("pipeline.simulate");
+        loom_machine::simulate(&program, &sim_cfg).unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1)
+        })
+    };
+    let k = a.int_flag("top", 3).max(1) as usize;
+    let profile = {
+        let _s = rec.span("profile.critical_path");
+        loom_machine::critical_path_top_k(&program, &sim_cfg, &report, k).unwrap_or_else(|e| {
+            eprintln!("profiling failed: {e}");
+            std::process::exit(1)
+        })
+    };
+    if a.switch("json") {
+        println!("{}", profile.to_json().render_pretty());
+    } else {
+        println!(
+            "{} on {:?} ({} procs)",
+            w.nest.name(),
+            target,
+            placement.num_procs()
+        );
+        print!("{}", profile.render_human());
+    }
+    let obs = a.obs_flags();
+    if let Some(path) = &obs.trace_out {
+        match loom_machine::trace::chrome_trace_annotated(
+            &report,
+            placement.num_procs(),
+            Some(&profile),
+        ) {
+            Some(doc) => write_out(path, doc.render_pretty(), "annotated trace"),
+            None => {
+                eprintln!("internal error: no trace recorded despite profiling");
+                std::process::exit(1)
+            }
+        }
+    }
+    if let Some(path) = &obs.metrics_out {
+        let doc = loom_core::obs_export::metrics_json(&rec, Some(&report));
+        write_out(path, doc.render_pretty(), "metrics");
+    }
+    if let Some(path) = &obs.flame_out {
+        write_flame(&rec, path);
+    }
+    flush_flight(&rec, "profile");
+}
+
+/// Read + parse a JSON document for `loom obs diff`.
+fn read_json(path: &str) -> Json {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    Json::parse(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn cmd_obs(a: &Args) {
+    let (old_path, new_path) = match (
+        a.positional.first().map(String::as_str),
+        a.positional.get(1),
+        a.positional.get(2),
+    ) {
+        (Some("diff"), Some(old), Some(new)) => (old.clone(), new.clone()),
+        _ => {
+            eprintln!(
+                "usage: loom obs diff <old.json> <new.json> [--threshold B] [--warn-only] [--json]"
+            );
+            std::process::exit(2)
+        }
+    };
+    let old = read_json(&old_path);
+    let new = read_json(&new_path);
+    let opts = loom_obs::DiffOptions {
+        tolerance_buckets: a.int_flag("threshold", 1).max(0) as usize,
+    };
+    let report = loom_obs::diff::diff(&old, &new, &opts);
+    if a.switch("json") {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        let table = report.render_table();
+        if table.is_empty() {
+            println!(
+                "no differences beyond noise ({} leaves compared)",
+                report.compared
+            );
+        } else {
+            print!("{table}");
+        }
+    }
+    if report.has_regressions() {
+        if a.switch("warn-only") {
+            eprintln!("regressions found (exit 0: --warn-only)");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_table1(a: &Args) {
     let m = a.int_flag("m", 1024).max(1) as u64;
     let params = machine_params(a);
@@ -712,6 +900,8 @@ fn main() {
         Some("check") => cmd_check(&a),
         Some("viz") => cmd_viz(&a),
         Some("explore") => cmd_explore(&a),
+        Some("profile") => cmd_profile(&a),
+        Some("obs") => cmd_obs(&a),
         Some("table1") => cmd_table1(&a),
         _ => usage(),
     }

@@ -10,7 +10,7 @@ use loom_machine::{
 };
 use loom_mapping::other_targets::{map_partitioning_mesh, map_partitioning_ring};
 use loom_mapping::{map_partitioning, Mapping};
-use loom_obs::Recorder;
+use loom_obs::{Json, Recorder};
 use loom_partition::comm::comm_stats;
 use loom_partition::{partition, CommStats, PartitionConfig, Partitioning, Tig};
 
@@ -297,9 +297,20 @@ impl Pipeline {
         config: &PipelineConfig,
         recorder: &Recorder,
     ) -> Result<PipelineOutput, PipelineError> {
-        let _total = recorder.span("pipeline.total");
-        self.stage_partition(config, recorder)?
-            .complete_with(config, recorder, None)
+        let out = {
+            let _total = recorder.span("pipeline.total");
+            self.stage_partition(config, recorder)?
+                .complete_with(config, recorder, None)?
+        };
+        recorder.flight().emit(
+            "pipeline.done",
+            &[
+                ("nest", Json::from(self.nest.name())),
+                ("blocks", Json::from(out.partitioning.num_blocks())),
+                ("procs", Json::from(out.placement.num_procs())),
+            ],
+        );
+        Ok(out)
     }
 
     /// Run stages 1–3 (dependences → Π → statement offsets →
@@ -618,6 +629,14 @@ pub fn run_machine(
             return Err(PipelineError::Trace(violations));
         }
     }
+    recorder.flight().emit(
+        "sim.done",
+        &[
+            ("makespan", Json::from(report.makespan)),
+            ("messages", Json::from(report.messages)),
+            ("words", Json::from(report.words)),
+        ],
+    );
     Ok(report)
 }
 
@@ -824,6 +843,33 @@ mod tests {
             .unwrap();
         assert!(rec.spans().is_empty());
         assert!(rec.counters().is_empty());
+    }
+
+    #[test]
+    fn flight_events_flow_through_the_pipeline() {
+        use loom_obs::FlightRecorder;
+        let w = loom_workloads::l1::workload(4);
+        let flight = FlightRecorder::with_capacity(256);
+        let rec = Recorder::enabled_with_flight(flight.clone());
+        Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 1,
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        let events = flight.events();
+        assert!(events.iter().any(|e| e.kind == "sim.done"));
+        assert!(events.iter().any(|e| e.kind == "span"));
+        assert_eq!(
+            events.last().map(|e| e.kind.as_str()),
+            Some("pipeline.done")
+        );
+        let sim_done = events.iter().find(|e| e.kind == "sim.done").unwrap();
+        let j = sim_done.to_json();
+        assert!(j.get("makespan").unwrap().as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`trace`] — optional execution traces, a post-hoc validity check,
 //!   and Chrome trace-event export,
 //! * [`metrics`] — rich opt-in telemetry (per-processor tick
-//!   breakdowns, per-link traffic, message logs).
+//!   breakdowns, per-link traffic, message logs),
+//! * [`profile`] — critical-path extraction over a traced + metered
+//!   run: attributes every tick of the makespan to compute / startup /
+//!   transit / contention / recv / fault-recovery buckets.
 //!
 //! ```
 //! use loom_machine::{simulate, MachineParams, Program, SimConfig};
@@ -43,6 +46,7 @@
 pub mod cost;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod program;
 pub mod sim;
 pub mod topology;
@@ -53,6 +57,7 @@ pub use fault::{
     DegradationReport, FaultConfig, FaultEvent, FaultImpact, FaultPlan, RecoveryPolicy,
 };
 pub use metrics::SimMetrics;
+pub use profile::{critical_path, critical_path_top_k, Attribution, CriticalPathReport};
 pub use program::Program;
 pub use sim::{
     simulate, simulate_scratch, simulate_with_faults, simulate_with_faults_scratch, SimConfig,

@@ -63,6 +63,25 @@ pub struct MsgRecord {
     pub arrival: u64,
     /// Route length in links.
     pub hops: u32,
+    /// Extra in-flight ticks injected by fault noise (0 on fault-free
+    /// runs) — lets the profiler attribute delay to fault recovery
+    /// instead of the network.
+    pub fault_delay: u64,
+}
+
+/// One software receive interval (`t_recv` ticks charged on the
+/// destination processor before the unblocked tasks may run). Only
+/// recorded when the machine's `t_recv` is nonzero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvRecord {
+    /// Receiving processor.
+    pub proc: u32,
+    /// Tick receive processing started.
+    pub start: u64,
+    /// Tick receive processing finished (`start + t_recv`).
+    pub end: u64,
+    /// Destination tasks the received message unblocks.
+    pub tasks: Vec<u32>,
 }
 
 /// Everything the simulator measures beyond the basic [`SimReport`]
@@ -79,6 +98,9 @@ pub struct SimMetrics {
     pub hops: Histogram,
     /// Every cross-processor message, in send order.
     pub messages: Vec<MsgRecord>,
+    /// Every software receive interval, in dispatch order (empty unless
+    /// the machine charges `t_recv`).
+    pub recvs: Vec<RecvRecord>,
 }
 
 impl SimMetrics {
@@ -155,6 +177,7 @@ impl SimMetrics {
             ("links", links),
             ("hop_histogram", hops),
             ("messages_logged", Json::from(self.messages.len())),
+            ("recvs_logged", Json::from(self.recvs.len())),
             ("total_link_wait", Json::from(self.total_link_wait())),
         ])
     }

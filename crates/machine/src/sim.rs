@@ -497,6 +497,12 @@ impl<'a> Engine<'a> {
                 self.comm[p] += occ;
                 if let Some(m) = self.metrics.as_mut() {
                     m.procs[p].recv_ticks += occ;
+                    m.recvs.push(crate::metrics::RecvRecord {
+                        proc: p as u32,
+                        start: now,
+                        end: now + occ,
+                        tasks: tasks.clone(),
+                    });
                 }
                 self.push_ev(
                     now + occ,
@@ -771,6 +777,7 @@ impl<'a> Engine<'a> {
                 send_end: sender_done,
                 arrival,
                 hops: hops as u32,
+                fault_delay: extra_delay,
             });
         }
         // A blocking send occupies the sender until its first hop
@@ -1398,17 +1405,25 @@ mod tests {
             2,
         );
         for contention in [false, true] {
-            let mut plain = config(1);
-            plain.link_contention = contention;
-            let mut metered = plain;
-            metered.collect_metrics = true;
-            let a = simulate(&prog, &plain).unwrap();
-            let b = simulate(&prog, &metered).unwrap();
-            assert_eq!(a.makespan, b.makespan, "contention={contention}");
-            assert_eq!(a.compute, b.compute);
-            assert_eq!(a.comm, b.comm);
-            assert!(a.metrics.is_none());
-            assert!(b.metrics.is_some());
+            for t_recv in [0u64, 3] {
+                let mut plain = config(1);
+                plain.link_contention = contention;
+                plain.params = plain.params.with_recv(t_recv);
+                plain.record_trace = true;
+                let mut metered = plain;
+                metered.collect_metrics = true;
+                let a = simulate(&prog, &plain).unwrap();
+                let b = simulate(&prog, &metered).unwrap();
+                let ctx = format!("contention={contention} t_recv={t_recv}");
+                assert_eq!(a.makespan, b.makespan, "{ctx}");
+                assert_eq!(a.compute, b.compute, "{ctx}");
+                assert_eq!(a.comm, b.comm, "{ctx}");
+                // The full event-level task trace is bit-identical, not
+                // just the aggregates.
+                assert_eq!(a.trace, b.trace, "{ctx}");
+                assert!(a.metrics.is_none());
+                assert!(b.metrics.is_some());
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! Execution traces, post-hoc validity checking, and Chrome
 //! trace-event export.
 
+use crate::profile::CriticalPathReport;
 use crate::program::Program;
 use crate::sim::SimReport;
 use loom_obs::chrome::TraceBuilder;
@@ -127,6 +128,20 @@ pub fn to_chrome_json(trace: &[TaskRecord]) -> String {
 /// Returns `None` when the report carries no trace
 /// (`record_trace: false`).
 pub fn chrome_trace(report: &SimReport, num_procs: usize) -> Option<Json> {
+    chrome_trace_annotated(report, num_procs, None)
+}
+
+/// [`chrome_trace`] plus an optional critical-path overlay: when a
+/// [`CriticalPathReport`] is supplied, a `critical path` track (tid two
+/// past the last processor, clear of the `faults` track) gets one `X`
+/// slice per path segment, so the makespan-bounding chain lights up as
+/// its own lane in Perfetto. With `profile: None` the output is
+/// byte-identical to [`chrome_trace`].
+pub fn chrome_trace_annotated(
+    report: &SimReport,
+    num_procs: usize,
+    profile: Option<&CriticalPathReport>,
+) -> Option<Json> {
     let trace = report.trace.as_ref()?;
     let mut tb = TraceBuilder::new();
     tb.process_name(0, "loom simulator");
@@ -170,6 +185,23 @@ pub fn chrome_trace(report: &SimReport, num_procs: usize) -> Option<Json> {
                     hit.at,
                     hit.delay_ticks,
                     &format!("fault delay: {}", hit.fault),
+                );
+            }
+        }
+    }
+    // Critical-path overlay: a dedicated track (past the faults track's
+    // tid) with one slice per path segment of the top path.
+    if let Some(cp) = profile {
+        if let Some(path) = cp.paths.first() {
+            let cp_tid = num_procs as u64 + 1;
+            tb.thread_name(0, cp_tid, "critical path");
+            for seg in &path.segments {
+                tb.complete(
+                    0,
+                    cp_tid,
+                    seg.start,
+                    seg.end - seg.start,
+                    &format!("{} [{}]", seg.label, seg.kind.label()),
                 );
             }
         }
@@ -381,6 +413,46 @@ mod tests {
             chrome_trace(&empty, 4).unwrap().as_arr().unwrap().len(),
             chrome_trace(&base, 4).unwrap().as_arr().unwrap().len()
         );
+    }
+
+    #[test]
+    fn annotated_trace_adds_critical_path_track_only_when_asked() {
+        use crate::profile::critical_path;
+        let prog = Program::from_parts(
+            vec![0, 1, 1, 2],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![0, 1, 2, 3],
+            2,
+            4,
+        );
+        let mut cfg = traced_config();
+        cfg.collect_metrics = true;
+        let r = simulate(&prog, &cfg).unwrap();
+        let cp = critical_path(&prog, &cfg, &r).unwrap();
+        // Without a profile, the annotated export IS the plain export.
+        let plain = chrome_trace(&r, 4).unwrap();
+        assert_eq!(
+            chrome_trace_annotated(&r, 4, None).unwrap().render(),
+            plain.render()
+        );
+        // With one, a named track materializes past the fault tid, and
+        // its slices tile the makespan.
+        let annotated = chrome_trace_annotated(&r, 4, Some(&cp)).unwrap();
+        let evs = annotated.as_arr().unwrap();
+        assert!(evs.len() > plain.as_arr().unwrap().len());
+        let cp_slices: Vec<_> = evs
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(Json::as_u64) == Some(5)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .collect();
+        assert_eq!(cp_slices.len(), cp.paths[0].segments.len());
+        let covered: u64 = cp_slices
+            .iter()
+            .filter_map(|e| e.get("dur").and_then(Json::as_u64))
+            .sum();
+        assert_eq!(covered, r.makespan);
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Cross-run regression detection over bench/metrics documents.
+//!
+//! [`diff`] compares two JSON documents (e.g. a committed
+//! `BENCH_explore.json` against a freshly generated one) and classifies
+//! every differing leaf:
+//!
+//! * **timing leaves** (keys ending in `_us`, or containing `speedup`)
+//!   are compared on the [`Histogram`] power-of-two bucket scale — two
+//!   values are "the same" when their bucket indices differ by at most
+//!   the configured tolerance, which makes the noise threshold scale
+//!   with the magnitude of the measurement, exactly like the histogram
+//!   the simulator already uses. Worse-direction changes beyond
+//!   tolerance are [`FindingKind::Regression`]; better-direction ones
+//!   are the informational [`FindingKind::Improvement`].
+//! * **all other leaves** must match exactly; a mismatch is
+//!   [`FindingKind::Drift`] — e.g. a changed verdict, candidate count,
+//!   or ranking flag.
+//! * **structural mismatches** (missing keys, array length changes,
+//!   type changes) are [`FindingKind::Shape`].
+//!
+//! Arrays of entry objects are matched by identity fields (`workload`,
+//! `pi_bound`, `points`, `reps` — whichever are present) rather than by
+//! index, so reordering entries is not a regression but dropping one
+//! is.
+//!
+//! `loom obs diff` drives this and exits nonzero when
+//! [`DiffReport::has_regressions`] holds.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+
+/// How a differing leaf is classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A timing/speedup leaf moved in the worse direction beyond the
+    /// noise tolerance.
+    Regression,
+    /// A timing/speedup leaf moved in the better direction beyond the
+    /// noise tolerance (informational; never fails a gate).
+    Improvement,
+    /// A non-timing leaf changed value.
+    Drift,
+    /// A structural mismatch: missing key, length change, type change.
+    Shape,
+}
+
+impl FindingKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Regression => "REGRESSION",
+            FindingKind::Improvement => "improvement",
+            FindingKind::Drift => "DRIFT",
+            FindingKind::Shape => "SHAPE",
+        }
+    }
+}
+
+/// One differing leaf.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Dotted path to the leaf (array entries keyed by identity when
+    /// possible, e.g. `entries[workload=matvec].explore_us`).
+    pub path: String,
+    /// Classification.
+    pub kind: FindingKind,
+    /// Old value, rendered.
+    pub old: String,
+    /// New value, rendered.
+    pub new: String,
+    /// Human explanation (bucket indices, direction, …).
+    pub detail: String,
+}
+
+/// The result of comparing two documents.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Everything that differed.
+    pub findings: Vec<Finding>,
+    /// Number of leaves compared.
+    pub compared: usize,
+}
+
+/// Noise model and key classification for [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Maximum allowed power-of-two bucket distance for timing leaves
+    /// (0 = exact bucket match required; default 1: within one
+    /// power-of-two bucket of each other).
+    pub tolerance_buckets: usize,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tolerance_buckets: 1,
+        }
+    }
+}
+
+/// Which way a timing leaf is "better".
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// Classify a leaf key: `Some(direction)` for noisy timing leaves,
+/// `None` for exact-match leaves.
+fn timing_direction(key: &str) -> Option<Direction> {
+    if key.contains("speedup") {
+        Some(Direction::HigherIsBetter)
+    } else if key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_ticks") {
+        Some(Direction::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// A timing value on the bucket scale. Floats (speedups) are scaled to
+/// per-mille so sub-integer ratios still land in distinct buckets.
+fn bucket_value(v: &Json) -> Option<u64> {
+    match v {
+        Json::Int(n) => u64::try_from(*n).ok(),
+        Json::Num(f) if f.is_finite() && *f >= 0.0 => Some((f * 1000.0).round() as u64),
+        _ => None,
+    }
+}
+
+fn leaf_key(path: &str) -> &str {
+    path.rsplit(['.', ']']).next().unwrap_or(path)
+}
+
+/// The identity fields used to match array entries across runs.
+const IDENTITY_FIELDS: [&str; 4] = ["workload", "pi_bound", "points", "reps"];
+
+fn entry_identity(v: &Json) -> Option<String> {
+    let obj = v.as_obj()?;
+    let mut parts = Vec::new();
+    for f in IDENTITY_FIELDS {
+        if let Some(val) = obj.iter().find(|(k, _)| k == f).map(|(_, v)| v) {
+            parts.push(format!("{}={}", f, render_leaf(val)));
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
+}
+
+fn render_leaf(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+impl DiffReport {
+    /// `true` when any finding should fail a gate (regressions, drift,
+    /// or shape changes — improvements never fail).
+    pub fn has_regressions(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.kind != FindingKind::Improvement)
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("compared", Json::from(self.compared)),
+            ("regressions", Json::from(self.has_regressions())),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("path", Json::from(f.path.as_str())),
+                                ("kind", Json::from(f.kind.label())),
+                                ("old", Json::from(f.old.as_str())),
+                                ("new", Json::from(f.new.as_str())),
+                                ("detail", Json::from(f.detail.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A fixed-width human table of the findings (empty string when
+    /// nothing differed).
+    pub fn render_table(&self) -> String {
+        if self.findings.is_empty() {
+            return String::new();
+        }
+        let headers = ["kind", "path", "old", "new", "detail"];
+        let rows: Vec<[String; 5]> = self
+            .findings
+            .iter()
+            .map(|f| {
+                [
+                    f.kind.label().to_string(),
+                    f.path.clone(),
+                    f.old.clone(),
+                    f.new.clone(),
+                    f.detail.clone(),
+                ]
+            })
+            .collect();
+        let mut widths = headers.map(str::len);
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: [&str; 5]| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..w {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, headers);
+        line(
+            &mut out,
+            [
+                "-".repeat(widths[0]).as_str(),
+                "-".repeat(widths[1]).as_str(),
+                "-".repeat(widths[2]).as_str(),
+                "-".repeat(widths[3]).as_str(),
+                "-".repeat(widths[4]).as_str(),
+            ],
+        );
+        for row in &rows {
+            line(&mut out, [&row[0], &row[1], &row[2], &row[3], &row[4]]);
+        }
+        out
+    }
+}
+
+/// Compare two documents. `old` is the baseline (e.g. the committed
+/// BENCH file), `new` the candidate.
+pub fn diff(old: &Json, new: &Json, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    diff_value(old, new, "", opts, &mut report);
+    report
+}
+
+fn push(
+    report: &mut DiffReport,
+    path: &str,
+    kind: FindingKind,
+    old: &Json,
+    new: &Json,
+    detail: String,
+) {
+    report.findings.push(Finding {
+        path: path.to_string(),
+        kind,
+        old: render_leaf(old),
+        new: render_leaf(new),
+        detail,
+    });
+}
+
+fn diff_value(old: &Json, new: &Json, path: &str, opts: &DiffOptions, report: &mut DiffReport) {
+    match (old, new) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (k, ov) in a {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                match b.iter().find(|(bk, _)| bk == k) {
+                    Some((_, nv)) => diff_value(ov, nv, &child, opts, report),
+                    None => push(
+                        report,
+                        &child,
+                        FindingKind::Shape,
+                        ov,
+                        &Json::Null,
+                        "key missing in new document".to_string(),
+                    ),
+                }
+            }
+            for (k, nv) in b {
+                if !a.iter().any(|(ak, _)| ak == k) {
+                    let child = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    push(
+                        report,
+                        &child,
+                        FindingKind::Shape,
+                        &Json::Null,
+                        nv,
+                        "key missing in old document".to_string(),
+                    );
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => diff_arrays(a, b, path, opts, report),
+        (a, b) => diff_leaf(a, b, path, opts, report),
+    }
+}
+
+fn diff_arrays(a: &[Json], b: &[Json], path: &str, opts: &DiffOptions, report: &mut DiffReport) {
+    let a_ids: Vec<Option<String>> = a.iter().map(entry_identity).collect();
+    let by_identity = !a.is_empty() && a_ids.iter().all(Option::is_some);
+    if by_identity {
+        for (ov, id) in a.iter().zip(&a_ids) {
+            let id = id.as_deref().unwrap();
+            let child = format!("{path}[{id}]");
+            match b
+                .iter()
+                .find(|nv| entry_identity(nv).as_deref() == Some(id))
+            {
+                Some(nv) => diff_value(ov, nv, &child, opts, report),
+                None => push(
+                    report,
+                    &child,
+                    FindingKind::Shape,
+                    ov,
+                    &Json::Null,
+                    "entry missing in new document".to_string(),
+                ),
+            }
+        }
+        for nv in b {
+            let id = entry_identity(nv);
+            let missing = match &id {
+                Some(id) => !a_ids.iter().any(|a| a.as_deref() == Some(id.as_str())),
+                None => true,
+            };
+            if missing {
+                let child = format!("{path}[{}]", id.as_deref().unwrap_or("?"));
+                push(
+                    report,
+                    &child,
+                    FindingKind::Shape,
+                    &Json::Null,
+                    nv,
+                    "entry missing in old document".to_string(),
+                );
+            }
+        }
+    } else {
+        if a.len() != b.len() {
+            push(
+                report,
+                path,
+                FindingKind::Shape,
+                &Json::from(a.len()),
+                &Json::from(b.len()),
+                "array length changed".to_string(),
+            );
+        }
+        for (i, (ov, nv)) in a.iter().zip(b).enumerate() {
+            diff_value(ov, nv, &format!("{path}[{i}]"), opts, report);
+        }
+    }
+}
+
+fn diff_leaf(old: &Json, new: &Json, path: &str, opts: &DiffOptions, report: &mut DiffReport) {
+    report.compared += 1;
+    if old == new {
+        return;
+    }
+    let key = leaf_key(path);
+    if let Some(dir) = timing_direction(key) {
+        if let (Some(ov), Some(nv)) = (bucket_value(old), bucket_value(new)) {
+            let (ob, nb) = (Histogram::bucket_index(ov), Histogram::bucket_index(nv));
+            let dist = ob.abs_diff(nb);
+            if dist <= opts.tolerance_buckets {
+                return; // Within noise.
+            }
+            let worse = match dir {
+                Direction::LowerIsBetter => nb > ob,
+                Direction::HigherIsBetter => nb < ob,
+            };
+            let kind = if worse {
+                FindingKind::Regression
+            } else {
+                FindingKind::Improvement
+            };
+            push(
+                report,
+                path,
+                kind,
+                old,
+                new,
+                format!(
+                    "bucket {ob} -> {nb} ({dist} apart, tolerance {})",
+                    opts.tolerance_buckets
+                ),
+            );
+            return;
+        }
+        // Fall through: non-numeric timing leaf → shape change.
+        push(
+            report,
+            path,
+            FindingKind::Shape,
+            old,
+            new,
+            "timing leaf changed type".to_string(),
+        );
+        return;
+    }
+    let kind = if std::mem::discriminant(old) == std::mem::discriminant(new) {
+        FindingKind::Drift
+    } else {
+        FindingKind::Shape
+    };
+    push(
+        report,
+        path,
+        kind,
+        old,
+        new,
+        "exact-match leaf changed".to_string(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(explore_us: u64, candidates: u64) -> Json {
+        Json::obj(vec![
+            ("bench", Json::from("explore")),
+            (
+                "entries",
+                Json::Arr(vec![Json::obj(vec![
+                    ("workload", Json::from("matvec")),
+                    ("pi_bound", Json::from(2u64)),
+                    ("candidates", Json::from(candidates)),
+                    ("explore_us", Json::from(explore_us)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(1000, 42);
+        let r = diff(&d, &d, &DiffOptions::default());
+        assert!(r.findings.is_empty());
+        assert!(!r.has_regressions());
+        assert!(r.compared > 0);
+        assert_eq!(r.render_table(), "");
+    }
+
+    #[test]
+    fn timing_noise_within_tolerance_is_ignored() {
+        // 1000 → 1900: bucket 10 → 11, distance 1 ≤ tolerance 1.
+        let r = diff(&doc(1000, 42), &doc(1900, 42), &DiffOptions::default());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn seeded_regression_is_flagged() {
+        // 10× slower: bucket distance > 1 → regression.
+        let r = diff(&doc(1000, 42), &doc(10_000, 42), &DiffOptions::default());
+        assert!(r.has_regressions());
+        assert_eq!(r.findings.len(), 1);
+        let f = &r.findings[0];
+        assert_eq!(f.kind, FindingKind::Regression);
+        assert!(f.path.contains("workload=matvec"), "{}", f.path);
+        assert!(f.path.ends_with("explore_us"));
+        assert!(r.render_table().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn big_speedup_drop_is_a_regression_and_gain_is_not() {
+        let mk = |s: f64| Json::obj(vec![("speedup", Json::from(s))]);
+        // 4.0 → 0.9: per-mille 4000 (bucket 12) vs 900 (bucket 10).
+        let r = diff(&mk(4.0), &mk(0.9), &DiffOptions::default());
+        assert!(r.has_regressions());
+        assert_eq!(r.findings[0].kind, FindingKind::Regression);
+        // The reverse direction is an improvement, which never gates.
+        let r = diff(&mk(0.9), &mk(4.0), &DiffOptions::default());
+        assert!(!r.has_regressions());
+        assert_eq!(r.findings[0].kind, FindingKind::Improvement);
+    }
+
+    #[test]
+    fn non_timing_drift_and_shape_changes_gate() {
+        let r = diff(&doc(1000, 42), &doc(1000, 43), &DiffOptions::default());
+        assert!(r.has_regressions());
+        assert_eq!(r.findings[0].kind, FindingKind::Drift);
+        assert!(r.findings[0].path.ends_with("candidates"));
+
+        // Dropping an entry is a shape finding even though arrays are
+        // identity-matched.
+        let empty = Json::obj(vec![
+            ("bench", Json::from("explore")),
+            ("entries", Json::Arr(vec![])),
+        ]);
+        let r = diff(&doc(1000, 42), &empty, &DiffOptions::default());
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::Shape));
+    }
+
+    #[test]
+    fn entry_reordering_is_not_a_finding() {
+        let entry = |w: &str, us: u64| {
+            Json::obj(vec![
+                ("workload", Json::from(w)),
+                ("explore_us", Json::from(us)),
+            ])
+        };
+        let a = Json::obj(vec![(
+            "entries",
+            Json::Arr(vec![entry("matvec", 100), entry("sor", 200)]),
+        )]);
+        let b = Json::obj(vec![(
+            "entries",
+            Json::Arr(vec![entry("sor", 200), entry("matvec", 100)]),
+        )]);
+        let r = diff(&a, &b, &DiffOptions::default());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn tolerance_zero_requires_exact_buckets() {
+        let opts = DiffOptions {
+            tolerance_buckets: 0,
+        };
+        let r = diff(&doc(1000, 42), &doc(1900, 42), &opts);
+        assert!(r.has_regressions());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let r = diff(&doc(1000, 42), &doc(10_000, 42), &DiffOptions::default());
+        let j = r.to_json();
+        assert_eq!(j.get("regressions"), Some(&Json::Bool(true)));
+        assert_eq!(
+            j.get("findings")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("REGRESSION")
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! The flight recorder: a bounded, structured-event ring buffer that
+//! any run can leave behind as a replayable record.
+//!
+//! Wall-clock spans and counters ([`Recorder`](crate::Recorder)) answer
+//! "how long did each phase take *this* run"; the flight recorder
+//! answers "what happened, in order" — a capped sequence of typed
+//! events (schema below) that the pipeline, the explorer pool, and the
+//! simulator emit into, cheap enough to leave on in production-style
+//! runs because the ring bounds memory no matter how long the run is.
+//!
+//! # Event schema (version 1)
+//!
+//! Each event renders as one compact JSON object per JSONL line:
+//!
+//! ```json
+//! {"v":1,"seq":12,"ts_us":3401,"kind":"sim.done","makespan":96,"messages":4}
+//! ```
+//!
+//! * `v` — schema version (this module bumps it on breaking changes),
+//! * `seq` — monotonically increasing sequence number; gaps reveal
+//!   events evicted by the ring,
+//! * `ts_us` — µs since the recorder's creation,
+//! * `kind` — dotted event name (`pipeline.stage`, `pool.map`,
+//!   `sim.done`, `span`, …),
+//! * remaining keys — event-specific fields.
+//!
+//! Export goes through [`FlightRecorder::to_jsonl`] or, gated on the
+//! `LOOM_FLIGHT_DIR` environment variable,
+//! [`FlightRecorder::flush_to_env_dir`] (one `<name>-<pid>.jsonl` file
+//! per process, collision-safe under concurrent runs).
+//!
+//! The module also carries the span-aggregation pass over
+//! [`SpanRecord`]s: [`aggregate_spans`] folds raw spans into per-stage
+//! inclusive/exclusive-time summaries, and [`collapsed_stacks`] renders
+//! the same nesting as collapsed-stack lines (`a;b;c <µs>`) that any
+//! flamegraph renderer accepts.
+
+use crate::json::Json;
+use crate::recorder::SpanRecord;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Version stamped into every event (`"v"`).
+pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+
+/// Default ring capacity when enabling via [`FlightRecorder::from_env`].
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (0-based; gaps mean eviction).
+    pub seq: u64,
+    /// Microseconds since the recorder's creation.
+    pub ts_us: u64,
+    /// Dotted event name.
+    pub kind: String,
+    /// Event-specific fields, in emission order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl FlightEvent {
+    /// The event as a JSON object in the stable v1 shape.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("v".to_string(), Json::from(FLIGHT_SCHEMA_VERSION)),
+            ("seq".to_string(), Json::from(self.seq)),
+            ("ts_us".to_string(), Json::from(self.ts_us)),
+            ("kind".to_string(), Json::from(self.kind.as_str())),
+        ];
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+}
+
+struct State {
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+struct Inner {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+/// A bounded structured-event recorder. Like
+/// [`Recorder`](crate::Recorder) it is either enabled (shared storage)
+/// or disabled (every call is one branch); clones share the ring.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "FlightRecorder(disabled)"),
+            Some(inner) => {
+                let st = inner.state.lock().unwrap();
+                write!(
+                    f,
+                    "FlightRecorder({} events, {} dropped, cap {})",
+                    st.ring.len(),
+                    st.dropped,
+                    inner.capacity
+                )
+            }
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder that records nothing.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    /// A live recorder keeping at most `capacity` events (oldest
+    /// evicted first); capacity is clamped to at least 1.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                state: Mutex::new(State {
+                    next_seq: 0,
+                    dropped: 0,
+                    ring: VecDeque::new(),
+                }),
+            })),
+        }
+    }
+
+    /// Enabled with [`DEFAULT_CAPACITY`] iff the `LOOM_FLIGHT_DIR`
+    /// environment variable is set, disabled otherwise — the switch the
+    /// CLI and repro binaries use.
+    pub fn from_env() -> FlightRecorder {
+        match std::env::var_os("LOOM_FLIGHT_DIR") {
+            Some(_) => FlightRecorder::with_capacity(DEFAULT_CAPACITY),
+            None => FlightRecorder::disabled(),
+        }
+    }
+
+    /// `true` iff this recorder stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event. Field order is preserved; the `v`/`seq`/
+    /// `ts_us`/`kind` envelope is added automatically.
+    pub fn emit(&self, kind: &str, fields: &[(&str, Json)]) {
+        if let Some(inner) = &self.inner {
+            let ts_us = inner.epoch.elapsed().as_micros() as u64;
+            let mut st = inner.state.lock().unwrap();
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            if st.ring.len() == inner.capacity {
+                st.ring.pop_front();
+                st.dropped += 1;
+            }
+            st.ring.push_back(FlightEvent {
+                seq,
+                ts_us,
+                kind: kind.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().unwrap().ring.len())
+            .unwrap_or(0)
+    }
+
+    /// `true` iff no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().unwrap().dropped)
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the held events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().unwrap().ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The held events as JSONL: one compact object per line, prefixed
+    /// by a `flight.header` line carrying capacity and drop count.
+    pub fn to_jsonl(&self) -> String {
+        let header = Json::obj(vec![
+            ("v", Json::from(FLIGHT_SCHEMA_VERSION)),
+            ("kind", Json::from("flight.header")),
+            ("capacity", {
+                let cap = self.inner.as_ref().map(|i| i.capacity).unwrap_or(0);
+                Json::from(cap)
+            }),
+            ("dropped", Json::from(self.dropped())),
+            ("events", Json::from(self.len())),
+        ]);
+        let mut out = header.render();
+        out.push('\n');
+        for ev in self.events() {
+            out.push_str(&ev.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL export to `<dir>/<name>-<pid>.jsonl` (the pid
+    /// discriminator keeps concurrent processes from clobbering each
+    /// other). Returns the path written.
+    pub fn flush_to_dir(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}-{}.jsonl", name, std::process::id()));
+        std::fs::write(&path, self.to_jsonl())?;
+        Ok(path)
+    }
+
+    /// [`flush_to_dir`](FlightRecorder::flush_to_dir) into
+    /// `LOOM_FLIGHT_DIR`, a no-op returning `None` when the variable is
+    /// unset or the recorder is disabled.
+    pub fn flush_to_env_dir(&self, name: &str) -> Option<std::path::PathBuf> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let dir = std::env::var_os("LOOM_FLIGHT_DIR")?;
+        self.flush_to_dir(std::path::Path::new(&dir), name).ok()
+    }
+}
+
+/// Per-stage time summary produced by [`aggregate_spans`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Span name.
+    pub name: String,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Total inclusive µs (children included).
+    pub total_us: u64,
+    /// Total exclusive µs: inclusive minus the time spent in directly
+    /// nested spans (saturating — concurrent children, e.g. pool
+    /// workers inside one parent, can overlap their parent).
+    pub exclusive_us: u64,
+}
+
+/// Reconstructed nesting: for each span (in the sorted order used by
+/// the aggregation), the chain of enclosing span names ending in the
+/// span's own name, plus its exclusive µs.
+fn span_stacks(spans: &[SpanRecord]) -> Vec<(Vec<String>, u64)> {
+    // Sort outermost-first: earlier start wins, longer duration wins at
+    // equal starts, name breaks exact ties deterministically.
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.start_us, std::cmp::Reverse(a.dur_us), &a.name).cmp(&(
+            b.start_us,
+            std::cmp::Reverse(b.dur_us),
+            &b.name,
+        ))
+    });
+    let contains = |outer: &SpanRecord, inner: &SpanRecord| {
+        outer.start_us <= inner.start_us
+            && inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us
+    };
+    // Sweep with an ancestor stack of (index into `out`, span).
+    let mut out: Vec<(Vec<String>, u64)> = Vec::with_capacity(sorted.len());
+    let mut stack: Vec<(usize, &SpanRecord)> = Vec::new();
+    for span in sorted {
+        while let Some(&(_, top)) = stack.last() {
+            if contains(top, span) {
+                break;
+            }
+            stack.pop();
+        }
+        let mut names: Vec<String> = stack
+            .last()
+            .map(|&(i, _)| out[i].0.clone())
+            .unwrap_or_default();
+        names.push(span.name.clone());
+        // Charge this span's inclusive time against the parent's
+        // exclusive time.
+        if let Some(&(i, _)) = stack.last() {
+            out[i].1 = out[i].1.saturating_sub(span.dur_us);
+        }
+        out.push((names, span.dur_us));
+        stack.push((out.len() - 1, span));
+    }
+    out
+}
+
+/// Fold raw spans into per-name inclusive/exclusive summaries, sorted
+/// by descending exclusive time (name breaks ties).
+pub fn aggregate_spans(spans: &[SpanRecord]) -> Vec<StageSummary> {
+    let mut by_name: std::collections::BTreeMap<String, StageSummary> = Default::default();
+    for (names, exclusive) in span_stacks(spans) {
+        let name = names.last().expect("stack never empty").clone();
+        let entry = by_name.entry(name.clone()).or_insert_with(|| StageSummary {
+            name,
+            count: 0,
+            total_us: 0,
+            exclusive_us: 0,
+        });
+        entry.count += 1;
+        entry.exclusive_us += exclusive;
+    }
+    // Inclusive totals come straight from the records.
+    for s in spans {
+        if let Some(entry) = by_name.get_mut(&s.name) {
+            entry.total_us += s.dur_us;
+        }
+    }
+    let mut out: Vec<StageSummary> = by_name.into_values().collect();
+    out.sort_by(|a, b| {
+        (std::cmp::Reverse(a.exclusive_us), &a.name)
+            .cmp(&(std::cmp::Reverse(b.exclusive_us), &b.name))
+    });
+    out
+}
+
+/// Render spans as collapsed-stack lines (`outer;inner <µs>`), the
+/// input format of every flamegraph renderer (e.g. inferno, speedscope,
+/// `flamegraph.pl`). Counts are exclusive µs; zero-weight stacks are
+/// dropped; lines are sorted for deterministic output.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let mut weights: std::collections::BTreeMap<String, u64> = Default::default();
+    for (names, exclusive) in span_stacks(spans) {
+        if exclusive > 0 {
+            *weights.entry(names.join(";")).or_insert(0) += exclusive;
+        }
+    }
+    let mut out = String::new();
+    for (stack, w) in weights {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let f = FlightRecorder::disabled();
+        f.emit("x", &[("a", Json::from(1u64))]);
+        assert!(!f.is_enabled());
+        assert!(f.is_empty());
+        assert_eq!(f.dropped(), 0);
+        assert!(f.events().is_empty());
+        // JSONL still renders a valid header.
+        let first = f.to_jsonl().lines().next().unwrap().to_string();
+        let h = Json::parse(&first).unwrap();
+        assert_eq!(h.get("kind").unwrap().as_str(), Some("flight.header"));
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let f = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            f.emit("tick", &[("i", Json::from(i))]);
+        }
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.dropped(), 2);
+        let evs = f.events();
+        // Oldest two evicted; sequence numbers survive eviction.
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(evs[0].fields[0].1, Json::from(2u64));
+    }
+
+    #[test]
+    fn jsonl_is_parseable_line_by_line() {
+        let f = FlightRecorder::with_capacity(8);
+        f.emit("sim.done", &[("makespan", Json::from(96u64))]);
+        f.emit("pool.map", &[("tasks", Json::from(10u64))]);
+        let jsonl = f.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(header.get("events").unwrap().as_u64(), Some(2));
+        let ev = Json::parse(lines[1]).unwrap();
+        assert_eq!(ev.get("kind").unwrap().as_str(), Some("sim.done"));
+        assert_eq!(ev.get("makespan").unwrap().as_u64(), Some(96));
+        assert_eq!(ev.get("seq").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            Json::parse(lines[2]).unwrap().get("seq").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let f = FlightRecorder::with_capacity(4);
+        let clone = f.clone();
+        clone.emit("a", &[]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn flush_to_dir_is_pid_discriminated() {
+        let f = FlightRecorder::with_capacity(4);
+        f.emit("a", &[]);
+        let dir = std::env::temp_dir().join(format!("loom-flight-test-{}", std::process::id()));
+        let path = f.flush_to_dir(&dir, "run").unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains(&std::process::id().to_string()));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn span(name: &str, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn aggregation_computes_exclusive_time() {
+        // total [0,100] containing partition [10,40] and simulate
+        // [50,90]; partition contains two deps spans.
+        let spans = vec![
+            span("pipeline.total", 0, 100),
+            span("pipeline.partition", 10, 30),
+            span("pipeline.deps", 12, 5),
+            span("pipeline.deps", 20, 5),
+            span("pipeline.simulate", 50, 40),
+        ];
+        let agg = aggregate_spans(&spans);
+        let get = |n: &str| agg.iter().find(|s| s.name == n).unwrap().clone();
+        assert_eq!(get("pipeline.total").total_us, 100);
+        assert_eq!(get("pipeline.total").exclusive_us, 100 - 30 - 40);
+        assert_eq!(get("pipeline.partition").exclusive_us, 30 - 10);
+        assert_eq!(get("pipeline.deps").count, 2);
+        assert_eq!(get("pipeline.deps").total_us, 10);
+        assert_eq!(get("pipeline.deps").exclusive_us, 10);
+        // Exclusive times tile the root exactly.
+        let sum: u64 = agg.iter().map(|s| s.exclusive_us).sum();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn collapsed_stacks_nest_and_sum() {
+        let spans = vec![
+            span("total", 0, 100),
+            span("inner", 10, 30),
+            span("leaf", 15, 5),
+        ];
+        let out = collapsed_stacks(&spans);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["total 70", "total;inner 25", "total;inner;leaf 5"]
+        );
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn aggregation_handles_empty_and_concurrent_overlap() {
+        assert!(aggregate_spans(&[]).is_empty());
+        assert_eq!(collapsed_stacks(&[]), "");
+        // Two pool workers overlap inside one parent: exclusive time
+        // saturates instead of underflowing.
+        let spans = vec![
+            span("explore.total", 0, 50),
+            span("pool.worker.0", 5, 40),
+            span("pool.worker.1", 6, 41),
+        ];
+        let agg = aggregate_spans(&spans);
+        let root = agg.iter().find(|s| s.name == "explore.total").unwrap();
+        assert!(root.exclusive_us <= 50);
+    }
+}

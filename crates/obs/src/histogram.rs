@@ -31,7 +31,11 @@ impl Histogram {
     }
 
     /// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
-    fn bucket_of(v: u64) -> usize {
+    /// Two values share an index iff the histogram cannot tell them
+    /// apart, which makes the index a ready-made noise scale: timings
+    /// whose indices differ by ≤ 1 are within one power-of-two bucket
+    /// of each other.
+    pub fn bucket_index(v: u64) -> usize {
         if v == 0 {
             0
         } else {
@@ -41,7 +45,7 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
+        self.buckets[Self::bucket_index(v)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
@@ -86,6 +90,39 @@ impl Histogram {
                 _ => (1 << (i - 1), (1 << i) - 1, c),
             })
             .collect()
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`), `None`
+    /// when empty.
+    ///
+    /// Walks the buckets until the cumulative count covers `q` of the
+    /// samples and returns that bucket's inclusive upper edge, clamped
+    /// into `[min, max]` — so `quantile(0.0)` is exactly the minimum,
+    /// `quantile(1.0)` never exceeds the maximum, and every value is
+    /// within one power-of-two bucket of the true order statistic.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        // Rank of the order statistic we need to cover, in 1..=count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 
     /// Merge another histogram into this one.
@@ -149,6 +186,81 @@ mod tests {
         assert_eq!(h.mean(), Some(20.0));
         assert_eq!(h.min(), Some(10));
         assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn quantile_on_empty_and_single_sample() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::new();
+        h.record(10);
+        // Every quantile of a one-sample histogram is that sample: the
+        // covering bucket is [8, 15] but the clamp pins it to 10.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_at_power_of_two_boundaries() {
+        // Samples sitting exactly on bucket edges: 1, 2, 4, 8. Buckets
+        // are [1], [2,3], [4,7], [8,15].
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        // q=0 → min exactly; q=1 → clamped to max exactly.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(8));
+        // Interior quantiles return the covering bucket's upper edge:
+        // rank 1 → bucket [1], rank 2 → [2,3], rank 3 → [4,7].
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.75), Some(7));
+        // The bound property: quantile(q) is never below the true order
+        // statistic and never above the next bucket edge.
+        let sorted = [1u64, 2, 4, 8];
+        for (k, &v) in sorted.iter().enumerate() {
+            let q = (k + 1) as f64 / sorted.len() as f64;
+            let est = h.quantile(q).unwrap();
+            assert!(est >= v, "q={q}: {est} < {v}");
+            assert!(
+                Histogram::bucket_index(est) <= Histogram::bucket_index(v),
+                "q={q}: estimate escapes the sample's bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_zero_heavy() {
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.record(0);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.9), Some(0));
+        assert_eq!(h.quantile(1.0), Some(1 << 20));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_on_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        for k in 1..63 {
+            let edge = 1u64 << k;
+            assert_eq!(
+                Histogram::bucket_index(edge),
+                Histogram::bucket_index(edge - 1) + 1,
+                "edge 2^{k} must open a new bucket"
+            );
+            assert_eq!(
+                Histogram::bucket_index(edge),
+                Histogram::bucket_index(2 * edge - 1),
+                "2^{k}..2^(k+1)-1 share a bucket"
+            );
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
     }
 
     #[test]

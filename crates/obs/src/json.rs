@@ -548,6 +548,79 @@ mod tests {
         }
     }
 
+    /// A random string biased toward characters the escaper must handle:
+    /// quotes, backslashes, control characters, multi-byte code points.
+    fn arbitrary_string(rng: &mut crate::rng::SplitMix64) -> String {
+        let len = rng.below(12) as usize;
+        (0..len)
+            .map(|_| match rng.below(8) {
+                0 => '"',
+                1 => '\\',
+                2 => char::from_u32(rng.below(0x20) as u32).unwrap(),
+                3 => 'é',
+                4 => '🎯',
+                5 => '\u{7f}',
+                _ => char::from_u32(0x20 + rng.below(95) as u32).unwrap(),
+            })
+            .collect()
+    }
+
+    /// A random JSON value of bounded depth, exercising every variant.
+    fn arbitrary_value(rng: &mut crate::rng::SplitMix64, depth: u64) -> Json {
+        let pick = if depth == 0 {
+            rng.below(5)
+        } else {
+            rng.below(7)
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 1),
+            2 => Json::Int(rng.next_u64() as i64),
+            3 => {
+                // Finite floats only; NaN/inf render as null by design.
+                let v = (rng.range_i64(-1_000_000, 1_000_000) as f64) / 64.0;
+                Json::Num(v)
+            }
+            4 => Json::Str(arbitrary_string(rng)),
+            5 => Json::Arr(
+                (0..rng.below(4))
+                    .map(|_| arbitrary_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.below(4))
+                    .map(|_| (arbitrary_string(rng), arbitrary_value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn property_escape_sequences_round_trip() {
+        let mut rng = crate::rng::SplitMix64::new(0x005E_D005);
+        for case in 0..500 {
+            let s = arbitrary_string(&mut rng);
+            let v = Json::Str(s.clone());
+            let rendered = v.render();
+            let back = Json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("case {case}: {e} on {rendered:?}"));
+            assert_eq!(back, v, "case {case}: {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn property_nested_structures_round_trip() {
+        let mut rng = crate::rng::SplitMix64::new(0xB10C_CAFE);
+        for case in 0..300 {
+            let v = arbitrary_value(&mut rng, 4);
+            for rendered in [v.render(), v.render_pretty()] {
+                let back = Json::parse(&rendered)
+                    .unwrap_or_else(|e| panic!("case {case}: {e} on {rendered:?}"));
+                assert_eq!(back, v, "case {case}: {rendered:?}");
+            }
+        }
+    }
+
     #[test]
     fn accessors_are_typed() {
         let v = Json::parse(r#"{"n": 3}"#).unwrap();

@@ -9,10 +9,17 @@
 //! * [`recorder`] — [`Recorder`] collects named wall-clock [`Span`]s and
 //!   monotonic [`Counter`]s; the disabled recorder costs one branch per
 //!   call site, so un-instrumented runs pay ~nothing,
+//! * [`flight`] — a bounded structured-event ring buffer
+//!   ([`FlightRecorder`]) with a stable JSONL schema, plus span
+//!   aggregation into per-stage exclusive-time summaries and
+//!   collapsed-stack (flamegraph) export,
 //! * [`histogram`] — a power-of-two-bucketed [`Histogram`] for tick and
 //!   hop distributions,
 //! * [`json`] — a tiny JSON value ([`Json`]) with a renderer and a
 //!   parser, for machine-readable metrics files and round-trip tests,
+//! * [`diff`] — cross-run regression detection over bench/metrics
+//!   documents, with noise thresholds on the histogram's
+//!   power-of-two bucket scale (behind `loom obs diff`),
 //! * [`chrome`] — a builder for Chrome trace-event JSON
 //!   ([`chrome::TraceBuilder`]) loadable in Perfetto or
 //!   `chrome://tracing`,
@@ -40,12 +47,16 @@
 
 pub mod bench;
 pub mod chrome;
+pub mod diff;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod pool;
 pub mod recorder;
 pub mod rng;
 
+pub use diff::{DiffOptions, DiffReport, Finding, FindingKind};
+pub use flight::{FlightEvent, FlightRecorder, StageSummary};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use pool::Pool;

@@ -99,6 +99,13 @@ impl Pool {
         self.recorder.add("pool.tasks", n as u64);
         self.recorder.add("pool.queue_depth", n as u64);
         let workers = self.threads.min(n);
+        self.recorder.flight().emit(
+            "pool.map",
+            &[
+                ("tasks", crate::json::Json::from(n)),
+                ("workers", crate::json::Json::from(workers)),
+            ],
+        );
         if workers <= 1 {
             // The exact serial path: no threads, no cursor, input order.
             self.recorder.add("pool.workers", 1.min(n as u64));

@@ -6,6 +6,8 @@
 //! compiled into hot paths — `loom_core::pipeline` always calls through
 //! a recorder and the default one is disabled.
 
+use crate::flight::FlightRecorder;
+use crate::json::Json;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -26,6 +28,7 @@ struct Inner {
     epoch: Instant,
     spans: Mutex<Vec<SpanRecord>>,
     counters: Mutex<BTreeMap<String, u64>>,
+    flight: FlightRecorder,
 }
 
 /// Collects [`Span`]s and [`Counter`]s. Cloning shares the underlying
@@ -64,13 +67,31 @@ impl Recorder {
     /// A live recorder; its epoch (span time zero) is the moment of
     /// this call.
     pub fn enabled() -> Recorder {
+        Recorder::enabled_with_flight(FlightRecorder::disabled())
+    }
+
+    /// A live recorder that additionally mirrors every finished span
+    /// into `flight` as a `span` event, and hands the flight recorder
+    /// out to instrumented components via
+    /// [`flight`](Recorder::flight).
+    pub fn enabled_with_flight(flight: FlightRecorder) -> Recorder {
         Recorder {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 spans: Mutex::new(Vec::new()),
                 counters: Mutex::new(BTreeMap::new()),
+                flight,
             })),
         }
+    }
+
+    /// The flight recorder this recorder emits into (disabled unless
+    /// created via [`enabled_with_flight`](Recorder::enabled_with_flight)).
+    pub fn flight(&self) -> FlightRecorder {
+        self.inner
+            .as_ref()
+            .map(|i| i.flight.clone())
+            .unwrap_or_default()
     }
 
     /// `true` iff this recorder stores anything.
@@ -153,6 +174,13 @@ impl Drop for Span {
         if let Some((inner, name, start)) = self.slot.take() {
             let start_us = start.duration_since(inner.epoch).as_micros() as u64;
             let dur_us = start.elapsed().as_micros() as u64;
+            inner.flight.emit(
+                "span",
+                &[
+                    ("name", Json::from(name.as_str())),
+                    ("dur_us", Json::from(dur_us)),
+                ],
+            );
             inner.spans.lock().unwrap().push(SpanRecord {
                 name,
                 start_us,
@@ -242,5 +270,22 @@ mod tests {
         let clone = rec.clone();
         clone.add("x", 2);
         assert_eq!(rec.counters()["x"], 2);
+    }
+
+    #[test]
+    fn spans_mirror_into_the_flight_recorder() {
+        let flight = FlightRecorder::with_capacity(8);
+        let rec = Recorder::enabled_with_flight(flight.clone());
+        rec.span("phase.partition").finish();
+        let evs = flight.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "span");
+        assert_eq!(
+            evs[0].fields[0],
+            ("name".to_string(), Json::from("phase.partition"))
+        );
+        // A plain enabled recorder has a disabled flight side.
+        assert!(!Recorder::enabled().flight().is_enabled());
+        assert!(!Recorder::disabled().flight().is_enabled());
     }
 }
