@@ -51,6 +51,21 @@ pub enum RuleId {
     /// with non-positive total schedule lag (symbolic mode's
     /// deadlock-freedom proof, replacing the enumerative fixpoint).
     BlockingCycle,
+    /// `LC013` — deadlock-freedom under *every* interleaving: the
+    /// DPOR model checker explores all inequivalent schedules of the
+    /// generated SPMD program; a reachable deadlock is reported with
+    /// its counterexample trace.
+    InterleavingDeadlock,
+    /// `LC014` — determinacy: the final memory state is
+    /// interleaving-independent, and matches the `loom-exec`
+    /// sequential oracle (every explored schedule is replayed and
+    /// compared).
+    InterleavingDeterminacy,
+    /// `LC015` — buffer/block-access bounds: no op of the generated
+    /// program can reach an out-of-range point, processor, dependence,
+    /// or array element, proven by interval abstract interpretation
+    /// (size-parametric via the Presburger core where possible).
+    BlockAccessBounds,
 }
 
 impl RuleId {
@@ -69,6 +84,9 @@ impl RuleId {
             RuleId::AccessDependence => "LC010",
             RuleId::ProtocolSummary => "LC011",
             RuleId::BlockingCycle => "LC012",
+            RuleId::InterleavingDeadlock => "LC013",
+            RuleId::InterleavingDeterminacy => "LC014",
+            RuleId::BlockAccessBounds => "LC015",
         }
     }
 
@@ -87,11 +105,14 @@ impl RuleId {
             RuleId::AccessDependence => "access-dependence",
             RuleId::ProtocolSummary => "protocol-summary",
             RuleId::BlockingCycle => "blocking-cycle",
+            RuleId::InterleavingDeadlock => "interleaving-deadlock",
+            RuleId::InterleavingDeterminacy => "interleaving-determinacy",
+            RuleId::BlockAccessBounds => "block-access-bounds",
         }
     }
 
     /// Every rule, in code order.
-    pub fn all() -> [RuleId; 12] {
+    pub fn all() -> [RuleId; 15] {
         [
             RuleId::ScheduleLegality,
             RuleId::BlockSharedStep,
@@ -105,6 +126,9 @@ impl RuleId {
             RuleId::AccessDependence,
             RuleId::ProtocolSummary,
             RuleId::BlockingCycle,
+            RuleId::InterleavingDeadlock,
+            RuleId::InterleavingDeterminacy,
+            RuleId::BlockAccessBounds,
         ]
     }
 }
@@ -203,6 +227,15 @@ pub enum Span {
         /// Rendered second access.
         b: String,
     },
+    /// An interleaving counterexample: the schedule prefix that reaches
+    /// the violating state, compressed to macro-steps. Each step is
+    /// `(proc, first op index, one past the last op index)` — the
+    /// processor ran that contiguous slice of its program before the
+    /// scheduler switched away.
+    Trace {
+        /// The macro-step schedule, in execution order.
+        steps: Vec<(u32, usize, usize)>,
+    },
 }
 
 fn ints(v: &[i64]) -> String {
@@ -227,6 +260,30 @@ impl fmt::Display for Span {
             Span::ProgramOp { proc, op } => write!(f, "P{proc} op {op}"),
             Span::FaultEvent { index } => write!(f, "fault event [{index}]"),
             Span::AccessPair { array: _, a, b } => write!(f, "accesses {a} and {b}"),
+            Span::Trace { steps } => {
+                // Long traces are elided in the middle: the first and
+                // last steps carry the story, the cap keeps one
+                // diagnostic line readable.
+                const SHOWN: usize = 12;
+                write!(f, "trace")?;
+                let render = |f: &mut fmt::Formatter<'_>, s: &(u32, usize, usize)| {
+                    write!(f, " P{}:{}..{}", s.0, s.1, s.2)
+                };
+                if steps.len() <= SHOWN {
+                    for s in steps {
+                        render(f, s)?;
+                    }
+                } else {
+                    for s in &steps[..SHOWN - 2] {
+                        render(f, s)?;
+                    }
+                    write!(f, " …[{} more]", steps.len() - SHOWN)?;
+                    for s in &steps[steps.len() - 2..] {
+                        render(f, s)?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -278,6 +335,24 @@ impl Span {
                 ("array", Json::from(array.as_str())),
                 ("a", Json::from(a.as_str())),
                 ("b", Json::from(b.as_str())),
+            ]),
+            Span::Trace { steps } => Json::obj(vec![
+                ("kind", Json::from("trace")),
+                (
+                    "steps",
+                    Json::Arr(
+                        steps
+                            .iter()
+                            .map(|&(p, lo, hi)| {
+                                Json::Arr(vec![
+                                    Json::from(p as u64),
+                                    Json::from(lo),
+                                    Json::from(hi),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         }
     }
@@ -564,9 +639,28 @@ mod tests {
             codes,
             vec![
                 "LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008", "LC009",
-                "LC010", "LC011", "LC012"
+                "LC010", "LC011", "LC012", "LC013", "LC014", "LC015"
             ]
         );
+    }
+
+    #[test]
+    fn trace_span_renders_and_elides() {
+        let short = Span::Trace {
+            steps: vec![(0, 0, 3), (1, 0, 2), (0, 3, 5)],
+        };
+        assert_eq!(short.to_string(), "trace P0:0..3 P1:0..2 P0:3..5");
+        let long = Span::Trace {
+            steps: (0..20)
+                .map(|i| (i % 2, i as usize, i as usize + 1))
+                .collect(),
+        };
+        let rendered = long.to_string();
+        assert!(rendered.contains("…[8 more]"), "{rendered}");
+        assert!(rendered.ends_with("P0:18..19 P1:19..20"), "{rendered}");
+        let json = short.to_json().render();
+        assert!(json.contains("\"trace\""), "{json}");
+        assert!(json.contains("[1,0,2]"), "{json}");
     }
 
     #[test]

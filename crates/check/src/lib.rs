@@ -29,6 +29,9 @@
 //! | `LC010` | access-dependence  | declared `D` matches the subscripts     |
 //! | `LC011` | protocol-summary   | symbolic send/recv summary ≡ TIG        |
 //! | `LC012` | blocking-cycle     | no wait cycle with total lag ≤ 0        |
+//! | `LC013` | interleaving-deadlock | deadlock-freedom under *every* interleaving (DPOR) |
+//! | `LC014` | interleaving-determinacy | final memory is interleaving-independent |
+//! | `LC015` | block-access-bounds | op indices and access images stay in bounds |
 //!
 //! `LC001`–`LC008` are *enumerative*: they certify one instantiated
 //! iteration space by walking its points and messages. `LC009`–`LC012`
@@ -36,9 +39,13 @@
 //! Presburger core in [`presburger`]): they prove the same properties
 //! from the lattice and affine structure in time independent of the
 //! iteration-space extent, falling back to enumeration only on the
-//! rare `Unknown`. [`CheckMode`] selects which engine
-//! [`check_pipeline_mode`] runs; the enumerative rules stay available
-//! as the cross-validation oracle.
+//! rare `Unknown`. `LC013`–`LC015` are the *interleaving* engine
+//! ([`interleave`] + [`absint`]): a stateless model checker with
+//! dynamic partial-order reduction explores every message interleaving
+//! of the generated SPMD program, and an interval abstract
+//! interpretation bounds its memory accesses. [`CheckMode`] selects
+//! which engine [`check_pipeline_mode`] runs; the enumerative rules
+//! stay available as the cross-validation oracle.
 //!
 //! The checks run standalone (each `check_*` function takes exactly
 //! the artifacts it inspects), through [`check_pipeline`] on a bundle
@@ -48,9 +55,12 @@
 
 #![deny(missing_docs)]
 
+pub mod absint;
+pub mod catalog;
 mod diag;
 mod faultplan;
 mod gray;
+pub mod interleave;
 mod legality;
 mod lemma1;
 pub mod presburger;
@@ -58,9 +68,15 @@ mod races;
 pub mod symbolic;
 mod theorem2;
 
+pub use absint::{check_block_bounds, AbsintStats};
+pub use catalog::{catalog, explain, RuleDoc};
 pub use diag::{Diagnostic, Report, RuleId, Severity, Span};
 pub use faultplan::check_fault_plan;
 pub use gray::check_gray;
+pub use interleave::{
+    check_interleavings, enumerate_naive, explore_dpor, mutate_program, DeadlockWitness,
+    Exploration, InterleaveOptions, InterleaveStats, Mutation, NaiveResult,
+};
 pub use legality::check_legality;
 pub use lemma1::check_lemma1;
 pub use races::check_races;
@@ -106,6 +122,14 @@ pub enum CheckMode {
     /// `LC004`, and `LC006` run unchanged. Cost is O(lines·deps),
     /// independent of the extent along Π.
     Symbolic,
+    /// The interleaving engine: on top of the enumerative structural
+    /// rules, `LC015` bounds every op index and access of the
+    /// generated program by interval abstract interpretation, then
+    /// `LC013`/`LC014` model-check deadlock-freedom and determinacy
+    /// across **all** message interleavings with dynamic partial-order
+    /// reduction (see [`interleave`]). Strictly stronger than the
+    /// single-schedule `LC005`/`LC007` scan, at small-size cost.
+    Interleaving,
 }
 
 /// Run every check against a pipeline's artifacts.
@@ -140,7 +164,7 @@ pub fn check_pipeline_mode(
     let _total = recorder.span("check.total");
     let mut report = Report::new();
     match mode {
-        CheckMode::Enumerative => {
+        CheckMode::Enumerative | CheckMode::Interleaving => {
             report.extend(check_legality(input.pi, input.deps));
             report.extend(check_lemma1(
                 input.pi,
@@ -189,10 +213,71 @@ pub fn check_pipeline_mode(
             recorder.add("check.symbolic.fm", stats.fm_decided);
             recorder.add("check.symbolic.fallback", stats.enumerated);
         }
+        CheckMode::Interleaving => {
+            match loom_codegen::generate(
+                input.nest,
+                input.partitioning,
+                input.assignment,
+                1usize << input.cube_dim,
+            ) {
+                Ok(cg) => {
+                    let sub =
+                        check_program(input.nest, &cg, &InterleaveOptions::default(), recorder);
+                    report.extend(sub.diagnostics().to_vec());
+                }
+                Err(e) => report.push(Diagnostic::info(
+                    RuleId::InterleavingDeadlock,
+                    Span::Nest,
+                    format!("interleaving exploration skipped: no SPMD program ({e})"),
+                )),
+            }
+        }
     }
     for (code, n) in report.rule_counts() {
         recorder.add(&format!("check.{code}"), n);
     }
+    report
+}
+
+/// Run the interleaving engine's program-level rules
+/// (`LC015` bounds, then `LC013`/`LC014` model checking) over an
+/// already-generated — possibly corrupted — SPMD program.
+///
+/// This is the entry point shared by the [`CheckMode::Interleaving`]
+/// pipeline arm, the CLI's `--interleave` / `--corrupt` paths, and the
+/// property harness: unlike [`check_pipeline_mode`] it takes the
+/// program as-is instead of regenerating it, so seeded mutations (see
+/// [`interleave::mutate_program`]) flow through the same verdict path
+/// as pristine programs. The abstract interpretation runs first; if it
+/// finds structural errors the model checker (which would index out of
+/// bounds on them) is skipped with an `Info` diagnostic.
+pub fn check_program(
+    nest: &LoopNest,
+    cg: &loom_codegen::gen::Codegen,
+    opts: &InterleaveOptions,
+    recorder: &Recorder,
+) -> Report {
+    let mut report = Report::new();
+    let mut astats = AbsintStats::default();
+    report.extend(check_block_bounds(nest, cg, &mut astats));
+    recorder.add("check.absint.parametric", astats.parametric);
+    recorder.add("check.absint.enumerated", astats.enumerated);
+    let mut istats = InterleaveStats::default();
+    if report.has_errors() {
+        report.push(Diagnostic::info(
+            RuleId::InterleavingDeadlock,
+            Span::Nest,
+            "interleaving exploration skipped: the program fails its bounds checks (LC015)",
+        ));
+    } else {
+        report.extend(check_interleavings(nest, cg, opts, &mut istats));
+    }
+    recorder.add("check.interleave.explored", istats.explored);
+    recorder.add("check.interleave.naive", istats.naive);
+    recorder.add("check.interleave.transitions", istats.transitions);
+    recorder.add("check.interleave.sleep_skips", istats.sleep_skips);
+    recorder.add("check.interleave.deadlocks", istats.deadlocks);
+    recorder.add("check.interleave.replays", istats.replays);
     report
 }
 

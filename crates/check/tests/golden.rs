@@ -578,6 +578,236 @@ check: 1 error(s), 0 warning(s), 0 note(s)
     );
 }
 
+/// Generate the l1 SPMD program the interleaving goldens corrupt:
+/// size 6 on a 2-cube gives four processors with real concurrency.
+fn l1_codegen() -> (loom_loopir::LoopNest, loom_codegen::gen::Codegen) {
+    let w = loom_workloads::l1::workload(6);
+    let p = partition(
+        w.nest.space().clone(),
+        w.deps.clone(),
+        TimeFn::new(w.pi.clone()),
+        &PartitionConfig::default(),
+    )
+    .unwrap();
+    let m = map_partitioning(&p, 2).unwrap();
+    let cg = generate(&w.nest, &p, m.assignment(), 4).unwrap();
+    (w.nest, cg)
+}
+
+#[test]
+fn golden_lc013_interleaving_deadlock() {
+    let (nest, mut cg) = l1_codegen();
+    cg.program =
+        loom_check::mutate_program(&cg.program, loom_check::Mutation::DropSend, 1).unwrap();
+    let mut stats = loom_check::InterleaveStats::default();
+    let report = Report::from_diagnostics(loom_check::check_interleavings(
+        &nest,
+        &cg,
+        &loom_check::InterleaveOptions::default(),
+        &mut stats,
+    ));
+    snapshot(
+        "LC013",
+        &report,
+        r#"error[LC013] trace P1:0..3 P3:0..5 P1:3..10 P0:0..4 P2:0..5 P3:5..11 P1:10..17 P0:4..7 P2:5..9: deadlock reachable after 44 ops (9 macro-steps): P1 waits for (source point 15, dep 1); P2 waits for (source point 16, dep 0); P3 waits for (source point 14, dep 0); no enabled processor remains
+info[LC013] P1 op 17: P1 blocks here: receive of (source point 15, dep 1) is never satisfied in this interleaving
+info[LC013] P2 op 9: P2 blocks here: receive of (source point 16, dep 0) is never satisfied in this interleaving
+info[LC013] P3 op 11: P3 blocks here: receive of (source point 14, dep 0) is never satisfied in this interleaving
+check: 1 error(s), 0 warning(s), 3 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC013",
+      "name": "interleaving-deadlock",
+      "severity": "error",
+      "span": {
+        "kind": "trace",
+        "steps": [
+          [
+            1,
+            0,
+            3
+          ],
+          [
+            3,
+            0,
+            5
+          ],
+          [
+            1,
+            3,
+            10
+          ],
+          [
+            0,
+            0,
+            4
+          ],
+          [
+            2,
+            0,
+            5
+          ],
+          [
+            3,
+            5,
+            11
+          ],
+          [
+            1,
+            10,
+            17
+          ],
+          [
+            0,
+            4,
+            7
+          ],
+          [
+            2,
+            5,
+            9
+          ]
+        ]
+      },
+      "message": "deadlock reachable after 44 ops (9 macro-steps): P1 waits for (source point 15, dep 1); P2 waits for (source point 16, dep 0); P3 waits for (source point 14, dep 0); no enabled processor remains"
+    },
+    {
+      "rule": "LC013",
+      "name": "interleaving-deadlock",
+      "severity": "info",
+      "span": {
+        "kind": "program_op",
+        "proc": 1,
+        "op": 17
+      },
+      "message": "P1 blocks here: receive of (source point 15, dep 1) is never satisfied in this interleaving"
+    },
+    {
+      "rule": "LC013",
+      "name": "interleaving-deadlock",
+      "severity": "info",
+      "span": {
+        "kind": "program_op",
+        "proc": 2,
+        "op": 9
+      },
+      "message": "P2 blocks here: receive of (source point 16, dep 0) is never satisfied in this interleaving"
+    },
+    {
+      "rule": "LC013",
+      "name": "interleaving-deadlock",
+      "severity": "info",
+      "span": {
+        "kind": "program_op",
+        "proc": 3,
+        "op": 11
+      },
+      "message": "P3 blocks here: receive of (source point 14, dep 0) is never satisfied in this interleaving"
+    }
+  ],
+  "counts": {
+    "LC013": 4
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc014_interleaving_determinacy() {
+    let (nest, mut cg) = l1_codegen();
+    cg.program =
+        loom_check::mutate_program(&cg.program, loom_check::Mutation::SwapSendEarlier, 1).unwrap();
+    let mut stats = loom_check::InterleaveStats::default();
+    let report = Report::from_diagnostics(loom_check::check_interleavings(
+        &nest,
+        &cg,
+        &loom_check::InterleaveOptions::default(),
+        &mut stats,
+    ));
+    snapshot(
+        "LC014",
+        &report,
+        r#"error[LC014] element A(3,4): replayed interleaving computes Some(105.09375) but the sequential oracle computes Some(212.96875); the parallel program is not equivalent to the nest
+check: 1 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC014",
+      "name": "interleaving-determinacy",
+      "severity": "error",
+      "span": {
+        "kind": "element",
+        "array": "A",
+        "element": [
+          3,
+          4
+        ]
+      },
+      "message": "replayed interleaving computes Some(105.09375) but the sequential oracle computes Some(212.96875); the parallel program is not equivalent to the nest"
+    }
+  ],
+  "counts": {
+    "LC014": 1
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
+#[test]
+fn golden_lc015_block_access_bounds() {
+    let (nest, mut cg) = l1_codegen();
+    let first_compute = cg
+        .program
+        .per_proc
+        .iter_mut()
+        .flat_map(|ops| ops.iter_mut())
+        .find_map(|op| match op {
+            Op::Compute { point } => Some(point),
+            _ => None,
+        })
+        .unwrap();
+    *first_compute = 10_000;
+    let mut stats = loom_check::AbsintStats::default();
+    let report = Report::from_diagnostics(loom_check::check_block_bounds(&nest, &cg, &mut stats));
+    snapshot(
+        "LC015",
+        &report,
+        r#"error[LC015] P0 op 1: compute names point 10000 but the iteration table has 36 entries
+check: 1 error(s), 0 warning(s), 0 note(s)
+"#,
+        r#"{
+  "diagnostics": [
+    {
+      "rule": "LC015",
+      "name": "block-access-bounds",
+      "severity": "error",
+      "span": {
+        "kind": "program_op",
+        "proc": 0,
+        "op": 1
+      },
+      "message": "compute names point 10000 but the iteration table has 36 entries"
+    }
+  ],
+  "counts": {
+    "LC015": 1
+  },
+  "errors": 1,
+  "warnings": 0
+}
+"#,
+    );
+}
+
 /// SARIF golden: the exact document `loom check --format sarif` emits
 /// for the committed non-uniform sample.
 #[test]
@@ -689,6 +919,27 @@ fn golden_sarif_nonuniform() {
               "name": "blocking-cycle",
               "shortDescription": {
                 "text": "blocking-cycle"
+              }
+            },
+            {
+              "id": "LC013",
+              "name": "interleaving-deadlock",
+              "shortDescription": {
+                "text": "interleaving-deadlock"
+              }
+            },
+            {
+              "id": "LC014",
+              "name": "interleaving-determinacy",
+              "shortDescription": {
+                "text": "interleaving-determinacy"
+              }
+            },
+            {
+              "id": "LC015",
+              "name": "block-access-bounds",
+              "shortDescription": {
+                "text": "block-access-bounds"
               }
             }
           ]

@@ -44,8 +44,9 @@ fn usage() -> ! {
          \x20 simulate  --workload W --cube N   full pipeline + machine simulation\n\
          \x20 sim       alias for simulate\n\
          \x20 codegen   --workload W --cube N   emit SPMD pseudo-code [--run verifies]\n\
-         \x20 check     --workload W --cube N   static verifier [--symbolic]\n\
-         \x20           [--format human|json|sarif] [--allow IDS]\n\
+         \x20 check     --workload W --cube N   static verifier [--symbolic|--interleave]\n\
+         \x20           [--format human|json|sarif] [--allow IDS] [--explain LC0NN]\n\
+         \x20           [--corrupt drop-send|dup-send|drop-recv|swap] [--corrupt-seed N]\n\
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
          \x20           [--threads T] [--no-prune] [--bench-out FILE] [--metrics-out FILE]\n\
@@ -183,14 +184,16 @@ fn fault_config(a: &Args) -> Option<loom_machine::FaultConfig> {
             a.int_flag("cube", 1).max(0) as usize
         ))
         .topology();
-    let diags = loom_check::check_fault_plan(&plan, &topology);
-    for d in &diags {
+    // Route the LC008 diagnostics through a Report so `--allow LC008`
+    // downgrades them exactly like every other rule: suppression and
+    // exit-code policy are uniform across LC001–LC015.
+    let mut report =
+        loom_check::Report::from_diagnostics(loom_check::check_fault_plan(&plan, &topology));
+    apply_allow(a, &mut report);
+    for d in report.diagnostics() {
         eprintln!("{path}: {d}");
     }
-    if diags
-        .iter()
-        .any(|d| d.severity == loom_check::Severity::Error)
-    {
+    if report.has_errors() {
         std::process::exit(1)
     }
     let policy: loom_machine::RecoveryPolicy = a
@@ -547,8 +550,41 @@ fn apply_allow(a: &Args, report: &mut loom_check::Report) {
     }
 }
 
+/// Parse `--corrupt MODE` into a program mutation.
+fn parse_mutation(name: &str) -> loom_check::Mutation {
+    match name {
+        "drop-send" => loom_check::Mutation::DropSend,
+        "dup-send" => loom_check::Mutation::DupSend,
+        "drop-recv" => loom_check::Mutation::DropRecv,
+        "swap" => loom_check::Mutation::SwapSendEarlier,
+        other => {
+            eprintln!(
+                "unknown --corrupt `{other}` (expected drop-send, dup-send, drop-recv, or swap)"
+            );
+            std::process::exit(2)
+        }
+    }
+}
+
 fn cmd_check(a: &Args) {
+    if let Some(code) = a.flags.get("explain") {
+        match loom_check::explain(code) {
+            Some(text) => {
+                print!("{text}");
+                std::process::exit(0)
+            }
+            None => {
+                eprintln!("unknown rule `{code}`; known rules are LC001 through LC015");
+                std::process::exit(2)
+            }
+        }
+    }
     let symbolic = a.switch("symbolic");
+    let interleave = a.switch("interleave") || a.flags.contains_key("corrupt");
+    if symbolic && interleave {
+        eprintln!("--symbolic and --interleave/--corrupt are mutually exclusive");
+        std::process::exit(2)
+    }
     // Load `--file` nests by hand: a non-uniform nest must come back as
     // an LC010 report on stdout, not a front-end abort on stderr.
     let w = if let Some(path) = a.flags.get("file") {
@@ -607,23 +643,55 @@ fn cmd_check(a: &Args) {
             eprintln!("mapping failed: {e}");
             std::process::exit(1)
         });
-        report = loom_check::check_pipeline_mode(
-            &loom_check::PipelineCheck {
-                nest: &w.nest,
-                deps: &w.deps,
-                pi: &pi,
-                partitioning: &partitioning,
-                tig: &tig,
-                assignment: mapping.assignment(),
-                cube_dim: mapping.cube().dim(),
-            },
-            if symbolic {
-                loom_check::CheckMode::Symbolic
-            } else {
-                loom_check::CheckMode::Enumerative
-            },
-            &rec,
-        );
+        if let Some(mode) = a.flags.get("corrupt") {
+            // Seeded-mutation mode: generate the SPMD program, corrupt
+            // it, and run the interleaving engine's program-level
+            // rules on the result — an expect-fail harness for LC013–
+            // LC015 counterexamples.
+            let mutation = parse_mutation(mode);
+            let seed = a.int_flag("corrupt-seed", 1).max(0) as u64;
+            let mut cg = loom_codegen::generate(
+                &w.nest,
+                &partitioning,
+                mapping.assignment(),
+                1usize << mapping.cube().dim(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("codegen failed: {e}");
+                std::process::exit(1)
+            });
+            cg.program =
+                loom_check::mutate_program(&cg.program, mutation, seed).unwrap_or_else(|| {
+                    eprintln!("--corrupt {mode}: the program has no eligible site");
+                    std::process::exit(2)
+                });
+            report = loom_check::check_program(
+                &w.nest,
+                &cg,
+                &loom_check::InterleaveOptions::default(),
+                &rec,
+            );
+        } else {
+            report = loom_check::check_pipeline_mode(
+                &loom_check::PipelineCheck {
+                    nest: &w.nest,
+                    deps: &w.deps,
+                    pi: &pi,
+                    partitioning: &partitioning,
+                    tig: &tig,
+                    assignment: mapping.assignment(),
+                    cube_dim: mapping.cube().dim(),
+                },
+                if interleave {
+                    loom_check::CheckMode::Interleaving
+                } else if symbolic {
+                    loom_check::CheckMode::Symbolic
+                } else {
+                    loom_check::CheckMode::Enumerative
+                },
+                &rec,
+            );
+        }
     }
     apply_allow(a, &mut report);
     render_report(a, &report);

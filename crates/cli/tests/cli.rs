@@ -203,6 +203,106 @@ fn check_file_frontend_works() {
 }
 
 #[test]
+fn sim_fault_plan_honors_allow_lc008() {
+    // A plan with an inverted window is an LC008 error, but the window
+    // simply never applies at runtime — the canonical case for
+    // `--allow LC008`. The suppression path must be uniform with every
+    // other rule (the plan gate routes through the same Report).
+    let dir = std::env::temp_dir().join("loom-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inverted.json");
+    std::fs::write(
+        &path,
+        r#"{"events": [{"kind": "proc_slow", "proc": 0, "factor": 2, "at": 10, "until": 5}]}"#,
+    )
+    .unwrap();
+    let base = [
+        "sim",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--cube",
+        "1",
+        "--fault-plan",
+        path.to_str().unwrap(),
+    ];
+    let (_, err, ok) = loom(&base);
+    assert!(!ok, "unallowed LC008 error must refuse the run");
+    assert!(err.contains("error[LC008]"), "{err}");
+    let mut allowed = base.to_vec();
+    allowed.extend(["--allow", "LC008"]);
+    let (out, err, ok) = loom(&allowed);
+    assert!(ok, "--allow LC008 must admit the run:\n{err}");
+    assert!(err.contains("warning[LC008]"), "{err}");
+    assert!(out.contains("makespan"), "{out}");
+}
+
+#[test]
+fn check_explain_prints_catalog_entry() {
+    let (out, _, ok) = loom(&["check", "--explain", "LC013"]);
+    assert!(ok);
+    assert!(out.contains("interleaving-deadlock"), "{out}");
+    assert!(out.contains("DPOR"), "{out}");
+    assert!(out.contains("docs/CHECKS.md"), "{out}");
+    let (_, err, ok) = loom(&["check", "--explain", "LC099"]);
+    assert!(!ok);
+    assert!(err.contains("LC001 through LC015"), "{err}");
+}
+
+#[test]
+fn check_interleave_clean_exits_zero() {
+    let (out, _, ok) = loom(&[
+        "check",
+        "--workload",
+        "l1",
+        "--size",
+        "6",
+        "--cube",
+        "2",
+        "--interleave",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("check: 0 error(s)"), "{out}");
+}
+
+#[test]
+fn check_corrupt_drop_send_reports_lc013_trace() {
+    let (out, _, ok) = loom(&[
+        "check",
+        "--workload",
+        "l1",
+        "--size",
+        "6",
+        "--cube",
+        "2",
+        "--corrupt",
+        "drop-send",
+    ]);
+    assert!(!ok);
+    assert!(out.contains("error[LC013]"), "{out}");
+    assert!(out.contains("trace"), "{out}");
+    assert!(out.contains("deadlock"), "{out}");
+}
+
+#[test]
+fn check_symbolic_and_interleave_conflict() {
+    let (_, err, ok) = loom(&[
+        "check",
+        "--workload",
+        "l1",
+        "--size",
+        "4",
+        "--cube",
+        "1",
+        "--symbolic",
+        "--interleave",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
 fn explore_ranks() {
     let (out, _, ok) = loom(&[
         "explore",

@@ -25,6 +25,17 @@ pub enum InterpError {
         /// The offending id.
         id: u32,
     },
+    /// A replayed schedule ([`run_schedule`]) named a processor that
+    /// does not exist or has no ops left at that step.
+    BadSchedule {
+        /// Index into the schedule where replay failed.
+        at: usize,
+    },
+    /// A replayed schedule ended before every processor finished.
+    IncompleteSchedule {
+        /// The first unfinished processor.
+        proc: u32,
+    },
 }
 
 impl std::fmt::Display for InterpError {
@@ -34,6 +45,12 @@ impl std::fmt::Display for InterpError {
                 write!(f, "SPMD deadlock; blocked: {blocked:?}")
             }
             InterpError::BadPoint { id } => write!(f, "compute of unknown point {id}"),
+            InterpError::BadSchedule { at } => {
+                write!(f, "schedule step {at} names a processor with no op to run")
+            }
+            InterpError::IncompleteSchedule { proc } => {
+                write!(f, "schedule ended before P{proc} finished")
+            }
         }
     }
 }
@@ -152,92 +169,87 @@ fn compute(nest: &LoopNest, point: &[i64], mem: &mut Memory, init: &dyn Fn(&str,
     }
 }
 
-/// Run a generated SPMD program to completion.
-pub fn run(
-    nest: &LoopNest,
-    cg: &Codegen,
-    init: &dyn Fn(&str, &[i64]) -> f64,
-) -> Result<RunResult, InterpError> {
-    let prog = &cg.program;
-    let n_procs = prog.num_procs();
-    let mut memories: Vec<Memory> = vec![Memory::new(); n_procs];
-    let mut versions: Vec<HashMap<Element, u32>> = vec![HashMap::new(); n_procs];
-    let mut pcs = vec![0usize; n_procs];
-    // Mailbox keyed by (destination proc, tag).
-    let mut mailbox: HashMap<(u32, Tag), Vec<PayloadItem>> = HashMap::new();
-    let mut messages = 0u64;
-    let mut words = 0u64;
+/// The mutable machine state one run threads through [`exec_op`].
+struct RunState {
+    memories: Vec<Memory>,
+    versions: Vec<HashMap<Element, u32>>,
+    pcs: Vec<usize>,
+    /// Mailbox keyed by (destination proc, tag).
+    mailbox: HashMap<(u32, Tag), Vec<PayloadItem>>,
+    messages: u64,
+    words: u64,
+}
 
-    loop {
-        let mut progress = false;
-        let mut all_done = true;
-        for p in 0..n_procs {
-            let ops = &prog.per_proc[p];
-            while pcs[p] < ops.len() {
-                match &ops[pcs[p]] {
-                    Op::Recv { from: _, tag } => {
-                        let Some(items) = mailbox.remove(&(p as u32, *tag)) else {
-                            break; // blocked
-                        };
-                        install(&mut memories[p], &mut versions[p], items);
-                        pcs[p] += 1;
-                        progress = true;
-                    }
-                    Op::Compute { point } => {
-                        let id = *point as usize;
-                        if id >= prog.points.len() {
-                            return Err(InterpError::BadPoint { id: *point });
-                        }
-                        let pt = prog.points[id].clone();
-                        compute(nest, &pt, &mut memories[p], init);
-                        record_local_writes(nest, &pt, *point, &mut versions[p]);
-                        pcs[p] += 1;
-                        progress = true;
-                    }
-                    Op::Send { to, tag } => {
-                        let pt = prog.points[tag.src_point as usize].clone();
-                        let items = payload(
-                            nest,
-                            &cg.payload_specs[tag.dep as usize],
-                            &pt,
-                            tag.src_point,
-                            &memories[p],
-                            init,
-                        );
-                        messages += 1;
-                        words += items.len() as u64;
-                        mailbox.insert((*to, *tag), items);
-                        pcs[p] += 1;
-                        progress = true;
-                    }
-                }
-            }
-            if pcs[p] < ops.len() {
-                all_done = false;
-            }
-        }
-        if all_done {
-            break;
-        }
-        if !progress {
-            let blocked = (0..n_procs)
-                .filter(|&p| pcs[p] < prog.per_proc[p].len())
-                .map(|p| match prog.per_proc[p][pcs[p]] {
-                    Op::Recv { tag, .. } => (p as u32, tag),
-                    _ => unreachable!("only receives block"),
-                })
-                .collect();
-            return Err(InterpError::Deadlock { blocked });
+impl RunState {
+    fn new(n_procs: usize) -> RunState {
+        RunState {
+            memories: vec![Memory::new(); n_procs],
+            versions: vec![HashMap::new(); n_procs],
+            pcs: vec![0; n_procs],
+            mailbox: HashMap::new(),
+            messages: 0,
+            words: 0,
         }
     }
+}
 
-    // Gather: each element from the processor that performed the
-    // globally last (sequential-order) write to it.
+/// Execute processor `p`'s next op. `Ok(true)` means progress was
+/// made; `Ok(false)` means `p` is blocked on an unsatisfied `Recv`.
+fn exec_op(
+    nest: &LoopNest,
+    cg: &Codegen,
+    st: &mut RunState,
+    p: usize,
+    init: &dyn Fn(&str, &[i64]) -> f64,
+) -> Result<bool, InterpError> {
+    let prog = &cg.program;
+    match &prog.per_proc[p][st.pcs[p]] {
+        Op::Recv { from: _, tag } => {
+            let Some(items) = st.mailbox.remove(&(p as u32, *tag)) else {
+                return Ok(false); // blocked
+            };
+            install(&mut st.memories[p], &mut st.versions[p], items);
+        }
+        Op::Compute { point } => {
+            let id = *point as usize;
+            if id >= prog.points.len() {
+                return Err(InterpError::BadPoint { id: *point });
+            }
+            let pt = prog.points[id].clone();
+            compute(nest, &pt, &mut st.memories[p], init);
+            record_local_writes(nest, &pt, *point, &mut st.versions[p]);
+        }
+        Op::Send { to, tag } => {
+            let id = tag.src_point as usize;
+            if id >= prog.points.len() {
+                return Err(InterpError::BadPoint { id: tag.src_point });
+            }
+            let pt = prog.points[id].clone();
+            let specs = cg
+                .payload_specs
+                .get(tag.dep as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let items = payload(nest, specs, &pt, tag.src_point, &st.memories[p], init);
+            st.messages += 1;
+            st.words += items.len() as u64;
+            st.mailbox.insert((*to, *tag), items);
+        }
+    }
+    st.pcs[p] += 1;
+    Ok(true)
+}
+
+/// Gather the global result: every element taken from the processor
+/// that performed the globally last (sequential-order) write to it.
+fn gather(nest: &LoopNest, prog: &crate::ops::SpmdProgram, memories: &[Memory]) -> Memory {
     let mut proc_of_point = vec![0u32; prog.points.len()];
     for (p, ops) in prog.per_proc.iter().enumerate() {
         for op in ops {
             if let Op::Compute { point } = op {
-                proc_of_point[*point as usize] = p as u32;
+                if (*point as usize) < proc_of_point.len() {
+                    proc_of_point[*point as usize] = p as u32;
+                }
             }
         }
     }
@@ -257,12 +269,103 @@ pub fn run(
             gathered.write(&array, element, v);
         }
     }
+    gathered
+}
 
+/// Run a generated SPMD program to completion.
+pub fn run(
+    nest: &LoopNest,
+    cg: &Codegen,
+    init: &dyn Fn(&str, &[i64]) -> f64,
+) -> Result<RunResult, InterpError> {
+    let prog = &cg.program;
+    let n_procs = prog.num_procs();
+    let mut st = RunState::new(n_procs);
+
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for p in 0..n_procs {
+            let ops = &prog.per_proc[p];
+            while st.pcs[p] < ops.len() {
+                if !exec_op(nest, cg, &mut st, p, init)? {
+                    break; // blocked
+                }
+                progress = true;
+            }
+            if st.pcs[p] < ops.len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            let blocked = (0..n_procs)
+                .filter(|&p| st.pcs[p] < prog.per_proc[p].len())
+                .map(|p| match prog.per_proc[p][st.pcs[p]] {
+                    Op::Recv { tag, .. } => (p as u32, tag),
+                    _ => unreachable!("only receives block"),
+                })
+                .collect();
+            return Err(InterpError::Deadlock { blocked });
+        }
+    }
+
+    let gathered = gather(nest, prog, &st.memories);
     Ok(RunResult {
-        memories,
+        memories: st.memories,
         gathered,
-        messages,
-        words,
+        messages: st.messages,
+        words: st.words,
+    })
+}
+
+/// Run a generated SPMD program under an explicit global op order:
+/// `schedule[k]` names the processor whose next op executes at step
+/// `k`. Mailbox matching, payload versioning, and the final gather are
+/// identical to [`run`] — only the interleaving differs. This is the
+/// replay hook the interleaving engine (`loom-check` rule `LC014`)
+/// uses to compare the final memory state across explored schedules
+/// and against the sequential oracle.
+///
+/// Errors: [`InterpError::Deadlock`] if a scheduled `Recv` has no
+/// message, [`InterpError::BadSchedule`] if a step names a processor
+/// with nothing left to run, and [`InterpError::IncompleteSchedule`]
+/// if the schedule ends early.
+pub fn run_schedule(
+    nest: &LoopNest,
+    cg: &Codegen,
+    schedule: &[u32],
+    init: &dyn Fn(&str, &[i64]) -> f64,
+) -> Result<RunResult, InterpError> {
+    let prog = &cg.program;
+    let n_procs = prog.num_procs();
+    let mut st = RunState::new(n_procs);
+    for (at, &proc) in schedule.iter().enumerate() {
+        let p = proc as usize;
+        if p >= n_procs || st.pcs[p] >= prog.per_proc[p].len() {
+            return Err(InterpError::BadSchedule { at });
+        }
+        if !exec_op(nest, cg, &mut st, p, init)? {
+            let tag = match prog.per_proc[p][st.pcs[p]] {
+                Op::Recv { tag, .. } => tag,
+                _ => unreachable!("only receives block"),
+            };
+            return Err(InterpError::Deadlock {
+                blocked: vec![(proc, tag)],
+            });
+        }
+    }
+    if let Some(p) = (0..n_procs).find(|&p| st.pcs[p] < prog.per_proc[p].len()) {
+        return Err(InterpError::IncompleteSchedule { proc: p as u32 });
+    }
+    let gathered = gather(nest, prog, &st.memories);
+    Ok(RunResult {
+        memories: st.memories,
+        gathered,
+        messages: st.messages,
+        words: st.words,
     })
 }
 
@@ -350,6 +453,84 @@ mod tests {
         }
         let err = run(&w.nest, &cg, &|_, _| 0.0).unwrap_err();
         assert!(matches!(err, InterpError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn replayed_schedule_matches_free_run() {
+        let w = loom_workloads::l1::workload(4);
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let cg = generate(&w.nest, &p, &[0, 1, 1, 0], 2).unwrap();
+        // The round-robin run-to-block order, replayed explicitly, must
+        // reproduce the free run bit for bit.
+        let mut schedule = Vec::new();
+        {
+            let prog = &cg.program;
+            let mut pcs = vec![0usize; prog.num_procs()];
+            let mut mailbox = std::collections::HashSet::new();
+            loop {
+                let mut progress = false;
+                #[allow(clippy::needless_range_loop)] // pcs and per_proc walk in lockstep
+                for p in 0..prog.num_procs() {
+                    while pcs[p] < prog.per_proc[p].len() {
+                        match prog.per_proc[p][pcs[p]] {
+                            Op::Recv { tag, .. } => {
+                                if !mailbox.remove(&(p as u32, tag)) {
+                                    break;
+                                }
+                            }
+                            Op::Send { to, tag } => {
+                                mailbox.insert((to, tag));
+                            }
+                            Op::Compute { .. } => {}
+                        }
+                        schedule.push(p as u32);
+                        pcs[p] += 1;
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+        }
+        let free = run(&w.nest, &cg, &address_hash_init).unwrap();
+        let replayed = run_schedule(&w.nest, &cg, &schedule, &address_hash_init).unwrap();
+        assert_eq!(equivalent(&replayed.gathered, &free.gathered), Ok(()));
+        assert_eq!(replayed.messages, free.messages);
+    }
+
+    #[test]
+    fn bad_schedules_are_rejected() {
+        let w = loom_workloads::l1::workload(4);
+        let p = partition(
+            w.nest.space().clone(),
+            w.verified_deps(),
+            TimeFn::new(w.pi.clone()),
+            &PartitionConfig::default(),
+        )
+        .unwrap();
+        let cg = generate(&w.nest, &p, &[0, 1, 1, 0], 2).unwrap();
+        // Too short: every processor still has ops. Schedule one
+        // non-blocking op so the failure is the early end, not a
+        // blocked recv.
+        let p0 = (0..cg.program.num_procs())
+            .find(|&p| !matches!(cg.program.per_proc[p].first(), Some(Op::Recv { .. })))
+            .expect("some processor starts unblocked") as u32;
+        assert!(matches!(
+            run_schedule(&w.nest, &cg, &[p0], &address_hash_init),
+            Err(InterpError::IncompleteSchedule { .. })
+        ));
+        // Nonexistent processor.
+        assert!(matches!(
+            run_schedule(&w.nest, &cg, &[9], &address_hash_init),
+            Err(InterpError::BadSchedule { at: 0 })
+        ));
     }
 
     #[test]

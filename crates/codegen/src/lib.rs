@@ -29,6 +29,6 @@ pub mod render;
 pub mod threads;
 
 pub use gen::{generate, CodegenError};
-pub use interp::{run, InterpError};
+pub use interp::{run, run_schedule, InterpError};
 pub use ops::{Op, SpmdProgram, Tag};
 pub use threads::{run_threaded, run_threaded_gathered, ThreadError};

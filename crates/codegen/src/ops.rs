@@ -39,6 +39,32 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// The mailbox slot this op touches when executed on processor
+    /// `proc`: `(destination, tag)` for a `Send`, `(proc, tag)` for a
+    /// `Recv`, nothing for a `Compute`. Two ops conflict exactly when
+    /// their keys coincide (the interpreter's mailbox is a map over
+    /// this key), which is the dependency relation the interleaving
+    /// engine's partial-order reduction is built on.
+    pub fn mailbox_key(&self, proc: u32) -> Option<(u32, Tag)> {
+        match *self {
+            Op::Send { to, tag } => Some((to, tag)),
+            Op::Recv { from: _, tag } => Some((proc, tag)),
+            Op::Compute { .. } => None,
+        }
+    }
+
+    /// A short lowercase kind name (`"recv"` / `"compute"` / `"send"`),
+    /// for diagnostics and trace rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Recv { .. } => "recv",
+            Op::Compute { .. } => "compute",
+            Op::Send { .. } => "send",
+        }
+    }
+}
+
 /// A complete SPMD program: one op list per processor, plus the shared
 /// iteration table.
 #[derive(Clone, Debug)]
@@ -71,6 +97,37 @@ impl SpmdProgram {
             .flatten()
             .filter(|op| matches!(op, Op::Send { .. }))
             .count()
+    }
+
+    /// `true` iff no mailbox key is used by more than one `Send` or
+    /// more than one `Recv` anywhere in the program. Programs
+    /// `loom-codegen` emits always satisfy this (each tag names one
+    /// producing iteration and one dependence), and it is the
+    /// precondition for the interleaving engine's protocol-line
+    /// batching: under unique keys, co-enabled transitions on distinct
+    /// processors touch distinct mailbox slots and therefore commute.
+    pub fn unique_tags(&self) -> bool {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<(u32, Tag), u32> = BTreeMap::new();
+        let mut recvs: BTreeMap<(u32, Tag), u32> = BTreeMap::new();
+        for (p, ops) in self.per_proc.iter().enumerate() {
+            for op in ops {
+                match *op {
+                    Op::Send { to, tag } => *sends.entry((to, tag)).or_insert(0) += 1,
+                    Op::Recv { from: _, tag } => *recvs.entry((p as u32, tag)).or_insert(0) += 1,
+                    Op::Compute { .. } => {}
+                }
+            }
+        }
+        sends.values().all(|&n| n <= 1) && recvs.values().all(|&n| n <= 1)
+    }
+
+    /// The point ids processor `p` computes, in program order.
+    pub fn computes_of(&self, p: usize) -> impl Iterator<Item = u32> + '_ {
+        self.per_proc[p].iter().filter_map(|op| match op {
+            Op::Compute { point } => Some(*point),
+            _ => None,
+        })
     }
 
     /// Structural sanity: every `Send` has exactly one matching `Recv`
@@ -116,6 +173,32 @@ mod tests {
         assert_eq!(prog.num_computes(), 2);
         assert_eq!(prog.num_messages(), 1);
         assert!(prog.unmatched_messages().is_empty());
+    }
+
+    #[test]
+    fn mailbox_keys_and_uniqueness() {
+        let t = Tag {
+            src_point: 0,
+            dep: 1,
+        };
+        let send = Op::Send { to: 1, tag: t };
+        let recv = Op::Recv { from: 0, tag: t };
+        let comp = Op::Compute { point: 0 };
+        assert_eq!(send.mailbox_key(0), Some((1, t)));
+        assert_eq!(recv.mailbox_key(1), Some((1, t)));
+        assert_eq!(comp.mailbox_key(0), None);
+        assert_eq!(send.kind(), "send");
+        let mut prog = SpmdProgram {
+            points: vec![vec![0], vec![1]],
+            per_proc: vec![
+                vec![comp.clone(), send.clone()],
+                vec![recv, Op::Compute { point: 1 }],
+            ],
+        };
+        assert!(prog.unique_tags());
+        assert_eq!(prog.computes_of(0).collect::<Vec<_>>(), vec![0]);
+        prog.per_proc[0].push(send);
+        assert!(!prog.unique_tags());
     }
 
     #[test]

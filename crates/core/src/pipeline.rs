@@ -84,6 +84,14 @@ pub struct MachineOptions {
     /// enumerative point-and-message walk. Only consulted when
     /// `static_check` is set.
     pub symbolic_check: bool,
+    /// Run the static check with the interleaving engine
+    /// ([`loom_check::CheckMode::Interleaving`]): `LC015` bounds every
+    /// op index and access image of the generated program, then
+    /// `LC013`/`LC014` model-check deadlock-freedom and determinacy
+    /// over **all** message interleavings with dynamic partial-order
+    /// reduction. Only consulted when `static_check` is set; takes
+    /// precedence over `symbolic_check`.
+    pub interleave_check: bool,
     /// Inject faults during simulation: the deterministic plan plus the
     /// recovery policy ([`loom_machine::fault`]). `None` simulates the
     /// paper's perfectly reliable machine.
@@ -102,6 +110,7 @@ impl Default for MachineOptions {
             validate_trace: false,
             static_check: false,
             symbolic_check: false,
+            interleave_check: false,
             faults: None,
         }
     }
@@ -526,7 +535,9 @@ impl PartitionedStage<'_> {
     ) -> Result<PipelineOutput, PipelineError> {
         let (mapping, placement, target) = self.map_with(config, recorder)?;
         if let Some(opts) = config.machine.as_ref().filter(|o| o.static_check) {
-            let mode = if opts.symbolic_check {
+            let mode = if opts.interleave_check {
+                loom_check::CheckMode::Interleaving
+            } else if opts.symbolic_check {
                 loom_check::CheckMode::Symbolic
             } else {
                 loom_check::CheckMode::Enumerative
@@ -963,6 +974,40 @@ mod tests {
         let counters = rec.counters();
         assert!(counters.contains_key("check.symbolic.lattice"));
         assert_eq!(counters.get("check.symbolic.fallback"), Some(&0));
+    }
+
+    #[test]
+    fn interleave_check_gate_passes_and_records_exploration_counters() {
+        let w = loom_workloads::l1::workload(6);
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(w.nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 2,
+                    machine: Some(MachineOptions {
+                        static_check: true,
+                        interleave_check: true,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                &rec,
+            )
+            .unwrap();
+        assert!(out.sim.is_some());
+        let counters = rec.counters();
+        // A generated program is a Kahn network: DPOR visits exactly
+        // one interleaving while the naive baseline visits more.
+        assert_eq!(counters.get("check.interleave.explored"), Some(&1));
+        assert!(counters.get("check.interleave.naive").copied().unwrap_or(0) > 1);
+        assert_eq!(counters.get("check.interleave.deadlocks"), Some(&0));
+        assert!(
+            counters
+                .get("check.absint.parametric")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

@@ -55,6 +55,34 @@ impl Memory {
             .get(&(array.to_string(), element.to_vec()))
             .copied()
     }
+
+    /// A deterministic FNV-1a digest of the whole store (addresses and
+    /// exact value bits, in `BTreeMap` order). Two memories digest
+    /// equal iff they hold bit-identical contents, so oracle consumers
+    /// — e.g. the interleaving determinacy check comparing many
+    /// replayed schedules — can compare states in O(1) after one pass
+    /// and only fall back to [`crate::equivalent`] to render the
+    /// divergence.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for ((array, element), &v) in &self.cells {
+            eat(array.as_bytes());
+            eat(&[0xff]);
+            for &x in element {
+                eat(&x.to_le_bytes());
+            }
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 /// A common init function: every unwritten element of every array reads
@@ -95,6 +123,27 @@ mod tests {
         m.write("B", vec![0], 2.0);
         assert_eq!(m.get("A", &[0]), Some(1.0));
         assert_eq!(m.get("B", &[0]), Some(2.0));
+    }
+
+    #[test]
+    fn digest_separates_and_matches() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.digest(), b.digest());
+        a.write("A", vec![1], 2.0);
+        assert_ne!(a.digest(), b.digest());
+        b.write("A", vec![1], 2.0);
+        assert_eq!(a.digest(), b.digest());
+        // Same bits, different address → different digest.
+        let mut c = Memory::new();
+        c.write("A", vec![2], 2.0);
+        assert_ne!(a.digest(), c.digest());
+        // -0.0 and 0.0 differ bitwise and must not collide.
+        let mut z1 = Memory::new();
+        let mut z2 = Memory::new();
+        z1.write("A", vec![0], 0.0);
+        z2.write("A", vec![0], -0.0);
+        assert_ne!(z1.digest(), z2.digest());
     }
 
     #[test]
