@@ -1,7 +1,7 @@
-//! The rule catalogue: one table describing every `LC0NN` rule, shared
-//! by `loom check --explain` and kept in lock-step with
-//! `docs/CHECKS.md` (a test asserts every entry has its heading
-//! there).
+//! The rule catalogue: one table describing every `LC0NN` checker rule
+//! and every `LP0NN` front-end rule, shared by `loom check --explain`
+//! and kept in lock-step with `docs/CHECKS.md` / `docs/FRONTEND.md` (a
+//! test asserts every entry has its heading in one of them).
 
 use crate::diag::RuleId;
 
@@ -11,7 +11,8 @@ pub struct RuleDoc {
     /// The rule.
     pub rule: RuleId,
     /// Which engine runs it: `enumerative`, `symbolic`,
-    /// `interleaving`, or `plan` (artifact validation).
+    /// `interleaving`, `plan` (artifact validation), or `front-end`
+    /// (lexer/parser).
     pub engine: &'static str,
     /// The paper claim the rule certifies.
     pub paper: &'static str,
@@ -19,7 +20,7 @@ pub struct RuleDoc {
     pub summary: &'static str,
 }
 
-const CATALOG: [RuleDoc; 15] = [
+const CATALOG: [RuleDoc; 23] = [
     RuleDoc {
         rule: RuleId::ScheduleLegality,
         engine: "enumerative",
@@ -125,27 +126,89 @@ const CATALOG: [RuleDoc; 15] = [
                   subscript; hulls are Presburger-certified (size-parametric) or \
                   enumerated (concrete)",
     },
+    RuleDoc {
+        rule: RuleId::LexInvalidChar,
+        engine: "front-end",
+        paper: "none - guards the .loom surface syntax",
+        summary: "a character outside the .loom alphabet; the lexer skips the run \
+                  and keeps tokenizing",
+    },
+    RuleDoc {
+        rule: RuleId::LexIntOverflow,
+        engine: "front-end",
+        paper: "none - guards the .loom surface syntax",
+        summary: "an integer literal that does not fit i64; the lexer substitutes 0 \
+                  and continues",
+    },
+    RuleDoc {
+        rule: RuleId::ParseExpected,
+        engine: "front-end",
+        paper: "none - guards the .loom surface syntax",
+        summary: "a syntax error (expected X, found Y); the parser resynchronizes at \
+                  the next statement, line, or bracket boundary",
+    },
+    RuleDoc {
+        rule: RuleId::ParseUnknownIndex,
+        engine: "front-end",
+        paper: "the affine-subscript program class (Section II)",
+        summary: "a subscript references an identifier that is not a loop index",
+    },
+    RuleDoc {
+        rule: RuleId::ParseNonAffine,
+        engine: "front-end",
+        paper: "the affine-subscript program class (Section II)",
+        summary: "a non-affine subscript (variable times variable) outside the class \
+                  the dependence analysis handles",
+    },
+    RuleDoc {
+        rule: RuleId::ParseBadStep,
+        engine: "front-end",
+        paper: "the normalized-loop assumption (Section II)",
+        summary: "a malformed step clause: non-positive, non-integer, or non-unit \
+                  with non-constant bounds",
+    },
+    RuleDoc {
+        rule: RuleId::ParseInvalidNest,
+        engine: "front-end",
+        paper: "the perfectly-nested-loop program class (Section II)",
+        summary: "the recovered pieces do not form a valid nest: no loops, no \
+                  statements, or invalid bounds",
+    },
+    RuleDoc {
+        rule: RuleId::ResourceLimit,
+        engine: "front-end",
+        paper: "none - guards untrusted input (ROADMAP item 3a)",
+        summary: "a resource cap was hit (input size, token count, expression depth, \
+                  nest depth, or the diagnostic cap) instead of exhausting memory or \
+                  the stack",
+    },
 ];
 
 /// The full catalogue, in rule-id order.
-pub fn catalog() -> &'static [RuleDoc; 15] {
+pub fn catalog() -> &'static [RuleDoc; 23] {
     &CATALOG
 }
 
-/// Render the catalogue entry for `code` (an `LC0NN` id or a rule
-/// name, case-insensitive). `None` for an unknown rule.
+/// Render the catalogue entry for `code` (an `LC0NN`/`LP0NN` id or a
+/// rule name, case-insensitive). `None` for an unknown rule.
 pub fn explain(code: &str) -> Option<String> {
     let want = code.trim().to_ascii_lowercase();
     let doc = CATALOG
         .iter()
         .find(|d| d.rule.code().to_ascii_lowercase() == want || d.rule.name() == want)?;
+    let doc_file = if doc.engine == "front-end" {
+        "docs/FRONTEND.md"
+    } else {
+        "docs/CHECKS.md"
+    };
     Some(format!(
-        "{} `{}`\n  engine:  {}\n  paper:   {}\n  checks:  {}\n\nSee docs/CHECKS.md#{}-{} for the full entry and an example diagnostic.\n",
+        "{} `{}`\n  engine:  {}\n  paper:   {}\n  checks:  {}\n\nSee {}#{}-{} for the full entry and an example diagnostic.\n",
         doc.rule.code(),
         doc.rule.name(),
         doc.engine,
         doc.paper,
         doc.summary,
+        doc_file,
         doc.rule.code().to_ascii_lowercase(),
         doc.rule.name(),
     ))
@@ -170,18 +233,27 @@ mod tests {
         let by_name = explain("data-race").expect("known name");
         assert!(by_name.contains("LC005"));
         assert!(explain("LC099").is_none());
+        // Front-end rules resolve too, and point at FRONTEND.md.
+        let lp = explain("lp004").expect("known front-end code");
+        assert!(lp.contains("parse-unknown-index"));
+        assert!(lp.contains("docs/FRONTEND.md"));
     }
 
     #[test]
     fn docs_have_a_heading_per_rule() {
-        let docs =
+        let checks =
             std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/CHECKS.md"))
                 .expect("docs/CHECKS.md present");
+        let frontend = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/FRONTEND.md"
+        ))
+        .expect("docs/FRONTEND.md present");
         for d in CATALOG.iter() {
             let heading = format!("### {} `{}`", d.rule.code(), d.rule.name());
             assert!(
-                docs.contains(&heading),
-                "docs/CHECKS.md is missing the heading {heading:?}"
+                checks.contains(&heading) || frontend.contains(&heading),
+                "docs/CHECKS.md and docs/FRONTEND.md are both missing the heading {heading:?}"
             );
         }
     }

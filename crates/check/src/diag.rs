@@ -66,6 +66,26 @@ pub enum RuleId {
     /// or array element, proven by interval abstract interpretation
     /// (size-parametric via the Presburger core where possible).
     BlockAccessBounds,
+    /// `LP001` — front end: a character outside the `.loom` alphabet.
+    LexInvalidChar,
+    /// `LP002` — front end: an integer literal that does not fit `i64`.
+    LexIntOverflow,
+    /// `LP003` — front end: a syntax error (`expected X, found Y`); the
+    /// parser resynchronized and kept going.
+    ParseExpected,
+    /// `LP004` — front end: a subscript references an identifier that is
+    /// not a loop index.
+    ParseUnknownIndex,
+    /// `LP005` — front end: a non-affine subscript (variable × variable).
+    ParseNonAffine,
+    /// `LP006` — front end: a malformed `step` clause.
+    ParseBadStep,
+    /// `LP007` — front end: the recovered pieces do not form a valid
+    /// nest (no loops, no statements, invalid bounds).
+    ParseInvalidNest,
+    /// `LP008` — front end: a resource limit was hit (input size, token
+    /// count, expression depth, nest depth, or the diagnostic cap).
+    ResourceLimit,
 }
 
 impl RuleId {
@@ -87,6 +107,14 @@ impl RuleId {
             RuleId::InterleavingDeadlock => "LC013",
             RuleId::InterleavingDeterminacy => "LC014",
             RuleId::BlockAccessBounds => "LC015",
+            RuleId::LexInvalidChar => "LP001",
+            RuleId::LexIntOverflow => "LP002",
+            RuleId::ParseExpected => "LP003",
+            RuleId::ParseUnknownIndex => "LP004",
+            RuleId::ParseNonAffine => "LP005",
+            RuleId::ParseBadStep => "LP006",
+            RuleId::ParseInvalidNest => "LP007",
+            RuleId::ResourceLimit => "LP008",
         }
     }
 
@@ -108,11 +136,19 @@ impl RuleId {
             RuleId::InterleavingDeadlock => "interleaving-deadlock",
             RuleId::InterleavingDeterminacy => "interleaving-determinacy",
             RuleId::BlockAccessBounds => "block-access-bounds",
+            RuleId::LexInvalidChar => "lex-invalid-char",
+            RuleId::LexIntOverflow => "lex-int-overflow",
+            RuleId::ParseExpected => "parse-expected",
+            RuleId::ParseUnknownIndex => "parse-unknown-index",
+            RuleId::ParseNonAffine => "parse-non-affine",
+            RuleId::ParseBadStep => "parse-bad-step",
+            RuleId::ParseInvalidNest => "parse-invalid-nest",
+            RuleId::ResourceLimit => "resource-limit",
         }
     }
 
-    /// Every rule, in code order.
-    pub fn all() -> [RuleId; 15] {
+    /// Every rule, in code order (`LC0NN` first, then `LP0NN`).
+    pub fn all() -> [RuleId; 23] {
         [
             RuleId::ScheduleLegality,
             RuleId::BlockSharedStep,
@@ -129,6 +165,14 @@ impl RuleId {
             RuleId::InterleavingDeadlock,
             RuleId::InterleavingDeterminacy,
             RuleId::BlockAccessBounds,
+            RuleId::LexInvalidChar,
+            RuleId::LexIntOverflow,
+            RuleId::ParseExpected,
+            RuleId::ParseUnknownIndex,
+            RuleId::ParseNonAffine,
+            RuleId::ParseBadStep,
+            RuleId::ParseInvalidNest,
+            RuleId::ResourceLimit,
         ]
     }
 }
@@ -227,6 +271,18 @@ pub enum Span {
         /// Rendered second access.
         b: String,
     },
+    /// A physical range in the checked source file — the locus of the
+    /// front-end (`LP0NN`) rules.
+    Source {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column (bytes).
+        col: u32,
+        /// Byte offset where the range starts.
+        offset: usize,
+        /// Length of the range in bytes (0 marks a point).
+        len: usize,
+    },
     /// An interleaving counterexample: the schedule prefix that reaches
     /// the violating state, compressed to macro-steps. Each step is
     /// `(proc, first op index, one past the last op index)` — the
@@ -260,6 +316,7 @@ impl fmt::Display for Span {
             Span::ProgramOp { proc, op } => write!(f, "P{proc} op {op}"),
             Span::FaultEvent { index } => write!(f, "fault event [{index}]"),
             Span::AccessPair { array: _, a, b } => write!(f, "accesses {a} and {b}"),
+            Span::Source { line, col, .. } => write!(f, "{line}:{col}"),
             Span::Trace { steps } => {
                 // Long traces are elided in the middle: the first and
                 // last steps carry the story, the cap keeps one
@@ -335,6 +392,18 @@ impl Span {
                 ("array", Json::from(array.as_str())),
                 ("a", Json::from(a.as_str())),
                 ("b", Json::from(b.as_str())),
+            ]),
+            Span::Source {
+                line,
+                col,
+                offset,
+                len,
+            } => Json::obj(vec![
+                ("kind", Json::from("source")),
+                ("line", Json::from(*line as u64)),
+                ("col", Json::from(*col as u64)),
+                ("offset", Json::from(*offset)),
+                ("len", Json::from(*len)),
             ]),
             Span::Trace { steps } => Json::obj(vec![
                 ("kind", Json::from("trace")),
@@ -514,10 +583,12 @@ impl Report {
     /// one result per diagnostic. Severities map to SARIF levels as
     /// `Error` → `error`, `Warning` → `warning`, `Info` → `note`. When
     /// `artifact` names the checked source file, each result carries a
-    /// physical location pointing at it (line 1 — the diagnostics
-    /// address derived structures, not source ranges); the precise
-    /// locus is always present as a logical location holding the span's
-    /// human rendering.
+    /// physical location pointing at it — [`Span::Source`] diagnostics
+    /// (the front-end `LP0NN` rules) supply their real line/column,
+    /// everything else defaults to line 1 since those diagnostics
+    /// address derived structures, not source ranges; the precise locus
+    /// is always present as a logical location holding the span's human
+    /// rendering.
     pub fn to_sarif(&self, artifact: Option<&str>) -> Json {
         let rules: Vec<Json> = RuleId::all()
             .iter()
@@ -550,6 +621,10 @@ impl Report {
                     )])]),
                 )];
                 if let Some(uri) = artifact {
+                    let (line, col) = match d.span {
+                        Span::Source { line, col, .. } => (line as u64, col as u64),
+                        _ => (1, 1),
+                    };
                     location.push((
                         "physicalLocation",
                         Json::obj(vec![
@@ -560,8 +635,8 @@ impl Report {
                             (
                                 "region",
                                 Json::obj(vec![
-                                    ("startLine", Json::from(1u64)),
-                                    ("startColumn", Json::from(1u64)),
+                                    ("startLine", Json::from(line)),
+                                    ("startColumn", Json::from(col)),
                                 ]),
                             ),
                         ]),
@@ -639,9 +714,46 @@ mod tests {
             codes,
             vec![
                 "LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008", "LC009",
-                "LC010", "LC011", "LC012", "LC013", "LC014", "LC015"
+                "LC010", "LC011", "LC012", "LC013", "LC014", "LC015", "LP001", "LP002", "LP003",
+                "LP004", "LP005", "LP006", "LP007", "LP008"
             ]
         );
+        let mut names: Vec<&str> = RuleId::all().iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RuleId::all().len());
+    }
+
+    #[test]
+    fn source_span_renders_position_and_sarif_region() {
+        let d = Diagnostic::error(
+            RuleId::ParseUnknownIndex,
+            Span::Source {
+                line: 2,
+                col: 4,
+                offset: 17,
+                len: 1,
+            },
+            "unknown loop index `q`",
+        );
+        assert_eq!(d.to_string(), "error[LP004] 2:4: unknown loop index `q`");
+        let r = Report::from_diagnostics(vec![d]);
+        let sarif = r.to_sarif(Some("bad.loom")).render_pretty();
+        let parsed = Json::parse(&sarif).expect("valid JSON");
+        let region = parsed
+            .get("runs")
+            .and_then(|r| r.idx(0))
+            .and_then(|r| r.get("results"))
+            .and_then(|r| r.idx(0))
+            .and_then(|r| r.get("locations"))
+            .and_then(|l| l.idx(0))
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|l| l.get("region"))
+            .unwrap();
+        assert_eq!(region.get("startLine"), Some(&Json::from(2u64)));
+        assert_eq!(region.get("startColumn"), Some(&Json::from(4u64)));
+        let json = r.to_json().render();
+        assert!(json.contains("\"offset\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Bridge from the resilient front end's `LP0NN` diagnostics
+//! ([`loom_loopir::front`]) to the checker's [`Report`] machinery, so
+//! parse errors get the same human/JSON/SARIF renderings and `--allow`
+//! suppression as every other rule.
+
+use crate::diag::{Diagnostic, Report, RuleId, Span};
+use loom_loopir::front::{FrontDiag, LpCode};
+
+/// The checker rule id corresponding to a front-end code.
+pub fn rule_for(code: LpCode) -> RuleId {
+    match code {
+        LpCode::InvalidChar => RuleId::LexInvalidChar,
+        LpCode::IntOverflow => RuleId::LexIntOverflow,
+        LpCode::Expected => RuleId::ParseExpected,
+        LpCode::UnknownIndex => RuleId::ParseUnknownIndex,
+        LpCode::NonAffine => RuleId::ParseNonAffine,
+        LpCode::BadStep => RuleId::ParseBadStep,
+        LpCode::InvalidNest => RuleId::ParseInvalidNest,
+        LpCode::LimitExceeded => RuleId::ResourceLimit,
+    }
+}
+
+/// Convert the front end's recovered diagnostics into a [`Report`].
+/// Every front-end diagnostic enters as an `Error`; `Report::allow`
+/// can downgrade chosen codes afterwards.
+pub fn report_from_parse(diags: &[FrontDiag]) -> Report {
+    Report::from_diagnostics(
+        diags
+            .iter()
+            .map(|d| {
+                Diagnostic::error(
+                    rule_for(d.code),
+                    Span::Source {
+                        line: d.line,
+                        col: d.col,
+                        offset: d.start,
+                        len: d.end.saturating_sub(d.start),
+                    },
+                    d.message.clone(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_codes_map_onto_matching_rule_ids() {
+        for code in LpCode::all() {
+            let rule = rule_for(code);
+            assert_eq!(rule.code(), code.code(), "{code:?}");
+            assert_eq!(rule.name(), code.name(), "{code:?}");
+        }
+    }
+
+    #[test]
+    fn report_carries_spans_and_allows() {
+        let out = loom_loopir::parse_nest_recovering(
+            "t",
+            "for i = 0 to 3\n A[q] = 1;\n B[i*i] = 2;\n C[i] = 3;\n",
+        );
+        let mut report = report_from_parse(&out.diags);
+        assert!(report.has_errors());
+        let human = report.render_human();
+        assert!(
+            human.contains("error[LP004] 2:4: unknown loop index `q`"),
+            "{human}"
+        );
+        assert!(human.contains("error[LP005]"), "{human}");
+        report.allow(&["LP004".into(), "LP005".into()]);
+        assert!(!report.has_errors());
+    }
+}

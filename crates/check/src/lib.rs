@@ -59,6 +59,7 @@ pub mod absint;
 pub mod catalog;
 mod diag;
 mod faultplan;
+pub mod frontend;
 mod gray;
 pub mod interleave;
 mod legality;
@@ -72,6 +73,7 @@ pub use absint::{check_block_bounds, AbsintStats};
 pub use catalog::{catalog, explain, RuleDoc};
 pub use diag::{Diagnostic, Report, RuleId, Severity, Span};
 pub use faultplan::check_fault_plan;
+pub use frontend::{report_from_parse, rule_for};
 pub use gray::check_gray;
 pub use interleave::{
     check_interleavings, enumerate_naive, explore_dpor, mutate_program, DeadlockWitness,

@@ -941,6 +941,62 @@ fn golden_sarif_nonuniform() {
               "shortDescription": {
                 "text": "block-access-bounds"
               }
+            },
+            {
+              "id": "LP001",
+              "name": "lex-invalid-char",
+              "shortDescription": {
+                "text": "lex-invalid-char"
+              }
+            },
+            {
+              "id": "LP002",
+              "name": "lex-int-overflow",
+              "shortDescription": {
+                "text": "lex-int-overflow"
+              }
+            },
+            {
+              "id": "LP003",
+              "name": "parse-expected",
+              "shortDescription": {
+                "text": "parse-expected"
+              }
+            },
+            {
+              "id": "LP004",
+              "name": "parse-unknown-index",
+              "shortDescription": {
+                "text": "parse-unknown-index"
+              }
+            },
+            {
+              "id": "LP005",
+              "name": "parse-non-affine",
+              "shortDescription": {
+                "text": "parse-non-affine"
+              }
+            },
+            {
+              "id": "LP006",
+              "name": "parse-bad-step",
+              "shortDescription": {
+                "text": "parse-bad-step"
+              }
+            },
+            {
+              "id": "LP007",
+              "name": "parse-invalid-nest",
+              "shortDescription": {
+                "text": "parse-invalid-nest"
+              }
+            },
+            {
+              "id": "LP008",
+              "name": "resource-limit",
+              "shortDescription": {
+                "text": "resource-limit"
+              }
             }
           ]
         }

@@ -1,5 +1,8 @@
 //! A small deterministic flag parser (no external dependencies).
+//! Malformed numeric values come back as typed [`CliError`]s — the
+//! parser never exits or panics on user input.
 
+use crate::error::CliError;
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand, positional args, and `--key value`
@@ -47,14 +50,13 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 
-    /// An integer flag with a default; exits with a message on a
-    /// malformed value.
-    pub fn int_flag(&self, key: &str, default: i64) -> i64 {
+    /// An integer flag with a default; a malformed value is a typed
+    /// usage error.
+    pub fn int_flag(&self, key: &str, default: i64) -> Result<i64, CliError> {
         match self.flags.get(key) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("error: --{key} expects an integer, got `{v}`");
-                std::process::exit(2)
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CliError::usage(format!("error: --{key} expects an integer, got `{v}`"))
             }),
         }
     }
@@ -74,17 +76,18 @@ impl Args {
         }
     }
 
-    /// A comma-separated integer list flag (e.g. `--pi 1,1,1`).
-    pub fn int_list_flag(&self, key: &str) -> Option<Vec<i64>> {
-        let v = self.flags.get(key)?;
+    /// A comma-separated integer list flag (e.g. `--pi 1,1,1`); a
+    /// malformed value is a typed usage error.
+    pub fn int_list_flag(&self, key: &str) -> Result<Option<Vec<i64>>, CliError> {
+        let Some(v) = self.flags.get(key) else {
+            return Ok(None);
+        };
         let parsed: Result<Vec<i64>, _> = v.split(',').map(str::trim).map(str::parse).collect();
-        match parsed {
-            Ok(list) => Some(list),
-            Err(_) => {
-                eprintln!("error: --{key} expects comma-separated integers, got `{v}`");
-                std::process::exit(2)
-            }
-        }
+        parsed.map(Some).map_err(|_| {
+            CliError::usage(format!(
+                "error: --{key} expects comma-separated integers, got `{v}`"
+            ))
+        })
     }
 }
 
@@ -122,7 +125,7 @@ mod tests {
         ]);
         assert_eq!(a.command.as_deref(), Some("simulate"));
         assert_eq!(a.str_flag("workload", "l1"), "matvec");
-        assert_eq!(a.int_flag("size", 4), 32);
+        assert_eq!(a.int_flag("size", 4), Ok(32));
         assert!(a.switch("contention"));
         assert!(!a.switch("batch"));
     }
@@ -131,14 +134,24 @@ mod tests {
     fn defaults_apply() {
         let a = args(&["partition"]);
         assert_eq!(a.str_flag("workload", "l1"), "l1");
-        assert_eq!(a.int_flag("size", 4), 4);
-        assert_eq!(a.int_list_flag("pi"), None);
+        assert_eq!(a.int_flag("size", 4), Ok(4));
+        assert_eq!(a.int_list_flag("pi"), Ok(None));
     }
 
     #[test]
     fn int_list() {
         let a = args(&["partition", "--pi", "1, 1,1"]);
-        assert_eq!(a.int_list_flag("pi"), Some(vec![1, 1, 1]));
+        assert_eq!(a.int_list_flag("pi"), Ok(Some(vec![1, 1, 1])));
+    }
+
+    #[test]
+    fn malformed_numbers_are_typed_usage_errors() {
+        let a = args(&["simulate", "--size", "huge", "--pi", "1,x"]);
+        let e = a.int_flag("size", 4).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(matches!(e, CliError::Usage(_)));
+        let e = a.int_list_flag("pi").unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
     }
 
     #[test]

@@ -22,10 +22,18 @@
 //!
 //! Setting `LOOM_FLIGHT_DIR` makes every pipeline-running subcommand
 //! flush its flight-recorder ring (JSONL) into that directory on exit.
+//!
+//! Every failure funnels through the typed [`CliError`] (exit 2 for
+//! usage problems, exit 1 for wrong artifacts); `.loom` input is parsed
+//! by the resilient front end, so malformed files come back as a full
+//! `LP0NN` diagnostic report — all problems in one pass — rather than
+//! one terse abort.
 
 mod args;
+mod error;
 
 use args::Args;
+use error::CliError;
 use loom_core::analytic::table1_rows;
 use loom_core::pipeline::MachineOptions;
 use loom_core::report::Table;
@@ -71,47 +79,83 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-/// Parse `--file` into a nest, exiting with a usage error on I/O or
-/// syntax problems.
-fn parse_file_nest(path: &str) -> loom_loopir::LoopNest {
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2)
-    });
+/// Parse `--file` into a nest through the resilient front end.
+/// Malformed input renders the full `LP0NN` report (honoring
+/// `--format` and `--allow`); with every error suppressed the
+/// recovered partial IR is used.
+fn parse_file_nest(a: &Args, path: &str) -> Result<loom_loopir::LoopNest, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
     let name = path.rsplit('/').next().unwrap_or("nest").to_string();
-    loom_loopir::parse::parse_nest(&name, &src).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2)
-    })
+    let out = loom_loopir::parse_nest_recovering(&name, &src);
+    if out.diags.is_empty() {
+        // The front-end invariant: no diagnostics implies an IR.
+        return out
+            .nest
+            .ok_or_else(|| CliError::failed(format!("{path}: internal error: no IR produced")));
+    }
+    let mut report = loom_check::report_from_parse(&out.diags);
+    apply_allow(a, &mut report);
+    if report.has_errors() {
+        render_report(a, &report)?;
+        return Err(CliError::Diagnostics);
+    }
+    // Every error was --allow'ed: surface the warnings on stderr and
+    // continue with whatever IR recovery salvaged.
+    eprint!("{}", report.render_human());
+    out.nest
+        .ok_or_else(|| CliError::failed(format!("{path}: no usable IR after recovery")))
+}
+
+/// `--pi`, validated: the all-zero time function is never a schedule
+/// (every projection stage divides by ‖Π‖²), so reject it up front
+/// instead of letting the partitioner assert.
+fn pi_flag(a: &Args) -> Result<Option<Vec<i64>>, CliError> {
+    match a.int_list_flag("pi")? {
+        Some(pi) if pi.iter().all(|&c| c == 0) => Err(CliError::usage(
+            "error: --pi needs at least one nonzero coefficient",
+        )),
+        other => Ok(other),
+    }
 }
 
 /// `--pi` if given, else the optimal legal time function for `deps`.
-fn pick_pi(a: &Args, nest: &loom_loopir::LoopNest, deps: &[Vec<i64>], label: &str) -> Vec<i64> {
-    a.int_list_flag("pi").unwrap_or_else(|| {
+fn pick_pi(
+    a: &Args,
+    nest: &loom_loopir::LoopNest,
+    deps: &[Vec<i64>],
+    label: &str,
+) -> Result<Vec<i64>, CliError> {
+    if let Some(pi) = pi_flag(a)? {
+        return Ok(pi);
+    }
+    let pi =
         loom_hyperplane::find_optimal(deps, nest.space(), loom_hyperplane::SearchConfig::default())
-            .unwrap_or_else(|e| {
-                eprintln!("{label}: no legal time function: {e}");
-                std::process::exit(1)
-            })
+            .map_err(|e| CliError::failed(format!("{label}: no legal time function: {e}")))?
             .coeffs()
-            .to_vec()
-    })
+            .to_vec();
+    if pi.iter().all(|&c| c == 0) {
+        // Only reachable with an empty dependence set: every candidate
+        // is vacuously legal and the zero vector minimizes the search.
+        return Err(CliError::failed(format!(
+            "{label}: the nest has no loop-carried dependences, so no time \
+             function is forced; pass one explicitly with --pi"
+        )));
+    }
+    Ok(pi)
 }
 
-fn pick_workload(a: &Args) -> Workload {
-    if let Some(path) = a.flags.get("file") {
-        let nest = parse_file_nest(path);
+fn pick_workload(a: &Args) -> Result<Workload, CliError> {
+    if let Some(path) = a.flags.get("file").cloned() {
+        let nest = parse_file_nest(a, &path)?;
         let deps = loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default())
-            .unwrap_or_else(|e| {
-                eprintln!("{path}: {e}");
-                std::process::exit(2)
-            });
-        let pi = pick_pi(a, &nest, &deps, path);
-        return Workload { nest, deps, pi };
+            .map_err(|e| CliError::usage(format!("{path}: {e}")))?;
+        let pi = pick_pi(a, &nest, &deps, &path)?;
+        return Ok(Workload { nest, deps, pi });
     }
-    let size = a.int_flag("size", 8);
-    let size2 = a.int_flag("size2", size);
-    match a.str_flag("workload", "l1").as_str() {
+    let size = a.int_flag("size", 8)?;
+    let size2 = a.int_flag("size2", size)?;
+    Ok(match a.str_flag("workload", "l1").as_str() {
         "l1" => loom_workloads::l1::workload(size),
         "matmul" => loom_workloads::matmul::workload(size),
         "matvec" => loom_workloads::matvec::workload(size),
@@ -123,70 +167,74 @@ fn pick_workload(a: &Args) -> Workload {
         "heat2d" | "heat" => loom_workloads::heat2d::workload(size, size2),
         "triangular" | "tri" => loom_workloads::triangular::workload(size),
         other => {
-            eprintln!("unknown workload `{other}`; run `loom workloads`");
-            std::process::exit(2)
+            return Err(CliError::usage(format!(
+                "unknown workload `{other}`; run `loom workloads`"
+            )))
         }
-    }
+    })
 }
 
-fn machine_params(a: &Args) -> MachineParams {
-    MachineParams {
-        t_calc: a.int_flag("t-calc", 1).max(0) as u64,
-        t_start: a.int_flag("t-start", 50).max(0) as u64,
-        t_comm: a.int_flag("t-comm", 5).max(0) as u64,
-        t_recv: a.int_flag("t-recv", 0).max(0) as u64,
-    }
+fn machine_params(a: &Args) -> Result<MachineParams, CliError> {
+    Ok(MachineParams {
+        t_calc: a.int_flag("t-calc", 1)?.max(0) as u64,
+        t_start: a.int_flag("t-start", 50)?.max(0) as u64,
+        t_comm: a.int_flag("t-comm", 5)?.max(0) as u64,
+        t_recv: a.int_flag("t-recv", 0)?.max(0) as u64,
+    })
 }
 
-fn pick_target(a: &Args) -> Option<loom_core::Target> {
+fn pick_target(a: &Args) -> Result<Option<loom_core::Target>, CliError> {
     if let Some(mesh) = a.flags.get("mesh") {
         let parts: Vec<&str> = mesh.split(['x', 'X']).collect();
         if let [r, c] = parts[..] {
             if let (Ok(rows), Ok(cols)) = (r.parse(), c.parse()) {
-                return Some(loom_core::Target::Mesh { rows, cols });
+                return Ok(Some(loom_core::Target::Mesh { rows, cols }));
             }
         }
-        eprintln!("error: --mesh expects RxC (e.g. 2x4)");
-        std::process::exit(2)
+        return Err(CliError::usage("error: --mesh expects RxC (e.g. 2x4)"));
     }
     if let Some(ring) = a.flags.get("ring") {
-        match ring.parse() {
-            Ok(n) => return Some(loom_core::Target::Ring(n)),
-            Err(_) => {
-                eprintln!("error: --ring expects an integer");
-                std::process::exit(2)
-            }
-        }
+        return match ring.parse() {
+            Ok(n) => Ok(Some(loom_core::Target::Ring(n))),
+            Err(_) => Err(CliError::usage("error: --ring expects an integer")),
+        };
     }
-    None
+    Ok(None)
+}
+
+/// `--grouping` as an index, when given.
+fn grouping_choice(a: &Args) -> Result<Option<usize>, CliError> {
+    match a.flags.get("grouping") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::usage("error: --grouping expects an index")),
+    }
 }
 
 /// Build the fault configuration from `--fault-plan` / `--fault-seed`
 /// / `--recovery`. The plan is statically validated (rule `LC008`)
 /// against the machine the run will target before it is accepted; any
 /// error diagnostic refuses the run.
-fn fault_config(a: &Args) -> Option<loom_machine::FaultConfig> {
-    let path = a.flags.get("fault-plan")?;
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2)
-    });
-    let doc = loom_obs::Json::parse(&src).unwrap_or_else(|e| {
-        eprintln!("{path}: invalid JSON: {e}");
-        std::process::exit(2)
-    });
-    let plan = loom_machine::FaultPlan::from_json(&doc).unwrap_or_else(|e| {
-        eprintln!("{path}: invalid fault plan: {e}");
-        std::process::exit(2)
-    });
-    let topology = pick_target(a)
+fn fault_config(a: &Args) -> Result<Option<loom_machine::FaultConfig>, CliError> {
+    let Some(path) = a.flags.get("fault-plan") else {
+        return Ok(None);
+    };
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    let doc = loom_obs::Json::parse(&src)
+        .map_err(|e| CliError::usage(format!("{path}: invalid JSON: {e}")))?;
+    let plan = loom_machine::FaultPlan::from_json(&doc)
+        .map_err(|e| CliError::usage(format!("{path}: invalid fault plan: {e}")))?;
+    let topology = pick_target(a)?
         .unwrap_or(loom_core::Target::Hypercube(
-            a.int_flag("cube", 1).max(0) as usize
+            a.int_flag("cube", 1)?.max(0) as usize
         ))
         .topology();
     // Route the LC008 diagnostics through a Report so `--allow LC008`
     // downgrades them exactly like every other rule: suppression and
-    // exit-code policy are uniform across LC001–LC015.
+    // exit-code policy are uniform across all rules.
     let mut report =
         loom_check::Report::from_diagnostics(loom_check::check_fault_plan(&plan, &topology));
     apply_allow(a, &mut report);
@@ -194,23 +242,24 @@ fn fault_config(a: &Args) -> Option<loom_machine::FaultConfig> {
         eprintln!("{path}: {d}");
     }
     if report.has_errors() {
-        std::process::exit(1)
+        return Err(CliError::Diagnostics);
     }
     let policy: loom_machine::RecoveryPolicy = a
         .str_flag("recovery", "retry")
         .parse()
-        .unwrap_or_else(|e: String| {
-            eprintln!("error: {e}");
-            std::process::exit(2)
-        });
+        .map_err(|e: String| CliError::usage(format!("error: {e}")))?;
     let mut fc = loom_machine::FaultConfig::new(plan, policy);
     if a.flags.contains_key("fault-seed") {
-        fc.seed_override = Some(a.int_flag("fault-seed", 0).max(0) as u64);
+        fc.seed_override = Some(a.int_flag("fault-seed", 0)?.max(0) as u64);
     }
-    Some(fc)
+    Ok(Some(fc))
 }
 
-fn run_pipeline(a: &Args, w: &Workload, with_machine: bool) -> loom_core::PipelineOutput {
+fn run_pipeline(
+    a: &Args,
+    w: &Workload,
+    with_machine: bool,
+) -> Result<loom_core::PipelineOutput, CliError> {
     run_pipeline_with(a, w, with_machine, &Recorder::disabled())
 }
 
@@ -219,39 +268,36 @@ fn run_pipeline_with(
     w: &Workload,
     with_machine: bool,
     recorder: &Recorder,
-) -> loom_core::PipelineOutput {
-    let config = PipelineConfig {
-        time_fn: a.int_list_flag("pi").or(Some(w.pi.clone())),
-        cube_dim: a.int_flag("cube", 1).max(0) as usize,
-        target: pick_target(a),
-        partition: loom_partition::PartitionConfig {
-            grouping_choice: a.flags.get("grouping").map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --grouping expects an index");
-                    std::process::exit(2)
-                })
-            }),
-            seed: None,
-        },
-        machine: with_machine.then(|| MachineOptions {
-            params: machine_params(a),
+) -> Result<loom_core::PipelineOutput, CliError> {
+    let machine = if with_machine {
+        Some(MachineOptions {
+            params: machine_params(a)?,
             batch_messages: a.switch("batch"),
             link_contention: a.switch("contention"),
             record_trace: a.flags.contains_key("trace-out"),
             collect_metrics: a.flags.contains_key("metrics-out")
                 || a.flags.contains_key("trace-out"),
             validate_trace: a.switch("validate"),
-            faults: fault_config(a),
+            faults: fault_config(a)?,
             ..Default::default()
-        }),
+        })
+    } else {
+        None
+    };
+    let config = PipelineConfig {
+        time_fn: pi_flag(a)?.or(Some(w.pi.clone())),
+        cube_dim: a.int_flag("cube", 1)?.max(0) as usize,
+        target: pick_target(a)?,
+        partition: loom_partition::PartitionConfig {
+            grouping_choice: grouping_choice(a)?,
+            seed: None,
+        },
+        machine,
         ..Default::default()
     };
     Pipeline::new(w.nest.clone())
         .run_with(&config, recorder)
-        .unwrap_or_else(|e| {
-            eprintln!("pipeline failed: {e}");
-            std::process::exit(1)
-        })
+        .map_err(|e| CliError::failed(format!("pipeline failed: {e}")))
 }
 
 /// An enabled recorder whose flight ring honors `LOOM_FLIGHT_DIR`.
@@ -268,22 +314,19 @@ fn flush_flight(rec: &Recorder, name: &str) {
 }
 
 /// Write the collapsed-stack span export for `--flame-out`.
-fn write_flame(rec: &Recorder, path: &str) {
+fn write_flame(rec: &Recorder, path: &str) -> Result<(), CliError> {
     write_out(
         path,
         loom_obs::flight::collapsed_stacks(&rec.spans()),
         "flamegraph",
-    );
+    )
 }
 
-fn write_out(path: &str, contents: String, what: &str) {
-    match std::fs::write(path, contents) {
-        Ok(()) => println!("{what} written to {path}"),
-        Err(e) => {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1)
-        }
-    }
+fn write_out(path: &str, contents: String, what: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    println!("{what} written to {path}");
+    Ok(())
 }
 
 fn cmd_workloads() {
@@ -338,13 +381,13 @@ fn cmd_workloads() {
     println!("{t}");
 }
 
-fn cmd_partition(a: &Args) {
-    let w = pick_workload(a);
+fn cmd_partition(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
     // Partitioning is machine-independent; default to the 1-processor
     // cube so a small block count never fails the mapping stage.
     let mut a2 = a.clone();
     a2.flags.entry("cube".into()).or_insert_with(|| "0".into());
-    let out = run_pipeline(&a2, &w, false);
+    let out = run_pipeline(&a2, &w, false)?;
     println!("{}", w.nest);
     println!("D = {:?}", out.deps);
     println!("{} ({} steps)", out.pi, out.pi.steps(w.nest.space()));
@@ -381,11 +424,12 @@ fn cmd_partition(a: &Args) {
             format!("{violations:?}")
         }
     );
+    Ok(())
 }
 
-fn cmd_map(a: &Args) {
-    let w = pick_workload(a);
-    let out = run_pipeline(a, &w, false);
+fn cmd_map(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
+    let out = run_pipeline(a, &w, false)?;
     let mut t = Table::new(["block", "size", "processor"]);
     for (b, &proc) in out.mapping.assignment().iter().enumerate() {
         t.row([
@@ -397,14 +441,17 @@ fn cmd_map(a: &Args) {
     println!("{t}");
     let q = loom_mapping::metrics::evaluate(&out.tig, out.mapping.assignment(), out.mapping.cube());
     println!("quality: {q}");
+    Ok(())
 }
 
-fn cmd_simulate(a: &Args) {
-    let w = pick_workload(a);
+fn cmd_simulate(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
     let rec = obs_recorder();
-    let out = run_pipeline_with(a, &w, true, &rec);
-    let sim = out.sim.as_ref().expect("machine enabled");
-    let params = machine_params(a);
+    let out = run_pipeline_with(a, &w, true, &rec)?;
+    let sim = out
+        .sim_report()
+        .map_err(|e| CliError::failed(format!("pipeline failed: {e}")))?;
+    let params = machine_params(a)?;
     println!(
         "{} on {:?} ({} procs), t_calc={} t_start={} t_comm={}{}{}",
         w.nest.name(),
@@ -453,7 +500,7 @@ fn cmd_simulate(a: &Args) {
             100.0 * deg.makespan_inflation()
         );
         if let Some(path) = a.flags.get("degradation-out") {
-            write_out(path, deg.to_json().render_pretty(), "degradation report");
+            write_out(path, deg.to_json().render_pretty(), "degradation report")?;
         }
     }
     if a.switch("validate") {
@@ -464,36 +511,35 @@ fn cmd_simulate(a: &Args) {
     let obs = a.obs_flags();
     if let Some(path) = &obs.metrics_out {
         let doc = loom_core::obs_export::metrics_json(&rec, Some(sim));
-        write_out(path, doc.render_pretty(), "metrics");
+        write_out(path, doc.render_pretty(), "metrics")?;
     }
     if let Some(path) = &obs.trace_out {
         match loom_machine::trace::chrome_trace(sim, out.placement.num_procs()) {
-            Some(doc) => write_out(path, doc.render_pretty(), "trace"),
+            Some(doc) => write_out(path, doc.render_pretty(), "trace")?,
             None => {
-                eprintln!("internal error: no trace recorded despite --trace-out");
-                std::process::exit(1)
+                return Err(CliError::failed(
+                    "internal error: no trace recorded despite --trace-out",
+                ))
             }
         }
     }
     if let Some(path) = &obs.flame_out {
-        write_flame(&rec, path);
+        write_flame(&rec, path)?;
     }
     flush_flight(&rec, "simulate");
+    Ok(())
 }
 
-fn cmd_codegen(a: &Args) {
-    let w = pick_workload(a);
-    let out = run_pipeline(a, &w, false);
+fn cmd_codegen(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
+    let out = run_pipeline(a, &w, false)?;
     let cg = loom_codegen::generate(
         &w.nest,
         &out.partitioning,
         out.mapping.assignment(),
         out.mapping.cube().len(),
     )
-    .unwrap_or_else(|e| {
-        eprintln!("codegen refused: {e}");
-        std::process::exit(1)
-    });
+    .map_err(|e| CliError::failed(format!("codegen refused: {e}")))?;
     println!("{}", loom_codegen::render::render(&w.nest, &cg));
     println!(
         "{} computes, {} messages",
@@ -502,24 +548,20 @@ fn cmd_codegen(a: &Args) {
     );
     if a.switch("run") {
         use loom_exec::memory::address_hash_init;
-        let result = loom_codegen::run(&w.nest, &cg, &address_hash_init).unwrap_or_else(|e| {
-            eprintln!("SPMD run failed: {e}");
-            std::process::exit(1)
-        });
+        let result = loom_codegen::run(&w.nest, &cg, &address_hash_init)
+            .map_err(|e| CliError::failed(format!("SPMD run failed: {e}")))?;
         let serial = loom_exec::sequential(&w.nest, &address_hash_init);
         match loom_exec::equivalent(&result.gathered, &serial) {
             Ok(()) => println!("verified: bit-identical to sequential execution"),
-            Err(d) => {
-                eprintln!("DIVERGED: {d:?}");
-                std::process::exit(1)
-            }
+            Err(d) => return Err(CliError::failed(format!("DIVERGED: {d:?}"))),
         }
     }
+    Ok(())
 }
 
 /// Render a check report in the selected `--format` (`human`, `json`,
 /// or `sarif`; the legacy `--json` switch still selects JSON).
-fn render_report(a: &Args, report: &loom_check::Report) {
+fn render_report(a: &Args, report: &loom_check::Report) -> Result<(), CliError> {
     let format = if a.switch("json") {
         "json".to_string()
     } else {
@@ -533,10 +575,12 @@ fn render_report(a: &Args, report: &loom_check::Report) {
             println!("{}", report.to_sarif(artifact).render_pretty())
         }
         other => {
-            eprintln!("unknown --format `{other}` (expected human, json, or sarif)");
-            std::process::exit(2)
+            return Err(CliError::usage(format!(
+                "unknown --format `{other}` (expected human, json, or sarif)"
+            )))
         }
     }
+    Ok(())
 }
 
 fn apply_allow(a: &Args, report: &mut loom_check::Report) {
@@ -551,47 +595,44 @@ fn apply_allow(a: &Args, report: &mut loom_check::Report) {
 }
 
 /// Parse `--corrupt MODE` into a program mutation.
-fn parse_mutation(name: &str) -> loom_check::Mutation {
+fn parse_mutation(name: &str) -> Result<loom_check::Mutation, CliError> {
     match name {
-        "drop-send" => loom_check::Mutation::DropSend,
-        "dup-send" => loom_check::Mutation::DupSend,
-        "drop-recv" => loom_check::Mutation::DropRecv,
-        "swap" => loom_check::Mutation::SwapSendEarlier,
-        other => {
-            eprintln!(
-                "unknown --corrupt `{other}` (expected drop-send, dup-send, drop-recv, or swap)"
-            );
-            std::process::exit(2)
-        }
+        "drop-send" => Ok(loom_check::Mutation::DropSend),
+        "dup-send" => Ok(loom_check::Mutation::DupSend),
+        "drop-recv" => Ok(loom_check::Mutation::DropRecv),
+        "swap" => Ok(loom_check::Mutation::SwapSendEarlier),
+        other => Err(CliError::usage(format!(
+            "unknown --corrupt `{other}` (expected drop-send, dup-send, drop-recv, or swap)"
+        ))),
     }
 }
 
-fn cmd_check(a: &Args) {
+fn cmd_check(a: &Args) -> Result<(), CliError> {
     if let Some(code) = a.flags.get("explain") {
-        match loom_check::explain(code) {
+        return match loom_check::explain(code) {
             Some(text) => {
                 print!("{text}");
-                std::process::exit(0)
+                Ok(())
             }
-            None => {
-                eprintln!("unknown rule `{code}`; known rules are LC001 through LC015");
-                std::process::exit(2)
-            }
-        }
+            None => Err(CliError::usage(format!(
+                "unknown rule `{code}`; known rules are LC001 through LC015 and LP001 through LP008"
+            ))),
+        };
     }
     let symbolic = a.switch("symbolic");
     let interleave = a.switch("interleave") || a.flags.contains_key("corrupt");
     if symbolic && interleave {
-        eprintln!("--symbolic and --interleave/--corrupt are mutually exclusive");
-        std::process::exit(2)
+        return Err(CliError::usage(
+            "--symbolic and --interleave/--corrupt are mutually exclusive",
+        ));
     }
     // Load `--file` nests by hand: a non-uniform nest must come back as
     // an LC010 report on stdout, not a front-end abort on stderr.
-    let w = if let Some(path) = a.flags.get("file") {
-        let nest = parse_file_nest(path);
+    let w = if let Some(path) = a.flags.get("file").cloned() {
+        let nest = parse_file_nest(a, &path)?;
         match loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default()) {
             Ok(deps) => {
-                let pi = pick_pi(a, &nest, &deps, path);
+                let pi = pick_pi(a, &nest, &deps, &path)?;
                 Workload { nest, deps, pi }
             }
             Err(loom_loopir::Error::NonUniform { .. }) => {
@@ -599,19 +640,20 @@ fn cmd_check(a: &Args) {
                     loom_check::check_access_dependences(&nest, None),
                 );
                 apply_allow(a, &mut report);
-                render_report(a, &report);
-                std::process::exit(if report.has_errors() { 1 } else { 0 })
+                render_report(a, &report)?;
+                return if report.has_errors() {
+                    Err(CliError::Diagnostics)
+                } else {
+                    Ok(())
+                };
             }
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                std::process::exit(2)
-            }
+            Err(e) => return Err(CliError::usage(format!("{path}: {e}"))),
         }
     } else {
-        pick_workload(a)
+        pick_workload(a)?
     };
-    let pi = loom_hyperplane::TimeFn::new(a.int_list_flag("pi").unwrap_or_else(|| w.pi.clone()));
-    let cube_dim = a.int_flag("cube", 1).max(0) as usize;
+    let pi = loom_hyperplane::TimeFn::new(pi_flag(a)?.unwrap_or_else(|| w.pi.clone()));
+    let cube_dim = a.int_flag("cube", 1)?.max(0) as usize;
     let rec = obs_recorder();
 
     // Stage the pipeline by hand rather than through `run_pipeline`: an
@@ -624,47 +666,35 @@ fn cmd_check(a: &Args) {
     });
     if !report.has_errors() {
         let config = loom_partition::PartitionConfig {
-            grouping_choice: a.flags.get("grouping").map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --grouping expects an index");
-                    std::process::exit(2)
-                })
-            }),
+            grouping_choice: grouping_choice(a)?,
             seed: None,
         };
         let partitioning =
             loom_partition::partition(w.nest.space().clone(), w.deps.clone(), pi.clone(), &config)
-                .unwrap_or_else(|e| {
-                    eprintln!("partitioning failed: {e}");
-                    std::process::exit(1)
-                });
+                .map_err(|e| CliError::failed(format!("partitioning failed: {e}")))?;
         let tig = loom_partition::Tig::from_partitioning(&partitioning);
-        let mapping = loom_mapping::map_partitioning(&partitioning, cube_dim).unwrap_or_else(|e| {
-            eprintln!("mapping failed: {e}");
-            std::process::exit(1)
-        });
+        let mapping = loom_mapping::map_partitioning(&partitioning, cube_dim)
+            .map_err(|e| CliError::failed(format!("mapping failed: {e}")))?;
         if let Some(mode) = a.flags.get("corrupt") {
             // Seeded-mutation mode: generate the SPMD program, corrupt
             // it, and run the interleaving engine's program-level
             // rules on the result — an expect-fail harness for LC013–
             // LC015 counterexamples.
-            let mutation = parse_mutation(mode);
-            let seed = a.int_flag("corrupt-seed", 1).max(0) as u64;
+            let mutation = parse_mutation(mode)?;
+            let seed = a.int_flag("corrupt-seed", 1)?.max(0) as u64;
             let mut cg = loom_codegen::generate(
                 &w.nest,
                 &partitioning,
                 mapping.assignment(),
                 1usize << mapping.cube().dim(),
             )
-            .unwrap_or_else(|e| {
-                eprintln!("codegen failed: {e}");
-                std::process::exit(1)
-            });
+            .map_err(|e| CliError::failed(format!("codegen failed: {e}")))?;
             cg.program =
-                loom_check::mutate_program(&cg.program, mutation, seed).unwrap_or_else(|| {
-                    eprintln!("--corrupt {mode}: the program has no eligible site");
-                    std::process::exit(2)
-                });
+                loom_check::mutate_program(&cg.program, mutation, seed).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "--corrupt {mode}: the program has no eligible site"
+                    ))
+                })?;
             report = loom_check::check_program(
                 &w.nest,
                 &cg,
@@ -694,31 +724,32 @@ fn cmd_check(a: &Args) {
         }
     }
     apply_allow(a, &mut report);
-    render_report(a, &report);
+    render_report(a, &report)?;
     let obs = a.obs_flags();
     if let Some(path) = &obs.metrics_out {
         let doc = loom_core::obs_export::metrics_json(&rec, None);
-        write_out(path, doc.render_pretty(), "metrics");
+        write_out(path, doc.render_pretty(), "metrics")?;
     }
     if let Some(path) = &obs.flame_out {
-        write_flame(&rec, path);
+        write_flame(&rec, path)?;
     }
     flush_flight(&rec, "check");
     if report.has_errors() {
-        std::process::exit(1);
+        return Err(CliError::Diagnostics);
     }
+    Ok(())
 }
 
-fn cmd_viz(a: &Args) {
-    let w = pick_workload(a);
-    let out = run_pipeline(a, &w, false);
+fn cmd_viz(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
+    let out = run_pipeline(a, &w, false)?;
     if a.switch("dot") {
         println!("{}", loom_viz::group_graph_dot(&out.partitioning));
         println!(
             "{}",
             loom_viz::tig_dot(&out.tig, Some(out.mapping.assignment()))
         );
-        return;
+        return Ok(());
     }
     match loom_viz::block_grid(&out.partitioning) {
         Some(grid) => {
@@ -734,41 +765,38 @@ fn cmd_viz(a: &Args) {
             println!("{}", loom_viz::group_graph_dot(&out.partitioning));
         }
     }
+    Ok(())
 }
 
-fn cmd_explore(a: &Args) {
-    let w = pick_workload(a);
+fn cmd_explore(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
     let dims: Vec<usize> = a
-        .int_list_flag("cubes")
+        .int_list_flag("cubes")?
         .map(|v| v.into_iter().map(|x| x.max(0) as usize).collect())
         .unwrap_or_else(|| vec![1, 2, 3]);
     let cfg = loom_core::explore::ExploreConfig {
-        pi_bound: a.int_flag("pi-bound", 1).max(1),
-        top: a.int_flag("top", 10).max(1) as usize,
+        pi_bound: a.int_flag("pi-bound", 1)?.max(1),
+        top: a.int_flag("top", 10)?.max(1) as usize,
         machine: MachineOptions {
-            params: machine_params(a),
+            params: machine_params(a)?,
             ..Default::default()
         },
-        threads: a.int_flag("threads", 0).max(0) as usize,
+        threads: a.int_flag("threads", 0)?.max(0) as usize,
         prune: !a.switch("no-prune"),
     };
     let rec = obs_recorder();
     let start = std::time::Instant::now();
-    let best = loom_core::explore::explore_with(&w.nest, &dims, &cfg, &rec).unwrap_or_else(|e| {
-        eprintln!("exploration failed: {e}");
-        std::process::exit(1)
-    });
+    let best = loom_core::explore::explore_with(&w.nest, &dims, &cfg, &rec)
+        .map_err(|e| CliError::failed(format!("exploration failed: {e}")))?;
     let wall_us = start.elapsed().as_micros() as u64;
     if let Some(path) = &a.obs_flags().flame_out {
-        write_flame(&rec, path);
+        write_flame(&rec, path)?;
     }
     flush_flight(&rec, "explore");
     if let Some(path) = a.flags.get("metrics-out") {
         let doc = loom_core::obs_export::metrics_json(&rec, None);
-        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1)
-        });
+        std::fs::write(path, doc.render_pretty())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
         eprintln!("metrics written to {path}");
     }
     if let Some(path) = a.flags.get("bench-out") {
@@ -785,10 +813,8 @@ fn cmd_explore(a: &Args) {
             ("wall_us", loom_obs::Json::from(wall_us)),
             ("ranked", loom_obs::Json::from(best.len())),
         ]);
-        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1)
-        });
+        std::fs::write(path, doc.render_pretty())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
         eprintln!("bench summary written to {path}");
     }
     let mut t = Table::new([
@@ -806,32 +832,31 @@ fn cmd_explore(a: &Args) {
         ]);
     }
     println!("{t}");
+    Ok(())
 }
 
-fn cmd_profile(a: &Args) {
-    let w = pick_workload(a);
+fn cmd_profile(a: &Args) -> Result<(), CliError> {
+    let w = pick_workload(a)?;
     let rec = obs_recorder();
     let cfg = PipelineConfig {
-        time_fn: a.int_list_flag("pi").or(Some(w.pi.clone())),
-        cube_dim: a.int_flag("cube", 1).max(0) as usize,
-        target: pick_target(a),
+        time_fn: pi_flag(a)?.or(Some(w.pi.clone())),
+        cube_dim: a.int_flag("cube", 1)?.max(0) as usize,
+        target: pick_target(a)?,
         machine: None,
         ..Default::default()
     };
     // Stage by hand: the profiler needs the Program and SimConfig,
     // which PipelineOutput does not carry.
     let pipeline = Pipeline::new(w.nest.clone());
-    let stage = pipeline.stage_partition(&cfg, &rec).unwrap_or_else(|e| {
-        eprintln!("pipeline failed: {e}");
-        std::process::exit(1)
-    });
-    let (_mapping, placement, target) = stage.map_with(&cfg, &rec).unwrap_or_else(|e| {
-        eprintln!("pipeline failed: {e}");
-        std::process::exit(1)
-    });
+    let stage = pipeline
+        .stage_partition(&cfg, &rec)
+        .map_err(|e| CliError::failed(format!("pipeline failed: {e}")))?;
+    let (_mapping, placement, target) = stage
+        .map_with(&cfg, &rec)
+        .map_err(|e| CliError::failed(format!("pipeline failed: {e}")))?;
     let program = stage.program(&placement);
     let sim_cfg = loom_machine::SimConfig {
-        params: machine_params(a),
+        params: machine_params(a)?,
         topology: target.topology(),
         words_per_arc: 1,
         batch_messages: a.switch("batch"),
@@ -841,18 +866,14 @@ fn cmd_profile(a: &Args) {
     };
     let report = {
         let _s = rec.span("pipeline.simulate");
-        loom_machine::simulate(&program, &sim_cfg).unwrap_or_else(|e| {
-            eprintln!("simulation failed: {e}");
-            std::process::exit(1)
-        })
+        loom_machine::simulate(&program, &sim_cfg)
+            .map_err(|e| CliError::failed(format!("simulation failed: {e}")))?
     };
-    let k = a.int_flag("top", 3).max(1) as usize;
+    let k = a.int_flag("top", 3)?.max(1) as usize;
     let profile = {
         let _s = rec.span("profile.critical_path");
-        loom_machine::critical_path_top_k(&program, &sim_cfg, &report, k).unwrap_or_else(|e| {
-            eprintln!("profiling failed: {e}");
-            std::process::exit(1)
-        })
+        loom_machine::critical_path_top_k(&program, &sim_cfg, &report, k)
+            .map_err(|e| CliError::failed(format!("profiling failed: {e}")))?
     };
     if a.switch("json") {
         println!("{}", profile.to_json().render_pretty());
@@ -872,53 +893,49 @@ fn cmd_profile(a: &Args) {
             placement.num_procs(),
             Some(&profile),
         ) {
-            Some(doc) => write_out(path, doc.render_pretty(), "annotated trace"),
+            Some(doc) => write_out(path, doc.render_pretty(), "annotated trace")?,
             None => {
-                eprintln!("internal error: no trace recorded despite profiling");
-                std::process::exit(1)
+                return Err(CliError::failed(
+                    "internal error: no trace recorded despite profiling",
+                ))
             }
         }
     }
     if let Some(path) = &obs.metrics_out {
         let doc = loom_core::obs_export::metrics_json(&rec, Some(&report));
-        write_out(path, doc.render_pretty(), "metrics");
+        write_out(path, doc.render_pretty(), "metrics")?;
     }
     if let Some(path) = &obs.flame_out {
-        write_flame(&rec, path);
+        write_flame(&rec, path)?;
     }
     flush_flight(&rec, "profile");
+    Ok(())
 }
 
-/// Read + parse a JSON document for `loom obs diff`.
-fn read_json(path: &str) -> Json {
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2)
-    });
-    Json::parse(&src).unwrap_or_else(|e| {
-        eprintln!("{path}: invalid JSON: {e}");
-        std::process::exit(2)
-    })
+/// Read + parse a JSON document for `loom obs diff` (size- and
+/// depth-bounded: the inputs are untrusted).
+fn read_json(path: &str) -> Result<Json, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    Json::parse(&src).map_err(|e| CliError::usage(format!("{path}: invalid JSON: {e}")))
 }
 
-fn cmd_obs(a: &Args) {
-    let (old_path, new_path) = match (
-        a.positional.first().map(String::as_str),
-        a.positional.get(1),
-        a.positional.get(2),
-    ) {
-        (Some("diff"), Some(old), Some(new)) => (old.clone(), new.clone()),
-        _ => {
-            eprintln!(
-                "usage: loom obs diff <old.json> <new.json> [--threshold B] [--warn-only] [--json]"
-            );
-            std::process::exit(2)
-        }
-    };
-    let old = read_json(&old_path);
-    let new = read_json(&new_path);
+fn cmd_obs(a: &Args) -> Result<(), CliError> {
+    let (old_path, new_path) =
+        match (
+            a.positional.first().map(String::as_str),
+            a.positional.get(1),
+            a.positional.get(2),
+        ) {
+            (Some("diff"), Some(old), Some(new)) => (old.clone(), new.clone()),
+            _ => return Err(CliError::usage(
+                "usage: loom obs diff <old.json> <new.json> [--threshold B] [--warn-only] [--json]",
+            )),
+        };
+    let old = read_json(&old_path)?;
+    let new = read_json(&new_path)?;
     let opts = loom_obs::DiffOptions {
-        tolerance_buckets: a.int_flag("threshold", 1).max(0) as usize,
+        tolerance_buckets: a.int_flag("threshold", 1)?.max(0) as usize,
     };
     let report = loom_obs::diff::diff(&old, &new, &opts);
     if a.switch("json") {
@@ -938,14 +955,15 @@ fn cmd_obs(a: &Args) {
         if a.switch("warn-only") {
             eprintln!("regressions found (exit 0: --warn-only)");
         } else {
-            std::process::exit(1);
+            return Err(CliError::Diagnostics);
         }
     }
+    Ok(())
 }
 
-fn cmd_table1(a: &Args) {
-    let m = a.int_flag("m", 1024).max(1) as u64;
-    let params = machine_params(a);
+fn cmd_table1(a: &Args) -> Result<(), CliError> {
+    let m = a.int_flag("m", 1024)?.max(1) as u64;
+    let params = machine_params(a)?;
     let mut t = Table::new(["N", "T_exec (symbolic)", "ticks"]);
     for (n, terms) in table1_rows(m) {
         t.row([
@@ -955,12 +973,16 @@ fn cmd_table1(a: &Args) {
         ]);
     }
     println!("{t}");
+    Ok(())
 }
 
 fn main() {
     let a = args::parse(std::env::args().skip(1));
-    match a.command.as_deref() {
-        Some("workloads") => cmd_workloads(),
+    let result = match a.command.as_deref() {
+        Some("workloads") => {
+            cmd_workloads();
+            Ok(())
+        }
         Some("partition") => cmd_partition(&a),
         Some("map") => cmd_map(&a),
         Some("simulate") | Some("sim") => cmd_simulate(&a),
@@ -972,5 +994,9 @@ fn main() {
         Some("obs") => cmd_obs(&a),
         Some("table1") => cmd_table1(&a),
         _ => usage(),
+    };
+    if let Err(e) = result {
+        e.render();
+        std::process::exit(e.exit_code());
     }
 }

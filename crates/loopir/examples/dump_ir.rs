@@ -1,0 +1,29 @@
+//! Dump the parsed IR of a `.loom` file as pretty-printed `Debug` text.
+//!
+//! The frontend-golden tests compare the resilient parser's output
+//! against dumps taken from the seed (pre-recovery) parser, byte for
+//! byte; regenerate them with
+//! `cargo run -p loom-loopir --example dump_ir -- samples/foo.loom`.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: dump_ir <file.loom>");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let name = path.rsplit('/').next().unwrap_or("nest");
+    match loom_loopir::parse::parse_nest(name, &src) {
+        Ok(nest) => println!("{nest:#?}"),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

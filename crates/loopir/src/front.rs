@@ -1,0 +1,251 @@
+//! Front-end diagnostics: stable `LP0NN` codes, source spans with
+//! line/column positions, resource limits, and the outcome type the
+//! resilient parser returns.
+//!
+//! The front end faces untrusted input (`loom check --file`, and
+//! eventually `loom serve`), so instead of aborting on the first
+//! problem it collects every diagnostic it can recover in one pass.
+//! Each diagnostic carries a stable rule code — `LP001`…`LP008`, the
+//! front-end counterpart of the checker's `LC0NN` catalogue — which
+//! `loom-check` maps onto its `Report` machinery for human, JSON, and
+//! SARIF rendering plus `--allow` suppression.
+
+/// Stable identifiers for every front-end diagnostic. Like the
+/// `LC0NN` rules, the numeric codes are part of the output contract:
+/// golden tests snapshot them and CI greps them, so codes are never
+/// reused or renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LpCode {
+    /// `LP001` — a character outside the `.loom` alphabet; the lexer
+    /// skips the run and continues.
+    InvalidChar,
+    /// `LP002` — an integer literal that does not fit `i64`; the lexer
+    /// substitutes `0` and continues.
+    IntOverflow,
+    /// `LP003` — a syntax error (`expected X, found Y`); the parser
+    /// resynchronizes at the next statement, line, or bracket boundary.
+    Expected,
+    /// `LP004` — a subscript references an identifier that is not a
+    /// loop index.
+    UnknownIndex,
+    /// `LP005` — a non-affine subscript (variable times variable).
+    NonAffine,
+    /// `LP006` — a malformed `step` clause (non-positive, non-constant
+    /// bounds, or not an integer).
+    BadStep,
+    /// `LP007` — the recovered pieces do not form a valid nest (no
+    /// loops, no statements, invalid bounds, dimension mismatch).
+    InvalidNest,
+    /// `LP008` — a resource limit was hit: input size, token count,
+    /// expression depth, loop-nest depth, or the diagnostic cap.
+    LimitExceeded,
+}
+
+impl LpCode {
+    /// The stable code, e.g. `"LP001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LpCode::InvalidChar => "LP001",
+            LpCode::IntOverflow => "LP002",
+            LpCode::Expected => "LP003",
+            LpCode::UnknownIndex => "LP004",
+            LpCode::NonAffine => "LP005",
+            LpCode::BadStep => "LP006",
+            LpCode::InvalidNest => "LP007",
+            LpCode::LimitExceeded => "LP008",
+        }
+    }
+
+    /// The short kebab-case name, e.g. `"lex-invalid-char"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LpCode::InvalidChar => "lex-invalid-char",
+            LpCode::IntOverflow => "lex-int-overflow",
+            LpCode::Expected => "parse-expected",
+            LpCode::UnknownIndex => "parse-unknown-index",
+            LpCode::NonAffine => "parse-non-affine",
+            LpCode::BadStep => "parse-bad-step",
+            LpCode::InvalidNest => "parse-invalid-nest",
+            LpCode::LimitExceeded => "resource-limit",
+        }
+    }
+
+    /// Every code, in numeric order.
+    pub fn all() -> [LpCode; 8] {
+        [
+            LpCode::InvalidChar,
+            LpCode::IntOverflow,
+            LpCode::Expected,
+            LpCode::UnknownIndex,
+            LpCode::NonAffine,
+            LpCode::BadStep,
+            LpCode::InvalidNest,
+            LpCode::LimitExceeded,
+        ]
+    }
+}
+
+impl std::fmt::Display for LpCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One recovered front-end diagnostic. All front-end diagnostics are
+/// errors: the source does not conform to the grammar (`--allow` can
+/// still downgrade them once they reach a `loom_check::Report`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontDiag {
+    /// Which code fired.
+    pub code: LpCode,
+    /// Byte offset where the problem starts.
+    pub start: usize,
+    /// Byte offset one past where the problem ends (`start == end`
+    /// marks a point, e.g. end-of-input).
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column (in bytes) of `start`.
+    pub col: u32,
+    /// The human explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error[{}] {}:{}: {}",
+            self.code, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Resource caps the lexer and parser enforce on untrusted input.
+/// Every violation is reported as an `LP008` diagnostic instead of an
+/// unbounded allocation, a stack overflow, or a hang.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontLimits {
+    /// Largest accepted source, in bytes.
+    pub max_input_bytes: usize,
+    /// Largest accepted token count.
+    pub max_tokens: usize,
+    /// Deepest accepted expression/subscript nesting.
+    pub max_depth: usize,
+    /// Deepest accepted loop nest.
+    pub max_dims: usize,
+    /// Most diagnostics collected before the parser gives up.
+    pub max_diags: usize,
+}
+
+impl Default for FrontLimits {
+    fn default() -> FrontLimits {
+        FrontLimits {
+            max_input_bytes: 1 << 20,
+            max_tokens: 1 << 17,
+            max_depth: 64,
+            max_dims: 32,
+            max_diags: 64,
+        }
+    }
+}
+
+/// What the resilient parser returns: the nest it could build (partial
+/// or complete) plus every diagnostic collected in the single pass.
+///
+/// Invariant: `diags.is_empty()` implies `nest.is_some()`. With
+/// diagnostics present the nest may still be `Some` — the recovered
+/// portion — which is what lets `--allow` accept slightly-damaged
+/// input on purpose.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseOutcome {
+    /// The (possibly partial) IR, when enough of the source survived.
+    pub nest: Option<crate::nest::LoopNest>,
+    /// Every diagnostic, in source-scan order.
+    pub diags: Vec<FrontDiag>,
+}
+
+impl ParseOutcome {
+    /// `true` iff any diagnostic was collected.
+    pub fn has_errors(&self) -> bool {
+        !self.diags.is_empty()
+    }
+
+    /// The first diagnostic in scan order, if any — what the
+    /// abort-on-first-error compatibility wrapper reports.
+    pub fn first_error(&self) -> Option<&FrontDiag> {
+        self.diags.first()
+    }
+}
+
+/// 1-based (line, column) of a byte offset. Columns count bytes, tabs
+/// count as one. Offsets past the end map to the position just after
+/// the last character.
+pub fn line_col(src: &str, offset: usize) -> (u32, u32) {
+    let offset = offset.min(src.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for &b in &src.as_bytes()[..offset] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes: Vec<&str> = LpCode::all().iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["LP001", "LP002", "LP003", "LP004", "LP005", "LP006", "LP007", "LP008"]
+        );
+        let mut names: Vec<&str> = LpCode::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LpCode::all().len());
+    }
+
+    #[test]
+    fn line_col_positions() {
+        let src = "ab\ncd\n";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 6), (3, 1));
+        // Past the end clamps.
+        assert_eq!(line_col(src, 100), (3, 1));
+        assert_eq!(line_col("", 0), (1, 1));
+    }
+
+    #[test]
+    fn diag_renders_with_position() {
+        let d = FrontDiag {
+            code: LpCode::UnknownIndex,
+            start: 5,
+            end: 6,
+            line: 2,
+            col: 3,
+            message: "unknown loop index `q`".into(),
+        };
+        assert_eq!(d.to_string(), "error[LP004] 2:3: unknown loop index `q`");
+    }
+
+    #[test]
+    fn default_limits_are_sane() {
+        let l = FrontLimits::default();
+        assert!(l.max_input_bytes >= 1 << 16);
+        assert!(l.max_tokens >= 1 << 12);
+        assert!(l.max_depth >= 16);
+        assert!(l.max_dims >= 6); // every paper workload fits
+        assert!(l.max_diags >= 8);
+    }
+}

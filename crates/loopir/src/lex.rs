@@ -1,0 +1,260 @@
+//! Stage one of the resilient front end: a spanned, error-recovering
+//! lexer.
+//!
+//! Unlike the seed lexer (which aborted on the first bad character),
+//! this one never fails: characters outside the alphabet become one
+//! [`LpCode::InvalidChar`] diagnostic per run and are skipped,
+//! overflowing integer literals become [`LpCode::IntOverflow`] with a
+//! `0` poison token, and the token stream is capped at
+//! [`FrontLimits::max_tokens`] so adversarial input cannot make the
+//! parser allocate without bound. Every token carries its byte span so
+//! downstream diagnostics can point at real source positions.
+
+use crate::front::{line_col, FrontDiag, FrontLimits, LpCode};
+
+/// A half-open byte range into the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrcSpan {
+    /// First byte of the token.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`for`, `to`, `step`, `max`, `min`).
+    Ident(String),
+    /// An integer literal (overflows are poisoned to `0` + `LP002`).
+    Int(i64),
+    /// One of `[ ] ( ) , ; = + - *`.
+    Sym(char),
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The classified content.
+    pub kind: TokKind,
+    /// Where it sits in the source.
+    pub span: SrcSpan,
+}
+
+/// The lexer's output: the (possibly truncated) token stream plus any
+/// diagnostics. Lexing never aborts; `truncated` records that the
+/// token cap cut the stream short.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LexOutput {
+    /// The tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Lexer diagnostics (`LP001`, `LP002`, `LP008`), in source order.
+    pub diags: Vec<FrontDiag>,
+    /// `true` iff `max_tokens` stopped the scan before end of input.
+    pub truncated: bool,
+}
+
+/// Make a diagnostic with its line/column resolved against `src`.
+pub(crate) fn diag(
+    src: &str,
+    code: LpCode,
+    start: usize,
+    end: usize,
+    message: String,
+) -> FrontDiag {
+    let (line, col) = line_col(src, start);
+    FrontDiag {
+        code,
+        start,
+        end,
+        line,
+        col,
+        message,
+    }
+}
+
+/// Tokenize `src` under `limits`. The caller is responsible for the
+/// input-size cap (the parser checks it before calling, so the error
+/// is reported exactly once).
+pub fn lex(src: &str, limits: &FrontLimits) -> LexOutput {
+    let bytes = src.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0;
+    while i < bytes.len() {
+        if out.tokens.len() >= limits.max_tokens {
+            out.diags.push(diag(
+                src,
+                LpCode::LimitExceeded,
+                i,
+                i,
+                format!(
+                    "token limit exceeded: more than {} tokens; rest of input ignored",
+                    limits.max_tokens
+                ),
+            ));
+            out.truncated = true;
+            break;
+        }
+        let c = bytes[i] as char;
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident(src[start..i].to_string()),
+                span: SrcSpan { start, end: i },
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().unwrap_or_else(|_| {
+                out.diags.push(diag(
+                    src,
+                    LpCode::IntOverflow,
+                    start,
+                    i,
+                    "integer too large".into(),
+                ));
+                0
+            });
+            out.tokens.push(Token {
+                kind: TokKind::Int(n),
+                span: SrcSpan { start, end: i },
+            });
+        } else if "[](),;=+-*".contains(c) {
+            out.tokens.push(Token {
+                kind: TokKind::Sym(c),
+                span: SrcSpan {
+                    start: i,
+                    end: i + 1,
+                },
+            });
+            i += 1;
+        } else {
+            // One diagnostic per run of invalid bytes: a megabyte of
+            // garbage yields one LP001, not a diagnostic flood.
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                let valid = c == '#'
+                    || c.is_whitespace()
+                    || c.is_ascii_alphanumeric()
+                    || c == '_'
+                    || "[](),;=+-*".contains(c);
+                if valid {
+                    break;
+                }
+                // Step over whole UTF-8 sequences, never mid-codepoint.
+                i += src[i..].chars().next().map_or(1, char::len_utf8);
+            }
+            let shown: String = src[start..i].chars().take(8).collect();
+            out.diags.push(diag(
+                src,
+                LpCode::InvalidChar,
+                start,
+                i,
+                format!("unexpected character(s) `{shown}`"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src, &FrontLimits::default())
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokens_carry_spans() {
+        let out = lex("for i = 10", &FrontLimits::default());
+        assert!(out.diags.is_empty());
+        assert_eq!(out.tokens.len(), 4);
+        assert_eq!(out.tokens[0].span, SrcSpan { start: 0, end: 3 });
+        assert_eq!(out.tokens[3].span, SrcSpan { start: 8, end: 10 });
+        assert_eq!(out.tokens[3].kind, TokKind::Int(10));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        assert_eq!(
+            kinds("# all comment\n  a = 1 ; # trailing"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Sym('='),
+                TokKind::Int(1),
+                TokKind::Sym(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_runs_become_one_diag_and_lexing_continues() {
+        let out = lex("a @@@ b ! c", &FrontLimits::default());
+        assert_eq!(out.diags.len(), 2);
+        assert_eq!(out.diags[0].code, LpCode::InvalidChar);
+        assert_eq!(out.diags[0].start, 2);
+        assert_eq!(out.diags[0].end, 5);
+        assert_eq!(
+            out.tokens.iter().map(|t| &t.kind).collect::<Vec<_>>(),
+            vec![
+                &TokKind::Ident("a".into()),
+                &TokKind::Ident("b".into()),
+                &TokKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multibyte_garbage_does_not_split_codepoints() {
+        let out = lex("α β\nfor", &FrontLimits::default());
+        assert_eq!(out.diags.len(), 2); // two runs, split by valid whitespace
+        assert_eq!(kinds("α β\nfor"), vec![TokKind::Ident("for".into())]);
+    }
+
+    #[test]
+    fn int_overflow_poisons_to_zero() {
+        let out = lex("99999999999999999999", &FrontLimits::default());
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!(out.diags[0].code, LpCode::IntOverflow);
+        assert_eq!(out.tokens[0].kind, TokKind::Int(0));
+    }
+
+    #[test]
+    fn token_cap_truncates_with_diag() {
+        let limits = FrontLimits {
+            max_tokens: 4,
+            ..FrontLimits::default()
+        };
+        let out = lex("a b c d e f", &limits);
+        assert!(out.truncated);
+        assert_eq!(out.tokens.len(), 4);
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!(out.diags[0].code, LpCode::LimitExceeded);
+    }
+
+    #[test]
+    fn diags_carry_line_and_column() {
+        let out = lex("ok\n  @bad", &FrontLimits::default());
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!((out.diags[0].line, out.diags[0].col), (2, 3));
+    }
+}

@@ -25,6 +25,8 @@
 pub mod access;
 pub mod aff;
 pub mod deps;
+pub mod front;
+pub mod lex;
 pub mod nest;
 pub mod normalize;
 pub mod parse;
@@ -36,7 +38,9 @@ pub use aff::Aff;
 pub use deps::{
     accesses_by_array, extract_dependences, AccessSite, DepKind, DepOptions, Dependence,
 };
+pub use front::{FrontDiag, FrontLimits, LpCode, ParseOutcome};
 pub use nest::{LoopNest, Stmt};
+pub use parse::{parse_nest, parse_nest_recovering, parse_nest_with_limits, ParseError};
 pub use space::IterSpace;
 
 /// An iteration-space point (loop index value).

@@ -1,4 +1,4 @@
-//! A small text front-end: parse loop nests from source form.
+//! A resilient text front end: parse loop nests from source form.
 //!
 //! Grammar (whitespace-insensitive; `#` starts a line comment):
 //!
@@ -24,15 +24,34 @@
 //!
 //! Non-unit steps are supported for constant-bound loops and are
 //! normalized away (see [`crate::normalize`]).
+//!
+//! The front end runs in two stages — the spanned lexer in
+//! [`crate::lex`] feeding a recursive-descent parser — and is built to
+//! face untrusted input: instead of aborting at the first problem,
+//! [`parse_nest_recovering`] collects *every* diagnostic it can in a
+//! single pass (stable `LP0NN` codes, see [`crate::front`]), recovering
+//! at statement and line boundaries and by bracket matching, and still
+//! returns the partial IR it managed to build. Resource limits
+//! ([`FrontLimits`]) cap input size, token count, expression depth,
+//! nest depth, and diagnostic count, so adversarial input cannot cause
+//! unbounded allocation, stack overflow, or hangs. The historical
+//! [`parse_nest`] entry point is a thin wrapper that reports the first
+//! diagnostic as a [`ParseError`]; for valid input the two are
+//! identical (golden tests pin the IR byte-for-byte against the seed
+//! parser's output).
 
 use crate::access::Access;
 use crate::aff::Aff;
+use crate::front::{FrontDiag, FrontLimits, LpCode, ParseOutcome};
+use crate::lex::{lex, SrcSpan, TokKind, Token};
 use crate::nest::{LoopNest, Stmt};
 use crate::normalize::{normalize_rect, RawLevel};
 use crate::sem::Expr;
 use crate::space::IterSpace;
 
-/// A parse failure with its byte offset in the source.
+/// A parse failure with its byte offset in the source — the
+/// first-diagnostic view used by [`parse_nest`] and kept for callers
+/// that want a plain `Result`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset where the error was detected.
@@ -49,97 +68,50 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Int(i64),
-    Sym(char),
+/// Diagnostic collector with a hard cap: once `max_diags` is reached
+/// the parser stops recording (and the main loop stops parsing), so a
+/// pathological input cannot grow the report without bound.
+struct Sink<'s> {
+    src: &'s str,
+    diags: Vec<FrontDiag>,
+    max: usize,
+    overflowed: bool,
 }
 
-struct Lexer {
-    toks: Vec<(usize, Tok)>,
-    pos: usize,
-}
-
-fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
-    let bytes = src.as_bytes();
-    let mut toks = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c == '#' {
-            while i < bytes.len() && bytes[i] != b'\n' {
-                i += 1;
-            }
-        } else if c.is_whitespace() {
-            i += 1;
-        } else if c.is_ascii_alphabetic() || c == '_' {
-            let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-            {
-                i += 1;
-            }
-            toks.push((start, Tok::Ident(src[start..i].to_string())));
-        } else if c.is_ascii_digit() {
-            let start = i;
-            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
-                i += 1;
-            }
-            let n: i64 = src[start..i].parse().map_err(|_| ParseError {
-                at: start,
-                message: "integer too large".into(),
-            })?;
-            toks.push((start, Tok::Int(n)));
-        } else if "[](),;=+-*".contains(c) {
-            toks.push((i, Tok::Sym(c)));
-            i += 1;
-        } else {
-            return Err(ParseError {
-                at: i,
-                message: format!("unexpected character `{c}`"),
-            });
+impl<'s> Sink<'s> {
+    fn new(src: &'s str, limits: &FrontLimits) -> Sink<'s> {
+        Sink {
+            src,
+            diags: Vec::new(),
+            max: limits.max_diags,
+            overflowed: false,
         }
     }
-    Ok(toks)
-}
 
-impl Lexer {
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(_, t)| t)
+    fn push(&mut self, code: LpCode, start: usize, end: usize, message: String) {
+        if self.diags.len() >= self.max {
+            self.overflowed = true;
+            return;
+        }
+        self.diags
+            .push(crate::lex::diag(self.src, code, start, end, message));
     }
 
-    fn at(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|&(o, _)| o)
-            .unwrap_or(usize::MAX)
-    }
-
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
-        self.pos += 1;
-        t
-    }
-
-    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
-        let at = self.at();
-        match self.next() {
-            Some(Tok::Sym(s)) if s == c => Ok(()),
-            other => Err(ParseError {
+    fn finish(mut self) -> Vec<FrontDiag> {
+        if self.overflowed {
+            let at = self.src.len();
+            self.diags.push(crate::lex::diag(
+                self.src,
+                LpCode::LimitExceeded,
                 at,
-                message: format!("expected `{c}`, found {other:?}"),
-            }),
+                at,
+                format!(
+                    "diagnostic limit exceeded: more than {} problems; giving up",
+                    self.max
+                ),
+            ));
         }
-    }
-
-    fn eat_ident(&mut self, word: &str) -> bool {
-        if self.peek() == Some(&Tok::Ident(word.to_string())) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
+        self.diags
     }
 }
 
@@ -169,17 +141,17 @@ impl Lin {
 
     fn add(mut self, o: &Lin, sign: i64) -> Lin {
         for (a, b) in self.coeffs.iter_mut().zip(&o.coeffs) {
-            *a += sign * b;
+            *a = a.wrapping_add(sign.wrapping_mul(*b));
         }
-        self.constant += sign * o.constant;
+        self.constant = self.constant.wrapping_add(sign.wrapping_mul(o.constant));
         self
     }
 
     fn scale(mut self, k: i64) -> Lin {
         for a in &mut self.coeffs {
-            *a *= k;
+            *a = a.wrapping_mul(k);
         }
-        self.constant *= k;
+        self.constant = self.constant.wrapping_mul(k);
         self
     }
 
@@ -192,29 +164,221 @@ impl Lin {
     }
 }
 
-struct Parser {
-    lx: Lexer,
-    idents: Vec<String>,
-    n: usize,
+/// A parsed loop header; poisoned to `0 to 0 step 1` after a recovery.
+struct Header {
+    lo: Lin,
+    hi: Lin,
+    step: i64,
 }
 
-impl Parser {
+impl Header {
+    fn poison(n: usize) -> Header {
+        Header {
+            lo: Lin::constant(n, 0),
+            hi: Lin::constant(n, 0),
+            step: 1,
+        }
+    }
+}
+
+/// Marker for "a diagnostic was recorded; resynchronize".
+type Recover = ();
+
+struct Parser<'s> {
+    toks: Vec<Token>,
+    pos: usize,
+    idents: Vec<String>,
+    n: usize,
+    sink: Sink<'s>,
+    depth: usize,
+    limits: FrontLimits,
+    src_len: usize,
+    /// Byte offsets where each source line starts, for the
+    /// line-boundary synchronization heuristic.
+    line_starts: Vec<usize>,
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Option<&TokKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn span(&self) -> SrcSpan {
+        self.toks.get(self.pos).map(|t| t.span).unwrap_or(SrcSpan {
+            start: self.src_len,
+            end: self.src_len,
+        })
+    }
+
+    fn error(&mut self, code: LpCode, span: SrcSpan, message: String) {
+        self.sink.push(code, span.start, span.end, message);
+    }
+
+    /// Record an `expected X, found Y` diagnostic at the current token
+    /// *without* consuming it — the synchronizer decides what to skip.
+    fn expected(&mut self, what: &str) {
+        let span = self.span();
+        let found = match self.peek() {
+            Some(TokKind::Ident(name)) => format!("`{name}`"),
+            Some(TokKind::Int(v)) => format!("`{v}`"),
+            Some(TokKind::Sym(c)) => format!("`{c}`"),
+            None => "end of input".into(),
+        };
+        self.error(
+            LpCode::Expected,
+            span,
+            format!("expected {what}, found {found}"),
+        );
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&TokKind::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), Recover> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            self.expected(&format!("`{c}`"));
+            Err(())
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(TokKind::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     fn ident_index(&self, name: &str) -> Option<usize> {
         self.idents.iter().position(|i| i == name)
     }
 
+    /// `true` iff token `i` is the first token on its source line —
+    /// the line-boundary part of the synchronization heuristic.
+    fn starts_line(&self, i: usize) -> bool {
+        let Some(t) = self.toks.get(i) else {
+            return false;
+        };
+        if i == 0 {
+            return true;
+        }
+        let prev_end = self.toks[i - 1].span.end;
+        // A line boundary sits between the previous token and this one.
+        let line_of = |off: usize| match self.line_starts.binary_search(&off) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        line_of(t.span.start) > line_of(prev_end.saturating_sub(1))
+    }
+
+    /// `true` iff token `i` looks like the start of a statement
+    /// (`ident [`) or a loop header (`for`).
+    fn looks_like_sync_point(&self, i: usize) -> bool {
+        match self.toks.get(i).map(|t| &t.kind) {
+            Some(TokKind::Ident(w)) if w == "for" => true,
+            Some(TokKind::Ident(_)) => {
+                matches!(
+                    self.toks.get(i + 1).map(|t| &t.kind),
+                    Some(TokKind::Sym('['))
+                )
+            }
+            _ => false,
+        }
+    }
+
+    /// Statement-level synchronization: skip forward past the next `;`,
+    /// or stop just before a token that begins a new line and looks
+    /// like a fresh statement or header. Always makes progress.
+    fn sync_stmt(&mut self) {
+        let start = self.pos;
+        while let Some(k) = self.peek() {
+            if *k == TokKind::Sym(';') {
+                self.pos += 1;
+                return;
+            }
+            if self.pos > start
+                && self.starts_line(self.pos)
+                && self.looks_like_sync_point(self.pos)
+            {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Header-level synchronization: stop just before the next `for`
+    /// keyword or statement start; otherwise run to end of input.
+    fn sync_header(&mut self) {
+        let start = self.pos;
+        while self.peek().is_some() {
+            if self.pos > start && self.looks_like_sync_point(self.pos) {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Bracket-matching synchronization: called with one unclosed
+    /// `open` already consumed; skips to just past its matching close,
+    /// but refuses to run past a `;` (the statement boundary wins).
+    fn sync_close(&mut self, open: char, close: char) {
+        let mut depth = 1usize;
+        while let Some(k) = self.peek() {
+            match k {
+                TokKind::Sym(c) if *c == open => depth += 1,
+                TokKind::Sym(c) if *c == close => {
+                    depth -= 1;
+                    self.pos += 1;
+                    if depth == 0 {
+                        return;
+                    }
+                    continue;
+                }
+                TokKind::Sym(';') => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Depth guard shared by the expression and subscript grammars.
+    /// Exceeding the cap is an `LP008` and unwinds the current
+    /// statement.
+    fn enter(&mut self) -> Result<(), Recover> {
+        if self.depth >= self.limits.max_depth {
+            let span = self.span();
+            self.error(
+                LpCode::LimitExceeded,
+                span,
+                format!("expression nested deeper than {}", self.limits.max_depth),
+            );
+            return Err(());
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     /// aff := affterm (('+'|'-') affterm)*
-    fn parse_aff(&mut self) -> Result<Lin, ParseError> {
+    fn parse_aff(&mut self) -> Result<Lin, Recover> {
         let mut acc = self.parse_aff_term()?;
         loop {
-            match self.lx.peek() {
-                Some(Tok::Sym('+')) => {
-                    self.lx.next();
+            match self.peek() {
+                Some(TokKind::Sym('+')) => {
+                    self.pos += 1;
                     let t = self.parse_aff_term()?;
                     acc = acc.add(&t, 1);
                 }
-                Some(Tok::Sym('-')) => {
-                    self.lx.next();
+                Some(TokKind::Sym('-')) => {
+                    self.pos += 1;
                     let t = self.parse_aff_term()?;
                     acc = acc.add(&t, -1);
                 }
@@ -224,74 +388,126 @@ impl Parser {
     }
 
     /// affterm := afffactor ('*' afffactor)* with at most one variable part
-    fn parse_aff_term(&mut self) -> Result<Lin, ParseError> {
+    fn parse_aff_term(&mut self) -> Result<Lin, Recover> {
         let mut acc = self.parse_aff_factor()?;
-        while self.lx.peek() == Some(&Tok::Sym('*')) {
-            let at = self.lx.at();
-            self.lx.next();
+        while self.peek() == Some(&TokKind::Sym('*')) {
+            let span = self.span();
+            self.pos += 1;
             let f = self.parse_aff_factor()?;
             acc = if acc.is_const() {
                 f.scale(acc.constant)
             } else if f.is_const() {
                 acc.scale(f.constant)
             } else {
-                return Err(ParseError {
-                    at,
-                    message: "non-affine subscript: variable * variable".into(),
-                });
+                self.error(
+                    LpCode::NonAffine,
+                    span,
+                    "non-affine subscript: variable * variable".into(),
+                );
+                return Err(());
             };
         }
         Ok(acc)
     }
 
-    fn parse_aff_factor(&mut self) -> Result<Lin, ParseError> {
-        let at = self.lx.at();
-        match self.lx.next() {
-            Some(Tok::Int(v)) => Ok(Lin::constant(self.n, v)),
-            Some(Tok::Ident(name)) => match self.ident_index(&name) {
-                Some(k) => Ok(Lin::var(self.n, k)),
-                None => Err(ParseError {
-                    at,
-                    message: format!("unknown loop index `{name}`"),
-                }),
-            },
-            Some(Tok::Sym('-')) => Ok(self.parse_aff_factor()?.scale(-1)),
-            Some(Tok::Sym('(')) => {
-                let inner = self.parse_aff()?;
-                self.lx.expect_sym(')')?;
-                Ok(inner)
+    fn parse_aff_factor(&mut self) -> Result<Lin, Recover> {
+        self.enter()?;
+        let r = self.parse_aff_factor_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_aff_factor_inner(&mut self) -> Result<Lin, Recover> {
+        let span = self.span();
+        match self.peek().cloned() {
+            Some(TokKind::Int(v)) => {
+                self.pos += 1;
+                Ok(Lin::constant(self.n, v))
             }
-            other => Err(ParseError {
-                at,
-                message: format!("expected subscript expression, found {other:?}"),
-            }),
+            Some(TokKind::Ident(name)) => {
+                self.pos += 1;
+                match self.ident_index(&name) {
+                    Some(k) => Ok(Lin::var(self.n, k)),
+                    None => {
+                        self.error(
+                            LpCode::UnknownIndex,
+                            span,
+                            format!("unknown loop index `{name}`"),
+                        );
+                        Err(())
+                    }
+                }
+            }
+            Some(TokKind::Sym('-')) => {
+                self.pos += 1;
+                Ok(self.parse_aff_factor()?.scale(-1))
+            }
+            Some(TokKind::Sym('(')) => {
+                self.pos += 1;
+                match self.parse_aff() {
+                    Ok(inner) => {
+                        if !self.eat_sym(')') {
+                            self.expected("`)`");
+                            self.sync_close('(', ')');
+                        }
+                        Ok(inner)
+                    }
+                    Err(()) => {
+                        // The inner error is already recorded; skip the
+                        // rest of the parenthesized group and poison.
+                        self.sync_close('(', ')');
+                        Err(())
+                    }
+                }
+            }
+            _ => {
+                self.expected("subscript expression");
+                Err(())
+            }
         }
     }
 
     /// access := ident '[' aff (',' aff)* ']'
-    fn parse_access(&mut self, array: String) -> Result<Access, ParseError> {
-        self.lx.expect_sym('[')?;
-        let mut subs = vec![self.parse_aff()?.to_aff()];
-        while self.lx.peek() == Some(&Tok::Sym(',')) {
-            self.lx.next();
-            subs.push(self.parse_aff()?.to_aff());
+    ///
+    /// Recovers inside the brackets: a bad subscript expression skips
+    /// to the matching `]` and poisons that subscript, so the rest of
+    /// the statement can still be checked.
+    fn parse_access(&mut self, array: String) -> Result<Access, Recover> {
+        self.expect_sym('[')?;
+        let mut subs = Vec::new();
+        loop {
+            match self.parse_aff() {
+                Ok(l) => subs.push(l.to_aff()),
+                Err(()) => {
+                    self.sync_close('[', ']');
+                    subs.push(Lin::constant(self.n, 0).to_aff());
+                    return Ok(Access::new(array, subs));
+                }
+            }
+            if self.eat_sym(',') {
+                continue;
+            }
+            if self.eat_sym(']') {
+                return Ok(Access::new(array, subs));
+            }
+            self.expected("`,` or `]`");
+            self.sync_close('[', ']');
+            return Ok(Access::new(array, subs));
         }
-        self.lx.expect_sym(']')?;
-        Ok(Access::new(array, subs))
     }
 
     /// expr := term (('+'|'-') term)*
-    fn parse_expr(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
+    fn parse_expr(&mut self, reads: &mut Vec<Access>) -> Result<Expr, Recover> {
         let mut acc = self.parse_term(reads)?;
         loop {
-            match self.lx.peek() {
-                Some(Tok::Sym('+')) => {
-                    self.lx.next();
+            match self.peek() {
+                Some(TokKind::Sym('+')) => {
+                    self.pos += 1;
                     let t = self.parse_term(reads)?;
                     acc = Expr::add(acc, t);
                 }
-                Some(Tok::Sym('-')) => {
-                    self.lx.next();
+                Some(TokKind::Sym('-')) => {
+                    self.pos += 1;
                     let t = self.parse_term(reads)?;
                     acc = Expr::sub(acc, t);
                 }
@@ -300,74 +516,128 @@ impl Parser {
         }
     }
 
-    fn parse_term(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
+    fn parse_term(&mut self, reads: &mut Vec<Access>) -> Result<Expr, Recover> {
         let mut acc = self.parse_factor(reads)?;
-        while self.lx.peek() == Some(&Tok::Sym('*')) {
-            self.lx.next();
+        while self.peek() == Some(&TokKind::Sym('*')) {
+            self.pos += 1;
             let f = self.parse_factor(reads)?;
             acc = Expr::mul(acc, f);
         }
         Ok(acc)
     }
 
-    fn parse_factor(&mut self, reads: &mut Vec<Access>) -> Result<Expr, ParseError> {
-        let at = self.lx.at();
-        match self.lx.next() {
-            Some(Tok::Int(v)) => Ok(Expr::Const(v as f64)),
-            Some(Tok::Sym('-')) => {
+    fn parse_factor(&mut self, reads: &mut Vec<Access>) -> Result<Expr, Recover> {
+        self.enter()?;
+        let r = self.parse_factor_inner(reads);
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_factor_inner(&mut self, reads: &mut Vec<Access>) -> Result<Expr, Recover> {
+        let span = self.span();
+        match self.peek().cloned() {
+            Some(TokKind::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Const(v as f64))
+            }
+            Some(TokKind::Sym('-')) => {
+                self.pos += 1;
                 let f = self.parse_factor(reads)?;
                 Ok(Expr::sub(Expr::Const(0.0), f))
             }
-            Some(Tok::Sym('(')) => {
-                let inner = self.parse_expr(reads)?;
-                self.lx.expect_sym(')')?;
-                Ok(inner)
+            Some(TokKind::Sym('(')) => {
+                self.pos += 1;
+                match self.parse_expr(reads) {
+                    Ok(inner) => {
+                        if !self.eat_sym(')') {
+                            self.expected("`)`");
+                            self.sync_close('(', ')');
+                        }
+                        Ok(inner)
+                    }
+                    Err(()) => {
+                        self.sync_close('(', ')');
+                        Err(())
+                    }
+                }
             }
-            Some(Tok::Ident(name)) if name == "max" || name == "min" => {
-                self.lx.expect_sym('(')?;
-                let a = self.parse_expr(reads)?;
-                self.lx.expect_sym(',')?;
-                let b = self.parse_expr(reads)?;
-                self.lx.expect_sym(')')?;
+            Some(TokKind::Ident(name)) if name == "max" || name == "min" => {
+                self.pos += 1;
+                self.expect_sym('(')?;
+                let a = match self.parse_expr(reads) {
+                    Ok(a) => a,
+                    Err(()) => {
+                        self.sync_close('(', ')');
+                        return Err(());
+                    }
+                };
+                if !self.eat_sym(',') {
+                    self.expected("`,`");
+                    self.sync_close('(', ')');
+                    return Err(());
+                }
+                let b = match self.parse_expr(reads) {
+                    Ok(b) => b,
+                    Err(()) => {
+                        self.sync_close('(', ')');
+                        return Err(());
+                    }
+                };
+                if !self.eat_sym(')') {
+                    self.expected("`)`");
+                    self.sync_close('(', ')');
+                }
                 Ok(if name == "max" {
                     Expr::max(a, b)
                 } else {
                     Expr::min(a, b)
                 })
             }
-            Some(Tok::Ident(array)) => {
-                if self.lx.peek() != Some(&Tok::Sym('[')) {
-                    return Err(ParseError {
-                        at,
-                        message: format!("`{array}` must be subscripted (scalars not supported)"),
-                    });
+            Some(TokKind::Ident(array)) => {
+                self.pos += 1;
+                if self.peek() != Some(&TokKind::Sym('[')) {
+                    self.error(
+                        LpCode::Expected,
+                        span,
+                        format!("`{array}` must be subscripted (scalars not supported)"),
+                    );
+                    return Err(());
                 }
                 let acc = self.parse_access(array)?;
                 let idx = reads.len();
                 reads.push(acc);
                 Ok(Expr::Read(idx))
             }
-            other => Err(ParseError {
-                at,
-                message: format!("expected expression, found {other:?}"),
-            }),
+            _ => {
+                self.expected("expression");
+                Err(())
+            }
         }
     }
 
     /// stmt := access '=' expr ';'
-    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
-        let at = self.lx.at();
-        let Some(Tok::Ident(array)) = self.lx.next() else {
-            return Err(ParseError {
-                at,
-                message: "expected statement (array assignment)".into(),
-            });
+    ///
+    /// A missing trailing `;` is diagnosed but the statement is kept —
+    /// the next token is usually the start of the next statement.
+    fn parse_stmt(&mut self) -> Result<Stmt, Recover> {
+        self.depth = 0;
+        let array = match self.peek().cloned() {
+            Some(TokKind::Ident(a)) => {
+                self.pos += 1;
+                a
+            }
+            _ => {
+                self.expected("statement (array assignment)");
+                return Err(());
+            }
         };
         let write = self.parse_access(array)?;
-        self.lx.expect_sym('=')?;
+        self.expect_sym('=')?;
         let mut reads = Vec::new();
         let expr = self.parse_expr(&mut reads)?;
-        self.lx.expect_sym(';')?;
+        if !self.eat_sym(';') {
+            self.expected("`;`");
+        }
         // flops ≈ number of arithmetic nodes in the expression.
         fn count_ops(e: &Expr) -> u64 {
             match e {
@@ -382,130 +652,273 @@ impl Parser {
         let flops = count_ops(&expr).max(1);
         Ok(Stmt::assign(write, reads).with_flops(flops).with_expr(expr))
     }
+
+    /// loop := "for" ident "=" aff "to" aff [ "step" int ]
+    fn parse_header(&mut self) -> Result<Header, Recover> {
+        if !self.eat_ident("for") {
+            self.expected("`for`");
+            return Err(());
+        }
+        match self.peek() {
+            Some(TokKind::Ident(_)) => {
+                self.pos += 1;
+            }
+            _ => {
+                self.expected("loop identifier");
+                return Err(());
+            }
+        }
+        self.expect_sym('=')?;
+        let lo = self.parse_aff()?;
+        if !self.eat_ident("to") {
+            self.expected("`to`");
+            return Err(());
+        }
+        let hi = self.parse_aff()?;
+        let step = if self.eat_ident("step") {
+            let span = self.span();
+            match self.peek().cloned() {
+                Some(TokKind::Int(s)) if s > 0 => {
+                    self.pos += 1;
+                    s
+                }
+                _ => {
+                    self.error(
+                        LpCode::BadStep,
+                        span,
+                        "step must be a positive integer".into(),
+                    );
+                    return Err(());
+                }
+            }
+        } else {
+            1
+        };
+        Ok(Header { lo, hi, step })
+    }
 }
 
-/// Parse a nest from source text.
-pub fn parse_nest(name: &str, src: &str) -> Result<LoopNest, ParseError> {
-    let toks = lex(src)?;
+/// Parse a nest from source text, collecting every diagnostic the
+/// single pass can recover, under the default [`FrontLimits`].
+pub fn parse_nest_recovering(name: &str, src: &str) -> ParseOutcome {
+    parse_nest_with_limits(name, src, &FrontLimits::default())
+}
+
+/// [`parse_nest_recovering`] with explicit resource limits.
+pub fn parse_nest_with_limits(name: &str, src: &str, limits: &FrontLimits) -> ParseOutcome {
+    let mut sink = Sink::new(src, limits);
+    if src.len() > limits.max_input_bytes {
+        sink.push(
+            LpCode::LimitExceeded,
+            0,
+            0,
+            format!(
+                "input too large: {} bytes (limit {})",
+                src.len(),
+                limits.max_input_bytes
+            ),
+        );
+        return ParseOutcome {
+            nest: None,
+            diags: sink.finish(),
+        };
+    }
+
+    let lexed = lex(src, limits);
+    for d in lexed.diags {
+        sink.push(d.code, d.start, d.end, d.message);
+    }
+    let toks = lexed.tokens;
+
     // Pre-scan: loop identifiers in order.
     let mut idents = Vec::new();
     for w in toks.windows(2) {
-        if let (Tok::Ident(kw), Tok::Ident(id)) = (&w[0].1, &w[1].1) {
+        if let (TokKind::Ident(kw), TokKind::Ident(id)) = (&w[0].kind, &w[1].kind) {
             if kw == "for" {
                 idents.push(id.clone());
             }
         }
     }
     if idents.is_empty() {
-        return Err(ParseError {
-            at: 0,
-            message: "no loops found".into(),
-        });
+        sink.push(LpCode::InvalidNest, 0, 0, "no loops found".into());
+        return ParseOutcome {
+            nest: None,
+            diags: sink.finish(),
+        };
+    }
+    if idents.len() > limits.max_dims {
+        sink.push(
+            LpCode::LimitExceeded,
+            0,
+            0,
+            format!(
+                "loop nest deeper than {} levels ({} found)",
+                limits.max_dims,
+                idents.len()
+            ),
+        );
+        return ParseOutcome {
+            nest: None,
+            diags: sink.finish(),
+        };
     }
     let n = idents.len();
+
+    let mut line_starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+
     let mut p = Parser {
-        lx: Lexer { toks, pos: 0 },
+        toks,
+        pos: 0,
         idents,
         n,
+        sink,
+        depth: 0,
+        limits: *limits,
+        src_len: src.len(),
+        line_starts,
     };
 
-    // Loop headers.
-    struct Header {
-        lo: Lin,
-        hi: Lin,
-        step: i64,
-    }
+    // Loop headers. Exactly `n` are materialized; a failed header is
+    // poisoned to `0 to 0` so the levels stay aligned with the
+    // pre-scanned identifier list.
     let mut headers: Vec<Header> = Vec::new();
-    for level in 0..n {
-        let at = p.lx.at();
-        if !p.lx.eat_ident("for") {
-            return Err(ParseError {
-                at,
-                message: "expected `for`".into(),
-            });
+    for _level in 0..n {
+        if p.sink.overflowed {
+            headers.push(Header::poison(n));
+            continue;
         }
-        let Some(Tok::Ident(id)) = p.lx.next() else {
-            return Err(ParseError {
-                at,
-                message: "expected loop identifier".into(),
-            });
-        };
-        debug_assert_eq!(id, p.idents[level]);
-        p.lx.expect_sym('=')?;
-        let lo = p.parse_aff()?;
-        let at2 = p.lx.at();
-        if !p.lx.eat_ident("to") {
-            return Err(ParseError {
-                at: at2,
-                message: "expected `to`".into(),
-            });
-        }
-        let hi = p.parse_aff()?;
-        let step = if p.lx.eat_ident("step") {
-            let at3 = p.lx.at();
-            match p.lx.next() {
-                Some(Tok::Int(s)) if s > 0 => s,
-                _ => {
-                    return Err(ParseError {
-                        at: at3,
-                        message: "step must be a positive integer".into(),
-                    })
-                }
+        if p.peek().is_none() {
+            if headers.len() < n && !p.sink.overflowed {
+                let at = p.src_len;
+                p.sink.push(
+                    LpCode::Expected,
+                    at,
+                    at,
+                    "unexpected end of input in loop headers".into(),
+                );
             }
-        } else {
-            1
-        };
-        headers.push(Header { lo, hi, step });
+            while headers.len() < n {
+                headers.push(Header::poison(n));
+            }
+            break;
+        }
+        let before = p.pos;
+        match p.parse_header() {
+            Ok(h) => headers.push(h),
+            Err(()) => {
+                p.sync_header();
+                if p.pos == before {
+                    p.pos += 1; // always make progress
+                }
+                headers.push(Header::poison(n));
+            }
+        }
     }
 
-    // Statements.
+    // Statements, with statement/line-boundary resynchronization.
     let mut stmts = Vec::new();
-    while p.lx.peek().is_some() {
-        stmts.push(p.parse_stmt()?);
+    while p.peek().is_some() && !p.sink.overflowed {
+        let before = p.pos;
+        match p.parse_stmt() {
+            Ok(s) => stmts.push(s),
+            Err(()) => p.sync_stmt(),
+        }
+        if p.pos == before {
+            p.pos += 1; // always make progress
+        }
     }
+
+    let mut sink = p.sink;
     if stmts.is_empty() {
-        return Err(ParseError {
-            at: usize::MAX,
-            message: "no statements found".into(),
-        });
+        let at = src.len();
+        sink.push(LpCode::InvalidNest, at, at, "no statements found".into());
+        return ParseOutcome {
+            nest: None,
+            diags: sink.finish(),
+        };
     }
 
     // Materialize: unit strides with (possibly affine) bounds go straight
     // to an IterSpace; any non-unit stride requires constant bounds and
     // routes through normalization.
-    if headers.iter().all(|h| h.step == 1) {
+    let nest = if headers.iter().all(|h| h.step == 1) {
         let lo: Vec<Aff> = headers.iter().map(|h| h.lo.to_aff()).collect();
         let hi: Vec<Aff> = headers.iter().map(|h| h.hi.to_aff()).collect();
-        let space = IterSpace::new(lo, hi).map_err(|e| ParseError {
-            at: 0,
-            message: format!("invalid bounds: {e}"),
-        })?;
-        LoopNest::new(name, space, stmts).map_err(|e| ParseError {
-            at: 0,
-            message: format!("invalid nest: {e}"),
-        })
-    } else {
-        let levels: Result<Vec<RawLevel>, ParseError> = headers
-            .iter()
-            .map(|h| {
-                if h.lo.is_const() && h.hi.is_const() {
-                    Ok(RawLevel {
-                        lo: h.lo.constant,
-                        hi: h.hi.constant,
-                        step: h.step,
-                    })
-                } else {
-                    Err(ParseError {
-                        at: 0,
-                        message: "non-unit step requires constant bounds".into(),
-                    })
+        match IterSpace::new(lo, hi) {
+            Ok(space) => match LoopNest::new(name, space, stmts) {
+                Ok(nest) => Some(nest),
+                Err(e) => {
+                    sink.push(LpCode::InvalidNest, 0, 0, format!("invalid nest: {e}"));
+                    None
                 }
-            })
-            .collect();
-        normalize_rect(name, &levels?, stmts).map_err(|e| ParseError {
+            },
+            Err(e) => {
+                sink.push(LpCode::InvalidNest, 0, 0, format!("invalid bounds: {e}"));
+                None
+            }
+        }
+    } else {
+        let mut levels = Vec::new();
+        let mut ok = true;
+        for h in &headers {
+            if h.lo.is_const() && h.hi.is_const() {
+                levels.push(RawLevel {
+                    lo: h.lo.constant,
+                    hi: h.hi.constant,
+                    step: h.step,
+                });
+            } else {
+                sink.push(
+                    LpCode::BadStep,
+                    0,
+                    0,
+                    "non-unit step requires constant bounds".into(),
+                );
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            match normalize_rect(name, &levels, stmts) {
+                Ok(nest) => Some(nest),
+                Err(e) => {
+                    sink.push(LpCode::InvalidNest, 0, 0, format!("invalid nest: {e}"));
+                    None
+                }
+            }
+        } else {
+            None
+        }
+    };
+
+    ParseOutcome {
+        nest,
+        diags: sink.finish(),
+    }
+}
+
+/// Parse a nest from source text, reporting only the first problem.
+///
+/// This is the historical abort-on-first-error interface; it is a thin
+/// wrapper over [`parse_nest_recovering`], so for valid input the IR is
+/// identical (the frontend golden tests pin this byte-for-byte against
+/// the seed parser's output).
+pub fn parse_nest(name: &str, src: &str) -> Result<LoopNest, ParseError> {
+    let outcome = parse_nest_recovering(name, src);
+    match outcome.first_error() {
+        None => outcome.nest.ok_or(ParseError {
             at: 0,
-            message: format!("invalid nest: {e}"),
-        })
+            message: "internal error: no diagnostics but no nest".into(),
+        }),
+        Some(d) => Err(ParseError {
+            at: d.start,
+            message: d.message.clone(),
+        }),
     }
 }
 
@@ -752,5 +1165,128 @@ mod tests {
     fn comments_and_whitespace_ignored() {
         let src = "# header\nfor i = 0 to 1 # trailing\n  A[i+1]=A[i];# end\n";
         assert!(parse_nest("c", src).is_ok());
+    }
+
+    // ---- recovery-specific behavior ----
+
+    #[test]
+    fn clean_input_has_no_diags_and_a_nest() {
+        let out = parse_nest_recovering("L1", L1_SRC);
+        assert!(out.diags.is_empty());
+        assert!(out.nest.is_some());
+        assert!(!out.has_errors());
+    }
+
+    #[test]
+    fn multiple_statement_errors_recovered_in_one_pass() {
+        let src = "for i = 0 to 3\n A[q] = 1;\n B[i*i] = 2;\n C[i] = 3;\n";
+        let out = parse_nest_recovering("multi", src);
+        let codes: Vec<&str> = out.diags.iter().map(|d| d.code.code()).collect();
+        assert_eq!(codes, vec!["LP004", "LP005"]);
+        // The undamaged statement survives into the partial IR.
+        let nest = out.nest.expect("partial nest");
+        assert!(nest.stmts().iter().any(|s| s.write().array() == "C"));
+        // The compat wrapper reports the first diagnostic.
+        let e = parse_nest("multi", src).unwrap_err();
+        assert!(e.message.contains("unknown loop index"));
+    }
+
+    #[test]
+    fn missing_semicolon_recovers_at_line_boundary() {
+        let src = "for i = 0 to 3\n A[i] = 1\n B[i] = 2;\n";
+        let out = parse_nest_recovering("semi", src);
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!(out.diags[0].code, LpCode::Expected);
+        let nest = out.nest.expect("both statements recovered");
+        assert_eq!(nest.stmts().len(), 2);
+    }
+
+    #[test]
+    fn unbalanced_bracket_syncs_and_continues() {
+        let src = "for i = 0 to 3\n A[i = 1;\n B[i] = 2;\n";
+        let out = parse_nest_recovering("brk", src);
+        assert!(!out.diags.is_empty());
+        let nest = out.nest.expect("partial nest");
+        assert!(nest.stmts().iter().any(|s| s.write().array() == "B"));
+    }
+
+    #[test]
+    fn bad_header_recovers_into_statements() {
+        let src = "for i = 0 frob 3\nfor j = 0 to 3\n A[i, j] = 1;\n";
+        let out = parse_nest_recovering("hdr", src);
+        assert!(out.diags.iter().any(|d| d.code == LpCode::Expected));
+        let nest = out.nest.expect("poisoned header still yields IR");
+        assert_eq!(nest.dim(), 2);
+    }
+
+    #[test]
+    fn depth_limit_is_enforced_not_overflowed() {
+        // An expression nested far past the cap must come back as LP008,
+        // not a stack overflow.
+        let src = format!(
+            "for i = 0 to 3\n A[i] = {}1{};\n",
+            "(".repeat(5000),
+            ")".repeat(5000)
+        );
+        let out = parse_nest_recovering("deep", &src);
+        assert!(out.diags.iter().any(|d| d.code == LpCode::LimitExceeded));
+    }
+
+    #[test]
+    fn input_size_limit() {
+        let limits = FrontLimits {
+            max_input_bytes: 64,
+            ..FrontLimits::default()
+        };
+        let src = "x".repeat(65);
+        let out = parse_nest_with_limits("big", &src, &limits);
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!(out.diags[0].code, LpCode::LimitExceeded);
+        assert!(out.nest.is_none());
+        // At the limit it is parsed (and fails for grammar reasons instead).
+        let out = parse_nest_with_limits("big", &"x".repeat(64), &limits);
+        assert!(out.diags.iter().all(|d| d.code != LpCode::LimitExceeded));
+    }
+
+    #[test]
+    fn dims_limit_bounds_memory() {
+        let mut src = String::new();
+        for k in 0..40 {
+            src.push_str(&format!("for v{k} = 0 to 1\n"));
+        }
+        src.push_str(" A[v0] = 1;\n");
+        let out = parse_nest_recovering("dims", &src);
+        assert_eq!(out.diags.len(), 1);
+        assert_eq!(out.diags[0].code, LpCode::LimitExceeded);
+        assert!(out.nest.is_none());
+    }
+
+    #[test]
+    fn diag_cap_stops_the_flood() {
+        // 1000 bad statements; the sink caps out and appends one LP008.
+        let mut src = String::from("for i = 0 to 3\n");
+        for _ in 0..1000 {
+            src.push_str(" A[q] = 1;\n");
+        }
+        let out = parse_nest_recovering("flood", &src);
+        let limit = FrontLimits::default().max_diags;
+        assert_eq!(out.diags.len(), limit + 1);
+        assert_eq!(out.diags.last().unwrap().code, LpCode::LimitExceeded);
+    }
+
+    #[test]
+    fn truncated_header_reports_end_of_input_once() {
+        let out = parse_nest_recovering("trunc", "for i = 0 to 3\nfor j");
+        assert!(out.diags.iter().any(|d| d.code == LpCode::Expected));
+        // No diagnostic flood from the remaining poisoned headers.
+        assert!(out.diags.len() <= 3, "{:?}", out.diags);
+    }
+
+    #[test]
+    fn recovering_parse_is_deterministic() {
+        let src = "for i = 0 to 3\n A[q @@ ] = (1;\n B[i] = 2\n";
+        let a = parse_nest_recovering("det", src);
+        let b = parse_nest_recovering("det", src);
+        assert_eq!(a, b);
     }
 }

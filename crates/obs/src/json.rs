@@ -85,6 +85,28 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Resource limits the parser enforces — JSON inputs (fault plans,
+/// `loom obs diff` files) are untrusted, so nesting depth and input
+/// size are bounded: violations come back as an ordinary
+/// [`ParseError`] instead of a stack overflow or an unbounded
+/// allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Largest accepted document, in bytes.
+    pub max_input_bytes: usize,
+    /// Deepest accepted array/object nesting.
+    pub max_depth: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> JsonLimits {
+        JsonLimits {
+            max_input_bytes: 8 << 20,
+            max_depth: 128,
+        }
+    }
+}
+
 impl Json {
     /// An object from key/value pairs.
     pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
@@ -234,11 +256,29 @@ impl Json {
         }
     }
 
-    /// Parse a JSON document (one value plus optional whitespace).
+    /// Parse a JSON document (one value plus optional whitespace) under
+    /// the default [`JsonLimits`].
     pub fn parse(input: &str) -> Result<Json, ParseError> {
+        Json::parse_with_limits(input, &JsonLimits::default())
+    }
+
+    /// [`Json::parse`] with explicit resource limits.
+    pub fn parse_with_limits(input: &str, limits: &JsonLimits) -> Result<Json, ParseError> {
+        if input.len() > limits.max_input_bytes {
+            return Err(ParseError {
+                message: format!(
+                    "input too large: {} bytes (limit {})",
+                    input.len(),
+                    limits.max_input_bytes
+                ),
+                offset: 0,
+            });
+        }
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -269,6 +309,8 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -277,6 +319,16 @@ impl<'a> Parser<'a> {
             message: message.to_string(),
             offset: self.pos,
         }
+    }
+
+    /// Recursion guard for `array`/`object`: nesting past the cap is a
+    /// parse error, not a stack overflow.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= self.max_depth {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -326,11 +378,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.eat(b'[', "expected [")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -341,6 +395,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected , or ]")),
@@ -349,11 +404,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.eat(b'{', "expected {")?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -368,6 +425,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected , or }")),
@@ -479,6 +537,60 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn depth_limit_boundary() {
+        let limits = JsonLimits {
+            max_depth: 4,
+            ..JsonLimits::default()
+        };
+        // Exactly at the limit parses...
+        let at = format!("{}1{}", "[".repeat(4), "]".repeat(4));
+        assert!(Json::parse_with_limits(&at, &limits).is_ok());
+        // ...one past it is a typed error, for arrays and objects alike.
+        let over = format!("{}1{}", "[".repeat(5), "]".repeat(5));
+        let e = Json::parse_with_limits(&over, &limits).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        let obj_over = format!("{}1{}", "{\"k\":".repeat(5), "}".repeat(5));
+        let e = Json::parse_with_limits(&obj_over, &limits).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+    }
+
+    #[test]
+    fn default_depth_limit_stops_deep_nesting() {
+        // Far past the default cap: must be an error, not a stack
+        // overflow.
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+    }
+
+    #[test]
+    fn input_size_limit_boundary() {
+        let limits = JsonLimits {
+            max_input_bytes: 8,
+            ..JsonLimits::default()
+        };
+        assert_eq!(
+            Json::parse_with_limits("[1,2,33]", &limits).unwrap(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(33)])
+        );
+        let e = Json::parse_with_limits("[1,2,333]", &limits).unwrap_err();
+        assert!(e.message.contains("input too large"), "{e}");
+        assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn sibling_depth_does_not_accumulate() {
+        // Depth is nesting, not total container count: many siblings at
+        // depth 2 stay parseable under a small cap.
+        let limits = JsonLimits {
+            max_depth: 2,
+            ..JsonLimits::default()
+        };
+        let many = format!("[{}]", vec!["[1]"; 50].join(","));
+        assert!(Json::parse_with_limits(&many, &limits).is_ok());
+    }
 
     #[test]
     fn renders_compact_and_pretty() {

@@ -58,7 +58,7 @@ pub mod rng;
 pub use diff::{DiffOptions, DiffReport, Finding, FindingKind};
 pub use flight::{FlightEvent, FlightRecorder, StageSummary};
 pub use histogram::Histogram;
-pub use json::Json;
+pub use json::{Json, JsonLimits};
 pub use pool::Pool;
 pub use recorder::{Counter, Recorder, Span, SpanRecord};
 pub use rng::SplitMix64;

@@ -1,0 +1,227 @@
+//! Integration tests for the resilient `.loom` front end.
+//!
+//! Three angles:
+//!
+//! * **seed-parser equality** — every valid `samples/*.loom` must parse
+//!   to IR whose pretty `Debug` dump is byte-identical to the golden
+//!   dumps taken from the pre-recovery parser
+//!   (`golden/frontend/*.ir`);
+//! * **recovery goldens** — every `samples/corrupt/*.loom` must produce
+//!   at least two spanned diagnostics in a single pass, and the full
+//!   human report is snapshot-tested (plus JSON and SARIF for one
+//!   representative file);
+//! * **policy plumbing** — `--allow`-style suppression downgrades LP
+//!   diagnostics exactly like LC ones, resource caps come back as
+//!   `LP008` instead of resource exhaustion, and the compat
+//!   `parse_nest` surfaces the first recovered diagnostic.
+//!
+//! Regenerate the goldens with `GOLDEN_DUMP=1 cargo test -p
+//! loom-tests-int --test frontend_recovery`.
+
+use loom_check::report_from_parse;
+use loom_loopir::{parse_nest, parse_nest_recovering, parse_nest_with_limits, FrontLimits};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_path(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Compare `got` against the golden file at `rel`, regenerating it when
+/// `GOLDEN_DUMP=1` is set.
+fn assert_golden(rel: &str, got: &str) {
+    let path = repo_path(rel);
+    if std::env::var("GOLDEN_DUMP").as_deref() == Ok("1") {
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("{path}: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        got, want,
+        "{rel} drifted; regenerate with GOLDEN_DUMP=1 if intentional"
+    );
+}
+
+const SAMPLES: [&str; 6] = [
+    "heat1d.loom",
+    "l1.loom",
+    "matmul.loom",
+    "nonuniform.loom",
+    "strided.loom",
+    "wavefront_dp.loom",
+];
+
+const CORRUPT: [&str; 5] = [
+    "bad_headers.loom",
+    "bad_subscripts.loom",
+    "garbage.loom",
+    "missing_semi.loom",
+    "unbalanced.loom",
+];
+
+/// The acceptance bar for the rewrite: on every valid sample the
+/// recovering parser produces IR byte-identical to the seed parser's
+/// (dumps in `golden/frontend/*.ir`, taken before the rewrite).
+#[test]
+fn valid_samples_match_seed_parser_ir_exactly() {
+    for sample in SAMPLES {
+        let src = read(&format!("samples/{sample}"));
+        let out = parse_nest_recovering(sample, &src);
+        assert_eq!(out.diags, vec![], "{sample}: clean input produced diags");
+        let nest = out.nest.expect(sample);
+        let stem = sample.trim_end_matches(".loom");
+        assert_golden(
+            &format!("crates/tests-int/golden/frontend/{stem}.ir"),
+            &format!("{nest:#?}\n"),
+        );
+    }
+}
+
+/// Every corrupt sample yields at least two diagnostics in ONE pass,
+/// each carrying a real source span.
+#[test]
+fn corrupt_samples_recover_at_least_two_diagnostics() {
+    for sample in CORRUPT {
+        let src = read(&format!("samples/corrupt/{sample}"));
+        let out = parse_nest_recovering(sample, &src);
+        assert!(
+            out.diags.len() >= 2,
+            "{sample}: expected >= 2 diagnostics, got {:#?}",
+            out.diags
+        );
+        for d in &out.diags {
+            assert!(d.line >= 1 && d.col >= 1, "{sample}: unmapped span in {d}");
+            assert!(d.start <= d.end, "{sample}: inverted span in {d}");
+            assert!(d.end <= src.len(), "{sample}: span past EOF in {d}");
+        }
+    }
+}
+
+/// Human-report goldens for the whole corrupt corpus: the exact codes,
+/// positions, and messages are part of the front end's contract.
+#[test]
+fn corrupt_human_reports_are_golden() {
+    for sample in CORRUPT {
+        let src = read(&format!("samples/corrupt/{sample}"));
+        let out = parse_nest_recovering(sample, &src);
+        let report = report_from_parse(&out.diags);
+        let stem = sample.trim_end_matches(".loom");
+        assert_golden(
+            &format!("crates/tests-int/golden/frontend/corrupt/{stem}.human.txt"),
+            &report.render_human(),
+        );
+    }
+}
+
+/// JSON and SARIF renderings for one representative corrupt file — the
+/// machine-readable envelopes around LP diagnostics are stable too.
+#[test]
+fn corrupt_json_and_sarif_reports_are_golden() {
+    let src = read("samples/corrupt/bad_subscripts.loom");
+    let out = parse_nest_recovering("bad_subscripts.loom", &src);
+    let report = report_from_parse(&out.diags);
+    assert_golden(
+        "crates/tests-int/golden/frontend/corrupt/bad_subscripts.json",
+        &format!("{}\n", report.to_json().render_pretty()),
+    );
+    assert_golden(
+        "crates/tests-int/golden/frontend/corrupt/bad_subscripts.sarif",
+        &format!(
+            "{}\n",
+            report
+                .to_sarif(Some("samples/corrupt/bad_subscripts.loom"))
+                .render_pretty()
+        ),
+    );
+}
+
+/// `--allow` suppression applies to LP rules exactly like LC rules:
+/// allowing every recovered code downgrades the report to warnings.
+#[test]
+fn allow_downgrades_front_end_diagnostics() {
+    let src = read("samples/corrupt/bad_subscripts.loom");
+    let out = parse_nest_recovering("bad_subscripts.loom", &src);
+    let mut report = report_from_parse(&out.diags);
+    assert!(report.has_errors());
+    let codes: Vec<String> = out
+        .diags
+        .iter()
+        .map(|d| d.code.code().to_string())
+        .collect();
+    report.allow(&codes);
+    assert!(!report.has_errors(), "{}", report.render_human());
+    // The partial IR survived recovery, so a fully-suppressed report
+    // leaves something to work with.
+    assert!(out.nest.is_some());
+}
+
+/// The compat entry point reports the FIRST recovered diagnostic, so
+/// pre-rewrite callers see the same error-first behavior.
+#[test]
+fn parse_nest_surfaces_first_diagnostic() {
+    for sample in CORRUPT {
+        let src = read(&format!("samples/corrupt/{sample}"));
+        let out = parse_nest_recovering(sample, &src);
+        let err = parse_nest(sample, &src).expect_err(sample);
+        assert_eq!(err.at, out.diags[0].start, "{sample}");
+        assert_eq!(err.message, out.diags[0].message, "{sample}");
+    }
+}
+
+/// Recovery is deterministic: two parses of the same bytes produce
+/// identical diagnostics and identical IR dumps.
+#[test]
+fn recovery_is_deterministic_over_the_corpus() {
+    for sample in CORRUPT {
+        let src = read(&format!("samples/corrupt/{sample}"));
+        let a = parse_nest_recovering(sample, &src);
+        let b = parse_nest_recovering(sample, &src);
+        assert_eq!(a.diags, b.diags, "{sample}");
+        assert_eq!(
+            a.nest.map(|n| format!("{n:#?}")),
+            b.nest.map(|n| format!("{n:#?}")),
+            "{sample}"
+        );
+    }
+}
+
+/// Resource caps produce LP008 diagnostics at the boundary instead of
+/// panics, stack overflow, or unbounded memory.
+#[test]
+fn resource_caps_report_lp008_at_the_boundary() {
+    let limits = FrontLimits {
+        max_input_bytes: 64,
+        ..FrontLimits::default()
+    };
+    let src = read("samples/matmul.loom");
+    assert!(src.len() > 64);
+    let out = parse_nest_with_limits("matmul.loom", &src, &limits);
+    assert_eq!(out.diags.len(), 1);
+    assert_eq!(out.diags[0].code.code(), "LP008");
+    assert!(out.nest.is_none());
+
+    // At the cap the same input parses cleanly.
+    let relaxed = FrontLimits {
+        max_input_bytes: src.len(),
+        ..FrontLimits::default()
+    };
+    let out = parse_nest_with_limits("matmul.loom", &src, &relaxed);
+    assert_eq!(out.diags, vec![]);
+    assert!(out.nest.is_some());
+
+    // Deep expression nesting trips the depth cap, not the stack.
+    let deep = format!(
+        "for i = 0 to 3\n  A[i] = {}A[i]{};\n",
+        "(".repeat(4096),
+        ")".repeat(4096)
+    );
+    let out = parse_nest_recovering("deep", &deep);
+    assert!(
+        out.diags.iter().any(|d| d.code.code() == "LP008"),
+        "{:#?}",
+        out.diags
+    );
+}

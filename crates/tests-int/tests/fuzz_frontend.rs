@@ -1,0 +1,241 @@
+//! Deterministic fuzz harness for the resilient `.loom` front end —
+//! zero external dependencies, seeded by [`loom_obs::SplitMix64`], so
+//! every failure reproduces from the printed seed.
+//!
+//! Two generators share one property check:
+//!
+//! * **mutational** — corpus entries (`samples/*.loom` and
+//!   `samples/corrupt/*.loom`) damaged by byte flips, insertions,
+//!   deletions, cross-file splices, truncations, and line shuffles
+//!   (mutations work on raw bytes; lossy UTF-8 decoding then exercises
+//!   the lexer's multi-byte handling);
+//! * **grammar-random** — nests assembled from grammar fragments with
+//!   deliberate mistakes mixed in (bad keywords, unbalanced brackets,
+//!   unknown indices, huge integers).
+//!
+//! For every input the parser must return normally (no panic), keep
+//! the diagnostic list bounded by `max_diags + 1`, uphold the
+//! "no diagnostics implies IR" invariant, stay deterministic, and —
+//! when the input was valid — produce IR whose rendered source
+//! re-parses to the identical nest.
+//!
+//! `LOOM_FUZZ_ITERS` overrides the total input count (default
+//! 100 000); CI pins it explicitly so the smoke step is time-boxed.
+
+use loom_loopir::parse::to_source;
+use loom_loopir::{parse_nest_recovering, parse_nest_with_limits, FrontLimits, ParseOutcome};
+use loom_obs::SplitMix64;
+
+fn corpus() -> Vec<Vec<u8>> {
+    let root = format!("{}/../../samples", env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for dir in [root.clone(), format!("{root}/corrupt")] {
+        let mut paths: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{dir}: {e}"))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "loom"))
+            .collect();
+        paths.sort(); // read_dir order is not deterministic; the fuzzer must be
+        for p in paths {
+            out.push(std::fs::read(&p).unwrap());
+        }
+    }
+    assert!(out.len() >= 10, "corpus unexpectedly small: {}", out.len());
+    out
+}
+
+fn total_iters() -> usize {
+    std::env::var("LOOM_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+/// One mutation step over raw bytes.
+fn mutate(rng: &mut SplitMix64, bytes: &mut Vec<u8>, corpus: &[Vec<u8>]) {
+    match rng.below(6) {
+        // flip one byte
+        0 if !bytes.is_empty() => {
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= rng.below(255) as u8 + 1;
+        }
+        // insert a random byte (biased toward grammar characters)
+        1 => {
+            let i = rng.below(bytes.len() as u64 + 1) as usize;
+            let grammar = b"[],;=+-*() \nfortostep0123456789";
+            let b = if rng.below(2) == 0 {
+                grammar[rng.below(grammar.len() as u64) as usize]
+            } else {
+                rng.below(256) as u8
+            };
+            bytes.insert(i, b);
+        }
+        // delete a short range
+        2 if !bytes.is_empty() => {
+            let start = rng.below(bytes.len() as u64) as usize;
+            let len = (rng.below(8) as usize + 1).min(bytes.len() - start);
+            bytes.drain(start..start + len);
+        }
+        // splice a window from another corpus entry
+        3 => {
+            let donor = &corpus[rng.below(corpus.len() as u64) as usize];
+            if !donor.is_empty() {
+                let ds = rng.below(donor.len() as u64) as usize;
+                let dl = (rng.below(32) as usize + 1).min(donor.len() - ds);
+                let at = rng.below(bytes.len() as u64 + 1) as usize;
+                let window: Vec<u8> = donor[ds..ds + dl].to_vec();
+                bytes.splice(at..at, window);
+            }
+        }
+        // truncate
+        4 if !bytes.is_empty() => {
+            bytes.truncate(rng.below(bytes.len() as u64) as usize);
+        }
+        // duplicate a line
+        _ => {
+            let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+            if !lines.is_empty() {
+                let line = lines[rng.below(lines.len() as u64) as usize].to_vec();
+                bytes.push(b'\n');
+                bytes.extend_from_slice(&line);
+            }
+        }
+    }
+}
+
+/// A random (often-invalid) nest straight from grammar fragments.
+fn grammar_random(rng: &mut SplitMix64) -> String {
+    let idents = ["i", "j", "k", "n", "q", "zz"];
+    let mut s = String::new();
+    let dims = rng.below(4) as usize + 1;
+    for d in 0..dims {
+        let id = idents[(d + rng.below(2) as usize) % idents.len()];
+        match rng.below(8) {
+            0 => s.push_str(&format!("for {id} = {} 7\n", rng.range_i64(-3, 3))),
+            1 => s.push_str(&format!("for {id} = 0 to\n")),
+            2 => s.push_str(&format!(
+                "for {id} = 0 to 99999999999999999999 step {}\n",
+                rng.range_i64(-1, 2)
+            )),
+            _ => s.push_str(&format!(
+                "for {id} = {} to {}{}\n",
+                rng.range_i64(-4, 4),
+                rng.range_i64(0, 9),
+                if rng.below(4) == 0 {
+                    format!(" step {}", rng.range_i64(0, 3))
+                } else {
+                    String::new()
+                }
+            )),
+        }
+    }
+    let stmts = rng.below(3) as usize + 1;
+    for _ in 0..stmts {
+        let arr = ["A", "B", "C"][rng.below(3) as usize];
+        let sub = idents[rng.below(idents.len() as u64) as usize];
+        let open = if rng.below(10) == 0 { "" } else { "[" };
+        let close = if rng.below(10) == 0 { "" } else { "]" };
+        let semi = if rng.below(8) == 0 { "" } else { ";" };
+        let rhs = match rng.below(4) {
+            0 => format!("{arr}[{sub}] + 1"),
+            1 => format!("{arr}[{sub} * {sub}] * 2"),
+            2 => format!("({arr}[{sub} - 1] + {arr}[{sub} + 1]) * 3"),
+            _ => format!("{arr}[{sub}]"),
+        };
+        s.push_str(&format!("  {arr}{open}{sub}{close} = {rhs}{semi}\n"));
+    }
+    s
+}
+
+/// The property every fuzz input must satisfy. Returning at all is the
+/// no-panic half; the rest checks the front end's documented contract.
+fn check_outcome(input: &str, out: &ParseOutcome, limits: &FrontLimits) {
+    assert!(
+        out.diags.len() <= limits.max_diags + 1,
+        "diagnostic flood ({}) on input:\n{input}",
+        out.diags.len()
+    );
+    if out.diags.is_empty() {
+        assert!(out.nest.is_some(), "no diags but no IR on input:\n{input}");
+    }
+    for d in &out.diags {
+        assert!(d.start <= d.end && d.end <= input.len(), "bad span {d}");
+    }
+}
+
+/// Valid inputs additionally round-trip: render the IR back to source
+/// and re-parse; the nests must be identical.
+fn check_roundtrip(input: &str, out: &ParseOutcome) {
+    if !out.diags.is_empty() {
+        return;
+    }
+    let nest = out.nest.as_ref().unwrap();
+    let Some(src) = to_source(nest) else { return };
+    let again = parse_nest_recovering(nest.name(), &src);
+    assert_eq!(
+        again.diags,
+        vec![],
+        "rendered source re-parse failed:\n{src}"
+    );
+    assert_eq!(
+        format!("{:#?}", again.nest.unwrap()),
+        format!("{nest:#?}"),
+        "round-trip drifted for input:\n{input}"
+    );
+}
+
+#[test]
+fn fuzz_mutational_and_grammar_random() {
+    let corpus = corpus();
+    let total = total_iters();
+    let mutational = total * 3 / 5;
+    let mut rng = SplitMix64::new(0x100D_5EED);
+    let limits = FrontLimits::default();
+    for iter in 0..total {
+        let input = if iter < mutational {
+            let mut bytes = corpus[rng.below(corpus.len() as u64) as usize].clone();
+            for _ in 0..rng.below(4) + 1 {
+                mutate(&mut rng, &mut bytes, &corpus);
+            }
+            bytes.truncate(4096); // keep the per-input cost bounded
+            String::from_utf8_lossy(&bytes).into_owned()
+        } else {
+            grammar_random(&mut rng)
+        };
+        let out = parse_nest_recovering("fuzz", &input);
+        check_outcome(&input, &out, &limits);
+        if iter % 512 == 0 {
+            // determinism spot check: same bytes, same outcome
+            let again = parse_nest_recovering("fuzz", &input);
+            assert_eq!(out.diags, again.diags, "nondeterministic on:\n{input}");
+        }
+        if iter % 64 == 0 {
+            check_roundtrip(&input, &out);
+        }
+    }
+}
+
+/// The same harness under deliberately tiny limits: every cap must be
+/// reported as LP008, never tripped as a crash or a hang.
+#[test]
+fn fuzz_with_tight_resource_limits() {
+    let corpus = corpus();
+    let total = (total_iters() / 20).max(500);
+    let mut rng = SplitMix64::new(0xCAB5_1234);
+    let limits = FrontLimits {
+        max_input_bytes: 256,
+        max_tokens: 64,
+        max_depth: 4,
+        max_dims: 2,
+        max_diags: 5,
+    };
+    for _ in 0..total {
+        let mut bytes = corpus[rng.below(corpus.len() as u64) as usize].clone();
+        for _ in 0..rng.below(4) + 1 {
+            mutate(&mut rng, &mut bytes, &corpus);
+        }
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        let out = parse_nest_with_limits("tight", &input, &limits);
+        check_outcome(&input, &out, &limits);
+    }
+}
