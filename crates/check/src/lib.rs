@@ -81,10 +81,12 @@ pub use interleave::{
 };
 pub use legality::check_legality;
 pub use lemma1::check_lemma1;
+pub use presburger::{System, Verdict};
 pub use races::check_races;
 pub use symbolic::{
-    check_access_dependences, check_blocking_cycles, check_legality_symbolic,
-    check_lemma1_symbolic, check_lemma1_symbolic_groups, check_protocol, SymbolicStats,
+    ap_overlap, block_traffic, check_access_dependences, check_blocking_cycles,
+    check_legality_symbolic, check_lemma1_symbolic, check_lemma1_symbolic_groups, check_protocol,
+    BlockTraffic, SymbolicStats,
 };
 pub use theorem2::{check_grouping_vectors, check_neighbor_bound, check_theorem2};
 

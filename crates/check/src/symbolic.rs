@@ -488,13 +488,68 @@ enum LineSteps {
 
 /// The block-level traffic derived symbolically from the projected
 /// structure, plus the minimum schedule lag per directed edge.
-struct DerivedTraffic {
+///
+/// This is the LC011 arithmetic-progression machinery as a library
+/// entry point: every `(line, dependence)` pair is summarized by one
+/// [`ap_overlap`] count in O(1), so the totals scale with *lines*, not
+/// iteration-space *points*. `loom_core::symbolic_cost` consumes it to
+/// derive per-link message counts without enumerating a single message.
+#[derive(Clone, Debug)]
+pub struct BlockTraffic {
     /// Directed message counts between distinct blocks.
-    directed: BTreeMap<(usize, usize), u64>,
+    pub directed: BTreeMap<(usize, usize), u64>,
     /// Minimum `Π·d` over the dependences contributing to each edge.
-    min_lag: BTreeMap<(usize, usize), i64>,
-    summaries: u64,
-    fallbacks: u64,
+    pub min_lag: BTreeMap<(usize, usize), i64>,
+    /// Number of `(line, dependence)` pairs summarized in O(1).
+    pub summaries: u64,
+    /// Pairs that fell back to explicit step lists (0 on affine-bound
+    /// spaces; any nonzero count means the AP structure is broken).
+    pub fallbacks: u64,
+}
+
+impl BlockTraffic {
+    /// Total messages between blocks mapped to *distinct* processors
+    /// under `assignment` — exactly the engine's unbatched message
+    /// count, derived without enumerating arcs.
+    pub fn remote_messages(&self, assignment: &[usize]) -> u64 {
+        self.directed
+            .iter()
+            .filter(|(&(a, b), _)| assignment[a] != assignment[b])
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+/// Derive the symbolic block-to-block traffic of a partitioning: the
+/// public face of [`check_protocol`]'s derivation (LC011).
+pub fn block_traffic(p: &Partitioning) -> BlockTraffic {
+    derive_traffic(p)
+}
+
+/// Count `|{t ∈ A : t + shift ∈ B}|` for two arithmetic progressions
+/// `A = a_first, a_first+stride, …` (`a_len` terms) and likewise `B` —
+/// the O(1) overlap kernel behind LC011's message counting, exposed for
+/// the symbolic cost engine.
+pub fn ap_overlap(
+    a_first: i64,
+    a_len: i64,
+    b_first: i64,
+    b_len: i64,
+    shift: i64,
+    stride: i64,
+) -> u64 {
+    overlap(
+        &LineSteps::Ap {
+            first: a_first,
+            len: a_len,
+        },
+        &LineSteps::Ap {
+            first: b_first,
+            len: b_len,
+        },
+        shift,
+        stride,
+    )
 }
 
 /// Count `|{t ∈ a : t + w ∈ b}|` for two step sets with common stride.
@@ -531,7 +586,7 @@ fn overlap(a: &LineSteps, b: &LineSteps, w: i64, stride: i64) -> u64 {
 }
 
 /// Derive per-block traffic at projection-line granularity.
-fn derive_traffic(p: &Partitioning) -> DerivedTraffic {
+fn derive_traffic(p: &Partitioning) -> BlockTraffic {
     let qp = p.projected();
     let cs = p.structure();
     let pi = p.time_fn();
@@ -591,7 +646,7 @@ fn derive_traffic(p: &Partitioning) -> DerivedTraffic {
                 .or_insert(w);
         }
     }
-    DerivedTraffic {
+    BlockTraffic {
         directed,
         min_lag,
         summaries,

@@ -14,6 +14,7 @@
 //! loom viz       --workload sor --size 8 [--dot]
 //! loom explore   --workload matvec --size 16 [--pi-bound 1] [--top 10]
 //!                [--threads 4] [--no-prune] [--bench-out bench.json]
+//!                [--symbolic] [--symbolic-budget POINTS]
 //! loom profile   --workload matvec --size 16 --cube 2 [--top 3] [--json]
 //!                [--trace-out t.json] [--metrics-out m.json] [--flame-out f.txt]
 //! loom obs diff  old.json new.json [--threshold 1] [--warn-only] [--json]
@@ -58,6 +59,8 @@ fn usage() -> ! {
          \x20 viz       --workload W            ASCII block/wavefront grids [--dot]\n\
          \x20 explore   --workload W            rank (Π, grouping, N) by simulated cost\n\
          \x20           [--threads T] [--no-prune] [--bench-out FILE] [--metrics-out FILE]\n\
+         \x20           [--symbolic] rank by closed-form T_exec (simulate only on Unknown)\n\
+         \x20           [--symbolic-budget POINTS] probe budget for the derivation\n\
          \x20 profile   --workload W --cube N   critical-path profile of a simulated run\n\
          \x20           [--top K] [--json] [--trace-out FILE] [--flame-out FILE]\n\
          \x20 obs diff  OLD NEW                 compare two bench/metrics JSON documents\n\
@@ -768,6 +771,43 @@ fn cmd_viz(a: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--symbolic`: the size family behind the picked builtin workload, so
+/// the explorer can rank by closed-form `T_exec`. A `--file` nest has
+/// no size family, so the combination is a usage error.
+fn symbolic_explore(a: &Args) -> Result<loom_core::explore::SymbolicExplore, CliError> {
+    if a.flags.contains_key("file") {
+        return Err(CliError::usage(
+            "error: --symbolic needs a size-parameterized builtin workload; \
+             a --file nest has no size family",
+        ));
+    }
+    let size = a.int_flag("size", 8)?;
+    let size2 = a.int_flag("size2", size)?;
+    let raw = a.str_flag("workload", "l1");
+    // Pin the secondary parameter exactly as `pick_workload` does, so
+    // `family(size)` reproduces the nest being explored.
+    let (name, size2) = match raw.as_str() {
+        "conv" | "conv1d" => ("conv", Some(size2.min(size))),
+        "conv2d" => ("conv2d", Some(size2.min(size))),
+        "sor" | "stencil" => ("sor", Some(size2)),
+        "heat2d" | "heat" => ("heat2d", Some(size2)),
+        "transitive" | "tc" => ("transitive", None),
+        "triangular" | "tri" => ("triangular", None),
+        other => (other, None),
+    };
+    let fam = loom_workloads::family_of(name, size2).ok_or_else(|| {
+        CliError::usage(format!("unknown workload `{raw}`; run `loom workloads`"))
+    })?;
+    let family: loom_core::symbolic_cost::NestFamily = std::sync::Arc::new(move |n| fam(n).nest);
+    let mut opts = loom_core::symbolic_cost::DeriveOptions::default();
+    if let Some(b) = a.flags.get("symbolic-budget") {
+        opts.max_probe_points = b.parse().map_err(|_| {
+            CliError::usage("error: --symbolic-budget expects a point count (integer)")
+        })?;
+    }
+    Ok(loom_core::explore::SymbolicExplore { family, size, opts })
+}
+
 fn cmd_explore(a: &Args) -> Result<(), CliError> {
     let w = pick_workload(a)?;
     let dims: Vec<usize> = a
@@ -783,6 +823,11 @@ fn cmd_explore(a: &Args) -> Result<(), CliError> {
         },
         threads: a.int_flag("threads", 0)?.max(0) as usize,
         prune: !a.switch("no-prune"),
+        symbolic: if a.switch("symbolic") {
+            Some(symbolic_explore(a)?)
+        } else {
+            None
+        },
     };
     let rec = obs_recorder();
     let start = std::time::Instant::now();
@@ -802,7 +847,7 @@ fn cmd_explore(a: &Args) -> Result<(), CliError> {
     if let Some(path) = a.flags.get("bench-out") {
         let counters = rec.counters();
         let get = |k: &str| counters.get(k).copied().unwrap_or(0);
-        let doc = loom_obs::Json::obj(vec![
+        let mut fields = vec![
             ("workload", loom_obs::Json::from(w.nest.name())),
             (
                 "candidates",
@@ -812,10 +857,38 @@ fn cmd_explore(a: &Args) -> Result<(), CliError> {
             ("pruned", loom_obs::Json::from(get("explore.pruned"))),
             ("wall_us", loom_obs::Json::from(wall_us)),
             ("ranked", loom_obs::Json::from(best.len())),
-        ]);
+        ];
+        if cfg.symbolic.is_some() {
+            fields.push((
+                "symbolic_exact",
+                loom_obs::Json::from(get("explore.symbolic.exact")),
+            ));
+            fields.push((
+                "symbolic_fallback",
+                loom_obs::Json::from(get("explore.symbolic.fallback")),
+            ));
+            fields.push((
+                "symbolic_probe_points",
+                loom_obs::Json::from(get("explore.symbolic.probe_points")),
+            ));
+        }
+        let doc = loom_obs::Json::obj(fields);
         std::fs::write(path, doc.render_pretty())
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
         eprintln!("bench summary written to {path}");
+    }
+    if cfg.symbolic.is_some() {
+        let counters = rec.counters();
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        eprintln!(
+            "symbolic: {} exact, {} fallback, {} infeasible \
+             ({} probe sims, {} probe points)",
+            get("explore.symbolic.exact"),
+            get("explore.symbolic.fallback"),
+            get("explore.symbolic.infeasible"),
+            get("explore.symbolic.probe_sims"),
+            get("explore.symbolic.probe_points"),
+        );
     }
     let mut t = Table::new([
         "rank", "Π", "grouping", "N", "blocks", "makespan", "messages",

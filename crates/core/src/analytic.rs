@@ -138,10 +138,73 @@ pub fn makespan_lower_bound(
     words_per_arc: u64,
     batch_messages: bool,
 ) -> u64 {
+    makespan_lower_bound_with(program, params, words_per_arc, batch_messages, None)
+}
+
+/// [`makespan_lower_bound`] tightened with a third relaxation when the
+/// simulated machine serializes links (`link_contention`):
+///
+/// * **link-occupancy bound** — under contention every message holds
+///   each directed link of its static route for its full
+///   store-and-forward occupancy (`t_start + words·t_comm`), one
+///   message per link at a time. All of a link's traffic therefore fits
+///   inside the makespan, so the makespan is at least the busiest
+///   link's `Σ send_occupancy(words)` over the messages routed across
+///   it (counted per arc, or per `(source task, destination processor)`
+///   message under batching — the same symbolic per-link message counts
+///   the cost engine fits closed forms over).
+///
+/// Pass `contended: Some(topology)` **only** when the simulation models
+/// link contention: without it, links carry any number of messages
+/// concurrently and the term is not a lower bound. `None` reproduces
+/// [`makespan_lower_bound`] exactly.
+pub fn makespan_lower_bound_with(
+    program: &Program,
+    params: &MachineParams,
+    words_per_arc: u64,
+    batch_messages: bool,
+    contended: Option<&loom_machine::Topology>,
+) -> u64 {
     let n = program.task_flops.len();
     if n == 0 {
         return 0;
     }
+    // Link-occupancy term: the busiest directed link's serial traffic.
+    let link_floor = contended.map_or(0, |topology| {
+        let mut per_link: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut occupy = |pu: usize, pv: usize, words: u64| {
+            let occ = params.send_occupancy(words);
+            for link in topology.route_links(pu, pv) {
+                *per_link.entry(link).or_insert(0) += occ;
+            }
+        };
+        if batch_messages {
+            let mut msg_words: std::collections::HashMap<(u32, u32), u64> =
+                std::collections::HashMap::new();
+            for (i, &(u, v)) in program.arcs.iter().enumerate() {
+                let (pu, pv) = (program.proc_of[u as usize], program.proc_of[v as usize]);
+                if pu != pv {
+                    *msg_words.entry((u, pv)).or_insert(0) += program.arc_words[i] * words_per_arc;
+                }
+            }
+            for (&(u, pv), &words) in &msg_words {
+                occupy(program.proc_of[u as usize] as usize, pv as usize, words);
+            }
+        } else {
+            for (i, &(u, v)) in program.arcs.iter().enumerate() {
+                let (pu, pv) = (program.proc_of[u as usize], program.proc_of[v as usize]);
+                if pu != pv {
+                    occupy(
+                        pu as usize,
+                        pv as usize,
+                        program.arc_words[i] * words_per_arc,
+                    );
+                }
+            }
+        }
+        per_link.into_values().max().unwrap_or(0)
+    });
     let mut per_proc = vec![0u64; program.num_procs];
     for (t, &flops) in program.task_flops.iter().enumerate() {
         per_proc[program.proc_of[t] as usize] += flops * params.t_calc;
@@ -171,7 +234,7 @@ pub fn makespan_lower_bound(
             }
         }
     }
-    let work = per_proc.into_iter().max().unwrap_or(0);
+    let work = per_proc.into_iter().max().unwrap_or(0).max(link_floor);
 
     let steps_advance = program
         .arcs
@@ -355,19 +418,59 @@ mod tests {
             let program = stage.program(&placement);
             for params in [MachineParams::classic_1991(), MachineParams::low_latency()] {
                 for batch in [false, true] {
-                    let mut sim_cfg = SimConfig::paper_hypercube(cube_dim, params);
-                    sim_cfg.topology = target.topology();
-                    sim_cfg.batch_messages = batch;
-                    let report = simulate(&program, &sim_cfg).unwrap();
-                    let bound = makespan_lower_bound(&program, &params, 1, batch);
-                    assert!(
-                        bound <= report.makespan,
-                        "unsound bound {bound} > makespan {} at cube_dim={cube_dim} batch={batch}",
-                        report.makespan
-                    );
-                    assert!(bound > 0);
+                    for contention in [false, true] {
+                        let mut sim_cfg = SimConfig::paper_hypercube(cube_dim, params);
+                        sim_cfg.topology = target.topology();
+                        sim_cfg.batch_messages = batch;
+                        sim_cfg.link_contention = contention;
+                        let report = simulate(&program, &sim_cfg).unwrap();
+                        let topology = contention.then(|| target.topology());
+                        let bound = makespan_lower_bound_with(
+                            &program,
+                            &params,
+                            1,
+                            batch,
+                            topology.as_ref(),
+                        );
+                        assert!(
+                            bound <= report.makespan,
+                            "unsound bound {bound} > makespan {} at cube_dim={cube_dim} \
+                             batch={batch} contention={contention}",
+                            report.makespan
+                        );
+                        assert!(bound > 0);
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn contended_link_floor_tightens_the_bound() {
+        use loom_machine::{simulate, SimConfig, Topology};
+        // Senders on procs 3 and 2 both deliver to proc 0: e-cube
+        // routes 3→2→0 and 2→0 serialize on the directed link (2, 0).
+        let prog = Program::from_parts(
+            vec![0, 0, 1, 1],
+            vec![(0, 2), (1, 3)],
+            vec![3, 2, 0, 0],
+            1,
+            4,
+        );
+        let p = MachineParams::classic_1991();
+        let topo = Topology::Hypercube(2);
+        let plain = makespan_lower_bound(&prog, &p, 1, false);
+        let tight = makespan_lower_bound_with(&prog, &p, 1, false, Some(&topo));
+        // Critical path: 1 + (50+5) + 1.
+        assert_eq!(plain, 57);
+        // Two 55-tick occupancies queue on (2, 0).
+        assert_eq!(tight, 110);
+        // …and the contended simulation really is at least that slow.
+        let mut cfg = SimConfig::paper_hypercube(2, p);
+        cfg.link_contention = true;
+        let r = simulate(&prog, &cfg).unwrap();
+        assert!(tight <= r.makespan, "{tight} > {}", r.makespan);
+        // `None` reproduces the untightened bound exactly.
+        assert_eq!(makespan_lower_bound_with(&prog, &p, 1, false, None), plain);
     }
 }

@@ -29,8 +29,9 @@
 //! and with pruning on or off; `tests-int/tests/explore.rs` asserts it
 //! for every builtin workload.
 
-use crate::analytic::makespan_lower_bound;
+use crate::analytic::makespan_lower_bound_with;
 use crate::pipeline::{run_machine, MachineOptions, Pipeline, PipelineConfig, PipelineError};
+use crate::symbolic_cost::{self, Derivation, DeriveOptions, NestFamily, ProbeCache};
 use loom_hyperplane::TimeFn;
 use loom_loopir::{DepOptions, LoopNest};
 use loom_machine::SimScratch;
@@ -55,6 +56,42 @@ pub struct Candidate {
     pub blocks: usize,
 }
 
+/// Symbolic exploration: rank candidates by closed-form `T_exec`
+/// instead of simulating each one at the target size.
+///
+/// `nest` passed to [`explore`] **must** be `family(size)`'s nest —
+/// the closed forms are derived over `family` and evaluated at `size`,
+/// while dependence extraction and Π enumeration read the nest. A
+/// configuration whose derivation comes back
+/// [`Derivation::Unknown`] falls back to simulating at the target size
+/// (counted by `explore.symbolic.fallback`), so the ranking is always
+/// populated; [`Derivation::Infeasible`] configurations are skipped
+/// exactly as the simulating explorer skips partition/mapping failures.
+///
+/// Pruning does not apply (formula evaluation is already O(1)), and
+/// `machine.static_check` is honoured only on the fallback path — an
+/// exact candidate never materialises its target-size partitioning.
+#[derive(Clone)]
+pub struct SymbolicExplore {
+    /// The size family the explored nest belongs to.
+    pub family: NestFamily,
+    /// The target size parameter: `family(size)` must equal the nest
+    /// being explored.
+    pub size: i64,
+    /// Probe-and-fit protocol knobs.
+    pub opts: DeriveOptions,
+}
+
+impl std::fmt::Debug for SymbolicExplore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicExplore")
+            .field("family", &"<fn>")
+            .field("size", &self.size)
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
 /// Exploration bounds.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
@@ -72,6 +109,9 @@ pub struct ExploreConfig {
     /// analytic lower bound already exceeds the current k-th best
     /// makespan. Never changes the ranked result set.
     pub prune: bool,
+    /// Rank by closed-form `T_exec` (the symbolic cost engine) instead
+    /// of simulating every candidate at the target size.
+    pub symbolic: Option<SymbolicExplore>,
 }
 
 impl Default for ExploreConfig {
@@ -82,6 +122,7 @@ impl Default for ExploreConfig {
             machine: MachineOptions::default(),
             threads: 0,
             prune: true,
+            symbolic: None,
         }
     }
 }
@@ -245,6 +286,9 @@ pub fn explore_with(
     config: &ExploreConfig,
     recorder: &Recorder,
 ) -> Result<Vec<Candidate>, PipelineError> {
+    if let Some(sym) = &config.symbolic {
+        return explore_symbolic(nest, cube_dims, config, sym, recorder);
+    }
     let _total = recorder.span("explore.total");
     let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
         .map_err(PipelineError::Deps)?;
@@ -308,11 +352,15 @@ pub fn explore_with(
                 }
                 let program = stage.program(&placement);
                 if pruning {
-                    let bound = makespan_lower_bound(
+                    // The link-occupancy term is sound only when the
+                    // simulation serializes links.
+                    let topology = config.machine.link_contention.then(|| target.topology());
+                    let bound = makespan_lower_bound_with(
                         &program,
                         &config.machine.params,
                         config.machine.words_per_arc,
                         config.machine.batch_messages,
+                        topology.as_ref(),
                     );
                     if gate.lock().unwrap().should_prune(bound) {
                         pruned += 1;
@@ -349,6 +397,183 @@ pub fn explore_with(
     }
     recorder.add("explore.pruned", pruned_total);
     recorder.add("explore.simulated", simulated_total);
+
+    results.sort_by_key(|c| {
+        (
+            c.makespan,
+            c.pi.iter().map(|x| x.abs()).sum::<i64>(),
+            c.pi.clone(),
+            c.grouping,
+            c.cube_dim,
+        )
+    });
+    if config.top > 0 {
+        results.truncate(config.top);
+    }
+    Ok(results)
+}
+
+/// Per-pair accounting of the symbolic sweep.
+#[derive(Clone, Copy, Default)]
+struct SymCounts {
+    exact: u64,
+    fallback: u64,
+    infeasible: u64,
+    simulated: u64,
+    probe_sims: u64,
+    probe_points: u64,
+}
+
+/// The size-free sweep behind `ExploreConfig::symbolic`: each
+/// (Π, grouping) pair derives one closed form per machine size from a
+/// shared [`ProbeCache`] (probe partitionings and probe simulations are
+/// paid once per pair, not once per cube), evaluates it at the target
+/// size in O(1), and only falls back to the simulator on
+/// [`Derivation::Unknown`]. Candidate ordering and tie-breaking are the
+/// sort key of [`explore`], so exact derivations make the ranked list
+/// byte-identical to the simulating path — `tests-int` asserts it per
+/// builtin workload.
+fn explore_symbolic(
+    nest: &LoopNest,
+    cube_dims: &[usize],
+    config: &ExploreConfig,
+    sym: &SymbolicExplore,
+    recorder: &Recorder,
+) -> Result<Vec<Candidate>, PipelineError> {
+    let _total = recorder.span("explore.total");
+    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
+        .map_err(PipelineError::Deps)?;
+    let pis = legal_pis(nest, &deps, config.pi_bound);
+    let pipeline = Pipeline::new(nest.clone());
+
+    let pairs: Vec<(usize, usize)> = (0..pis.len())
+        .flat_map(|p| (0..deps.len()).map(move |g| (p, g)))
+        .collect();
+    recorder.add("explore.candidates", (pairs.len() * cube_dims.len()) as u64);
+
+    let pool = Pool::with_recorder(config.threads, recorder.clone());
+    type PairOutcome = Result<(Vec<Candidate>, SymCounts), PipelineError>;
+    let outcomes: Vec<PairOutcome> = pool.map_indexed_with(
+        &pairs,
+        SimScratch::default,
+        |scratch, _idx, &(pi_idx, grouping)| {
+            let rec = Recorder::disabled();
+            let pi = &pis[pi_idx];
+            let pcfg = loom_partition::PartitionConfig {
+                grouping_choice: Some(grouping),
+                seed: None,
+            };
+            let mut cache = ProbeCache::new();
+            let mut found = Vec::new();
+            let mut counts = SymCounts::default();
+            // The fallback path's partitioning prefix at the *target*
+            // size, built at most once per pair and only if needed.
+            let mut stage = None;
+            'cubes: for &cube_dim in cube_dims {
+                let derived = symbolic_cost::derive(
+                    &*sym.family,
+                    &deps,
+                    pi,
+                    &pcfg,
+                    cube_dim,
+                    sym.size,
+                    &config.machine,
+                    &sym.opts,
+                    &mut cache,
+                );
+                match derived {
+                    Derivation::Exact(cost) => {
+                        if let (Some(makespan), Some(messages), Some(blocks)) = (
+                            cost.makespan(sym.size),
+                            cost.messages_at(sym.size),
+                            cost.blocks_at(sym.size),
+                        ) {
+                            counts.exact += 1;
+                            found.push(Candidate {
+                                pi: pi.clone(),
+                                grouping,
+                                cube_dim,
+                                makespan,
+                                messages,
+                                blocks: blocks as usize,
+                            });
+                            continue 'cubes;
+                        }
+                        // Overflow at the target: fall through to the
+                        // simulator, which shares the explorer's u64
+                        // domain.
+                    }
+                    Derivation::Infeasible { .. } => {
+                        counts.infeasible += 1;
+                        continue 'cubes;
+                    }
+                    Derivation::Unknown { .. } => {}
+                }
+                counts.fallback += 1;
+                if stage.is_none() {
+                    let base = PipelineConfig {
+                        time_fn: Some(pi.clone()),
+                        partition: pcfg.clone(),
+                        machine: Some(config.machine.clone()),
+                        ..Default::default()
+                    };
+                    match pipeline.stage_partition_with_deps(&base, &rec, deps.clone()) {
+                        Ok(s) => stage = Some((s, base)),
+                        // Grouping choice not maximal at the target:
+                        // skip the pair, as the simulating sweep does.
+                        Err(PipelineError::Partition(_)) => break 'cubes,
+                        Err(e) => return Err(e),
+                    }
+                }
+                let (stage, base) = stage.as_ref().unwrap();
+                let cfg = PipelineConfig {
+                    cube_dim,
+                    ..base.clone()
+                };
+                let (mapping, placement, target) = match stage.map_with(&cfg, &rec) {
+                    Ok(x) => x,
+                    Err(PipelineError::Mapping(_)) => continue 'cubes,
+                    Err(e) => return Err(e),
+                };
+                if config.machine.static_check {
+                    stage.check_with(&mapping, &rec)?;
+                }
+                let program = stage.program(&placement);
+                let report = run_machine(&program, target, &config.machine, &rec, Some(scratch))?;
+                counts.simulated += 1;
+                found.push(Candidate {
+                    pi: pi.clone(),
+                    grouping,
+                    cube_dim,
+                    makespan: report.makespan,
+                    messages: report.messages,
+                    blocks: stage.partitioning.num_blocks(),
+                });
+            }
+            counts.probe_sims = cache.sims();
+            counts.probe_points = cache.points_spent();
+            Ok((found, counts))
+        },
+    );
+
+    let mut results: Vec<Candidate> = Vec::new();
+    let mut total = SymCounts::default();
+    for outcome in outcomes {
+        let (found, counts) = outcome?;
+        results.extend(found);
+        total.exact += counts.exact;
+        total.fallback += counts.fallback;
+        total.infeasible += counts.infeasible;
+        total.simulated += counts.simulated;
+        total.probe_sims += counts.probe_sims;
+        total.probe_points += counts.probe_points;
+    }
+    recorder.add("explore.symbolic.exact", total.exact);
+    recorder.add("explore.symbolic.fallback", total.fallback);
+    recorder.add("explore.symbolic.infeasible", total.infeasible);
+    recorder.add("explore.symbolic.probe_sims", total.probe_sims);
+    recorder.add("explore.symbolic.probe_points", total.probe_points);
+    recorder.add("explore.simulated", total.simulated);
 
     results.sort_by_key(|c| {
         (
@@ -404,6 +629,21 @@ mod tests {
             .unwrap()
             .makespan;
         assert!(best[0].makespan <= canonical);
+    }
+
+    #[test]
+    fn contended_pruning_keeps_the_ranking_byte_identical() {
+        // The link-occupancy term only makes the prune gate tighter;
+        // the strict top-k inequality means the ranked set (and every
+        // tie-broken position in it) must match the unpruned reference.
+        let w = loom_workloads::matvec::workload(10);
+        let mut config = cfg();
+        config.machine.link_contention = true;
+        let reference = explore_reference(&w.nest, &[0, 1, 2], &config).unwrap();
+        let rec = Recorder::enabled();
+        let got = explore_with(&w.nest, &[0, 1, 2], &config, &rec).unwrap();
+        assert_eq!(got, reference);
+        assert!(!got.is_empty());
     }
 
     #[test]
@@ -504,6 +744,39 @@ mod tests {
             "pruning only skips simulations"
         );
         assert!(p1 > 0, "top=1 on matvec should prune something");
+    }
+
+    #[test]
+    fn symbolic_ranking_matches_simulating_explorer() {
+        use crate::symbolic_cost::DeriveOptions;
+        use std::sync::Arc;
+        let size = 14;
+        let w = loom_workloads::matvec::workload(size);
+        let baseline = explore_reference(&w.nest, &[0, 1, 2], &cfg()).unwrap();
+        let rec = Recorder::enabled();
+        let got = explore_with(
+            &w.nest,
+            &[0, 1, 2],
+            &ExploreConfig {
+                symbolic: Some(SymbolicExplore {
+                    family: Arc::new(|n| loom_workloads::matvec::workload(n).nest),
+                    size,
+                    opts: DeriveOptions::default(),
+                }),
+                ..cfg()
+            },
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(
+            got, baseline,
+            "symbolic ranking must be byte-identical to the simulating sweep"
+        );
+        let counters = rec.counters();
+        assert!(
+            counters["explore.symbolic.exact"] > 0,
+            "matvec must derive exactly, not ride the fallback: {counters:?}"
+        );
     }
 
     #[test]

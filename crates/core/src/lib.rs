@@ -33,6 +33,7 @@ pub mod explore;
 pub mod obs_export;
 pub mod pipeline;
 pub mod report;
+pub mod symbolic_cost;
 
 pub use pipeline::{
     MachineOptions, PartitionedStage, Pipeline, PipelineConfig, PipelineError, PipelineOutput,

@@ -341,6 +341,63 @@ impl Pipeline {
         self.stage_partition_with_deps(config, recorder, deps)
     }
 
+    /// The symbolic-cost stage: derive a closed-form `T_exec` for this
+    /// nest's configuration over the size family it belongs to
+    /// (`family(target_size)` must equal the wrapped nest), instead of
+    /// simulating at the target size. Resumable: the [`ProbeCache`]
+    /// carries every probe partitioning and probe simulation across
+    /// calls, so re-deriving for another cube dimension or a larger
+    /// target (same Π and grouping) reuses all of them. A
+    /// [`Derivation::Unknown`] result means the caller should fall back
+    /// to [`run`](Pipeline::run) — always correct, just not O(1).
+    ///
+    /// [`ProbeCache`]: crate::symbolic_cost::ProbeCache
+    /// [`Derivation::Unknown`]: crate::symbolic_cost::Derivation::Unknown
+    pub fn stage_symbolic_cost(
+        &self,
+        family: &dyn Fn(i64) -> LoopNest,
+        target_size: i64,
+        config: &PipelineConfig,
+        opts: &crate::symbolic_cost::DeriveOptions,
+        cache: &mut crate::symbolic_cost::ProbeCache,
+        recorder: &Recorder,
+    ) -> Result<crate::symbolic_cost::Derivation, PipelineError> {
+        let _s = recorder.span("pipeline.symbolic_cost");
+        let deps = loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
+            .map_err(PipelineError::Deps)?;
+        let pi = match &config.time_fn {
+            Some(coeffs) => {
+                let pi = TimeFn::new(coeffs.clone());
+                pi.check_legal(&deps).map_err(PipelineError::TimeFn)?;
+                coeffs.clone()
+            }
+            None => loom_hyperplane::find_optimal_with(
+                &deps,
+                self.nest.space(),
+                config.search,
+                recorder,
+            )
+            .map_err(PipelineError::TimeFn)?
+            .coeffs()
+            .to_vec(),
+        };
+        let machine = config.machine.clone().unwrap_or_default();
+        let derived = crate::symbolic_cost::derive(
+            family,
+            &deps,
+            &pi,
+            &config.partition,
+            config.cube_dim,
+            target_size,
+            &machine,
+            opts,
+            cache,
+        );
+        recorder.add("pipeline.symbolic_probe_sims", cache.sims());
+        recorder.add("pipeline.symbolic_probe_points", cache.points_spent());
+        Ok(derived)
+    }
+
     /// [`stage_partition`](Pipeline::stage_partition) with the
     /// dependence set already extracted — exploration hoists extraction
     /// out of its candidate loop and hands the shared set in here.
@@ -673,6 +730,53 @@ mod tests {
         let sim = out.sim.unwrap();
         assert!(sim.makespan > 0);
         assert_eq!(sim.compute.len(), 2);
+    }
+
+    #[test]
+    fn symbolic_cost_stage_is_resumable_across_cube_dims() {
+        use crate::symbolic_cost::{Derivation, DeriveOptions, ProbeCache};
+        let fam = |n: i64| loom_workloads::matvec::workload(n).nest;
+        let pipeline = Pipeline::new(fam(32));
+        let mut cache = ProbeCache::new();
+        let cfg = PipelineConfig {
+            time_fn: Some(vec![1, 1]),
+            cube_dim: 1,
+            ..Default::default()
+        };
+        let rec = Recorder::disabled();
+        let opts = DeriveOptions::default();
+        let d1 = pipeline
+            .stage_symbolic_cost(&fam, 32, &cfg, &opts, &mut cache, &rec)
+            .unwrap();
+        let Derivation::Exact(c1) = d1 else {
+            panic!("matvec cube=1 must derive exactly: {d1:?}");
+        };
+        let points_before = cache.points_spent();
+        // Re-derive on a larger cube with the same cache: every probe
+        // partitioning is reused, only the new cube's simulations run.
+        let cfg2 = PipelineConfig { cube_dim: 2, ..cfg };
+        let d2 = pipeline
+            .stage_symbolic_cost(&fam, 32, &cfg2, &opts, &mut cache, &rec)
+            .unwrap();
+        let Derivation::Exact(c2) = d2 else {
+            panic!("matvec cube=2 must derive exactly");
+        };
+        assert!(cache.points_spent() > points_before);
+        // Both forms agree with the full pipeline at the target size.
+        for (cube_dim, cost) in [(1usize, &c1), (2, &c2)] {
+            let out = Pipeline::new(fam(32))
+                .run(&PipelineConfig {
+                    time_fn: Some(vec![1, 1]),
+                    cube_dim,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert_eq!(cost.makespan(32), Some(out.sim.as_ref().unwrap().makespan));
+            assert_eq!(
+                cost.messages_at(32),
+                Some(out.sim.as_ref().unwrap().messages)
+            );
+        }
     }
 
     #[test]

@@ -1116,6 +1116,39 @@ pub fn simulate_scratch(
     Engine::new(program, config, None, scratch)?.run(scratch)
 }
 
+/// One probe's result, reduced to the quantities the symbolic cost
+/// engine fits closed forms over. Everything else (traces, metrics,
+/// per-processor detail) is deliberately dropped: the oracle protocol
+/// is "same numbers or the derivation is wrong".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleSummary {
+    /// Simulated makespan in ticks.
+    pub makespan: u64,
+    /// Messages sent (after batching, when configured).
+    pub messages: u64,
+    /// Words moved.
+    pub words: u64,
+}
+
+/// The validation-oracle entry point of `loom_core::symbolic_cost`:
+/// simulate `program` and return only the closed-form-checkable
+/// summary. Identical to [`simulate_scratch`] underneath — the symbolic
+/// engine's probes and its final validation runs go through the *same*
+/// discrete-event engine the explorer uses, so "symbolic == simulated"
+/// is a statement about one engine, not two.
+pub fn oracle_summary(
+    program: &Program,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Result<OracleSummary, SimError> {
+    let report = simulate_scratch(program, config, scratch)?;
+    Ok(OracleSummary {
+        makespan: report.makespan,
+        messages: report.messages,
+        words: report.words,
+    })
+}
+
 /// Run the program under a deterministic fault plan.
 ///
 /// The fault-free baseline is simulated first (trace and metrics

@@ -19,9 +19,9 @@
 //!   type changes) are [`FindingKind::Shape`].
 //!
 //! Arrays of entry objects are matched by identity fields (`workload`,
-//! `pi_bound`, `points`, `reps` — whichever are present) rather than by
-//! index, so reordering entries is not a regression but dropping one
-//! is.
+//! `pi_bound`, `size`, `points`, `reps` — whichever are present) rather
+//! than by index, so reordering entries is not a regression but
+//! dropping one is.
 //!
 //! `loom obs diff` drives this and exits nonzero when
 //! [`DiffReport::has_regressions`] holds.
@@ -132,7 +132,9 @@ fn leaf_key(path: &str) -> &str {
 }
 
 /// The identity fields used to match array entries across runs.
-const IDENTITY_FIELDS: [&str; 4] = ["workload", "pi_bound", "points", "reps"];
+/// `size` disambiguates sweeps that revisit a workload at several
+/// problem sizes (the symbolic explore rows).
+const IDENTITY_FIELDS: [&str; 5] = ["workload", "pi_bound", "size", "points", "reps"];
 
 fn entry_identity(v: &Json) -> Option<String> {
     let obj = v.as_obj()?;

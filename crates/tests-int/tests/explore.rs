@@ -30,6 +30,7 @@ fn config(pi_bound: i64, threads: usize, prune: bool) -> ExploreConfig {
         },
         threads,
         prune,
+        symbolic: None,
     }
 }
 

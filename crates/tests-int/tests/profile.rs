@@ -150,6 +150,83 @@ fn matvec_parallel_profile_matches_table_i_decomposition() {
     );
 }
 
+/// The symbolic cost engine's compute/startup/transit decomposition
+/// (`DeriveOptions::profile`) must agree with the PR 6 critical-path
+/// profiler's attribution point-for-point on matvec — serial (`N = 1`,
+/// pure compute, `2M²·t_calc`) and parallel (`N = 4`).
+#[test]
+fn symbolic_decomposition_matches_profiler_attribution_on_matvec() {
+    use loom_core::symbolic_cost::{Derivation, DeriveOptions, ProbeCache};
+    use loom_core::MachineOptions;
+    let family = |n: i64| loom_workloads::matvec::workload(n).nest;
+    let opts = DeriveOptions {
+        profile: true,
+        ..Default::default()
+    };
+    let rec = Recorder::disabled();
+    let cases: &[(usize, MachineParams)] = &[
+        (
+            0,
+            MachineParams {
+                t_calc: 3,
+                t_start: 50,
+                t_comm: 5,
+                t_recv: 0,
+            },
+        ),
+        (2, MachineParams::classic_1991()),
+    ];
+    let target = 24i64;
+    for &(cube_dim, params) in cases {
+        let w = loom_workloads::matvec::workload(target);
+        let cfg = PipelineConfig {
+            time_fn: Some(w.pi.clone()),
+            cube_dim,
+            machine: Some(MachineOptions {
+                params,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut cache = ProbeCache::new();
+        let derivation = Pipeline::new(w.nest.clone())
+            .stage_symbolic_cost(&family, target, &cfg, &opts, &mut cache, &rec)
+            .expect("symbolic stage runs");
+        let Derivation::Exact(cost) = derivation else {
+            panic!("matvec cube_dim={cube_dim} must derive exactly, got {derivation:?}");
+        };
+        let sym = cost.profile.as_ref().expect("profile requested");
+        let base = cost.t_exec.base();
+        for n in [base, base + 3, target] {
+            let (makespan, profiled) = profile_workload(
+                &loom_workloads::matvec::workload(n),
+                params,
+                false,
+                &[cube_dim],
+            );
+            let c = &profiled.components;
+            let ctx = format!("cube_dim={cube_dim} n={n}");
+            assert_eq!(cost.makespan(n), Some(makespan), "{ctx}");
+            assert_eq!(sym.compute.eval_u64(n), Some(c.compute), "{ctx}: compute");
+            assert_eq!(sym.startup.eval_u64(n), Some(c.startup), "{ctx}: startup");
+            assert_eq!(sym.transit.eval_u64(n), Some(c.transit), "{ctx}: transit");
+            if cube_dim == 0 {
+                // Table I, N = 1: the whole makespan is 2M²·t_calc of
+                // compute — no communication terms at all.
+                let pure = 2 * (n as u64) * (n as u64) * params.t_calc;
+                assert_eq!(c.compute, pure, "{ctx}");
+                assert_eq!(sym.startup.eval_u64(n), Some(0), "{ctx}");
+                assert_eq!(sym.transit.eval_u64(n), Some(0), "{ctx}");
+            } else {
+                assert!(
+                    c.startup > 0,
+                    "{ctx}: a 4-processor matvec run must pay startup on the path"
+                );
+            }
+        }
+    }
+}
+
 /// The regression observatory: identical documents diff clean; a
 /// seeded 10× timing inflation comes back as a gating regression that
 /// names the inflated leaf.

@@ -1,0 +1,346 @@
+//! Property harness for the symbolic cost engine: the closed-form
+//! `T_exec` quasi-polynomials must agree with the cycle-accurate
+//! simulator **exactly** — on every builtin workload family across
+//! sizes, on the parallel configurations that derive exactly, through
+//! `ExploreConfig::symbolic` (byte-identical rankings with honest
+//! fallback), and on the paper's Table I reproduced from the forms.
+
+use loom_core::analytic::matvec_exec_terms;
+use loom_core::explore::{explore_reference, explore_with, ExploreConfig, SymbolicExplore};
+use loom_core::symbolic_cost::{derive, Derivation, DeriveOptions, ProbeCache, SymbolicCost};
+use loom_core::{MachineOptions, Pipeline, PipelineConfig};
+use loom_machine::MachineParams;
+use loom_obs::Recorder;
+use loom_workloads::Family;
+use std::sync::Arc;
+
+const ALL_FAMILIES: [&str; 10] = [
+    "l1",
+    "matvec",
+    "dft",
+    "conv",
+    "sor",
+    "triangular",
+    "matmul",
+    "transitive",
+    "conv2d",
+    "heat2d",
+];
+
+/// A machine whose short transients keep most parallel configurations
+/// inside one cost regime — the derivation-friendly counterpoint to
+/// `classic_1991`'s long pipeline-fill phases.
+fn low_latency() -> MachineParams {
+    MachineParams {
+        t_calc: 3,
+        t_start: 2,
+        t_comm: 1,
+        t_recv: 0,
+    }
+}
+
+fn machine(params: MachineParams) -> MachineOptions {
+    MachineOptions {
+        params,
+        ..Default::default()
+    }
+}
+
+/// Derive the closed forms for a builtin family at `target`, sharing
+/// nothing: fresh cache, default options unless overridden.
+fn derive_builtin(
+    name: &str,
+    cube_dim: usize,
+    target: i64,
+    params: MachineParams,
+    opts: &DeriveOptions,
+) -> (Derivation, Family) {
+    let fam = loom_workloads::family_of(name, None).expect("builtin family");
+    let w = fam(8);
+    let deps = w.verified_deps();
+    let pi = w.pi.clone();
+    let nest_fam = {
+        let fam = fam.clone();
+        move |n: i64| fam(n).nest
+    };
+    let mut cache = ProbeCache::new();
+    let d = derive(
+        &nest_fam,
+        &deps,
+        &pi,
+        &loom_partition::PartitionConfig::default(),
+        cube_dim,
+        target,
+        &machine(params),
+        opts,
+        &mut cache,
+    );
+    (d, fam)
+}
+
+/// The oracle: run the full pipeline (partition → map → simulate) at
+/// one concrete size and return `(makespan, messages)`.
+fn simulate(fam: &Family, n: i64, cube_dim: usize, params: MachineParams) -> (u64, u64) {
+    let w = fam(n);
+    let out = Pipeline::new(w.nest.clone())
+        .run(&PipelineConfig {
+            time_fn: Some(w.pi.clone()),
+            cube_dim,
+            machine: Some(machine(params)),
+            ..Default::default()
+        })
+        .expect("pipeline simulates");
+    let sim = out.sim.expect("simulation enabled");
+    (sim.makespan, sim.messages)
+}
+
+fn assert_exact_at(
+    cost: &SymbolicCost,
+    fam: &Family,
+    n: i64,
+    cube_dim: usize,
+    params: MachineParams,
+    ctx: &str,
+) {
+    let (makespan, messages) = simulate(fam, n, cube_dim, params);
+    assert_eq!(
+        cost.makespan(n),
+        Some(makespan),
+        "{ctx}: symbolic T_exec must equal the simulated makespan at n={n}"
+    );
+    assert_eq!(
+        cost.messages_at(n),
+        Some(messages),
+        "{ctx}: symbolic message count must match the simulator at n={n}"
+    );
+}
+
+/// Every builtin family derives exactly on the serial machine (`N = 1`
+/// — the paper's first Table I column: no messages, `T_exec` is pure
+/// compute), and the closed form equals the simulated makespan at
+/// three or more sizes including the target.
+#[test]
+fn serial_closed_form_is_exact_for_every_builtin_family() {
+    let target = 33i64;
+    for name in ALL_FAMILIES {
+        let (d, fam) = derive_builtin(
+            name,
+            0,
+            target,
+            MachineParams::classic_1991(),
+            &DeriveOptions::default(),
+        );
+        let Derivation::Exact(cost) = d else {
+            panic!("{name}: serial derivation must be exact, got {d:?}");
+        };
+        let base = cost.t_exec.base();
+        for n in [base, base + 5, target] {
+            assert_exact_at(&cost, &fam, n, 0, MachineParams::classic_1991(), name);
+        }
+    }
+}
+
+/// The parallel configurations that settle into one cost regime derive
+/// exactly, and the forms reproduce the simulator point-for-point —
+/// makespan *and* message count — across sizes up to the target.
+#[test]
+fn parallel_closed_forms_match_the_simulator_exactly() {
+    let target = 33i64;
+    let classic = MachineParams::classic_1991();
+    let cases: &[(&str, usize, MachineParams)] = &[
+        ("l1", 1, low_latency()),
+        ("l1", 2, low_latency()),
+        ("matvec", 1, classic),
+        ("matvec", 2, classic),
+        ("dft", 1, low_latency()),
+        ("dft", 2, low_latency()),
+        ("conv", 1, low_latency()),
+        ("sor", 1, classic),
+        ("triangular", 1, classic),
+    ];
+    for &(name, cube_dim, params) in cases {
+        let (d, fam) = derive_builtin(name, cube_dim, target, params, &DeriveOptions::default());
+        let Derivation::Exact(cost) = d else {
+            panic!("{name} cube_dim={cube_dim}: expected an exact derivation, got {d:?}");
+        };
+        let base = cost.t_exec.base();
+        let ctx = format!("{name} cube_dim={cube_dim}");
+        for n in [base, base + 3, target] {
+            assert_exact_at(&cost, &fam, n, cube_dim, params, &ctx);
+        }
+    }
+}
+
+/// `ExploreConfig::symbolic` returns the byte-identical ranking the
+/// simulating explorer computes — whether candidates derive exactly
+/// (matvec), mix exact and fallback (conv: serial derives, the
+/// parallel cubes hit regime transients), or all ride the fallback
+/// because the probe budget is too small to derive anything (matmul
+/// with a one-point budget).
+#[test]
+fn symbolic_explore_ranking_is_byte_identical_with_honest_fallback() {
+    let classic = MachineParams::classic_1991();
+    struct Case {
+        name: &'static str,
+        size: i64,
+        params: MachineParams,
+        budget: Option<u64>,
+        expect_exact: bool,
+        require_fallback: bool,
+    }
+    let cases = [
+        Case {
+            name: "matvec",
+            size: 12,
+            params: classic,
+            budget: None,
+            expect_exact: true,
+            require_fallback: false,
+        },
+        Case {
+            name: "conv",
+            size: 10,
+            params: low_latency(),
+            budget: None,
+            expect_exact: true,
+            require_fallback: true,
+        },
+        Case {
+            name: "matmul",
+            size: 5,
+            params: classic,
+            budget: Some(1),
+            expect_exact: false,
+            require_fallback: true,
+        },
+    ];
+    for case in cases {
+        let fam = loom_workloads::family_of(case.name, None).expect("builtin family");
+        let nest = fam(case.size).nest;
+        let cfg = ExploreConfig {
+            pi_bound: 2,
+            top: 10,
+            machine: machine(case.params),
+            threads: 2,
+            prune: true,
+            symbolic: None,
+        };
+        let baseline = explore_reference(&nest, &[0, 1, 2], &cfg).expect("reference explores");
+        let mut opts = DeriveOptions::default();
+        if let Some(b) = case.budget {
+            opts.max_probe_points = b;
+        }
+        let rec = Recorder::enabled();
+        let got = explore_with(
+            &nest,
+            &[0, 1, 2],
+            &ExploreConfig {
+                symbolic: Some(SymbolicExplore {
+                    family: Arc::new({
+                        let fam = fam.clone();
+                        move |n| fam(n).nest
+                    }),
+                    size: case.size,
+                    opts,
+                }),
+                ..cfg
+            },
+            &rec,
+        )
+        .expect("symbolic explore runs");
+        assert_eq!(
+            got, baseline,
+            "{}: symbolic ranking must be byte-identical to the simulating sweep",
+            case.name
+        );
+        let counters = rec.counters();
+        let exact = counters.get("explore.symbolic.exact").copied().unwrap_or(0);
+        let fallback = counters
+            .get("explore.symbolic.fallback")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            exact > 0,
+            case.expect_exact,
+            "{}: exact counter {exact} (counters {counters:?})",
+            case.name
+        );
+        if case.require_fallback {
+            assert!(
+                fallback > 0,
+                "{}: expected fallback candidates (counters {counters:?})",
+                case.name
+            );
+        }
+    }
+}
+
+/// Table I of the paper, reproduced from closed forms at `M = 1024`:
+/// all six printed `(calc, comm)` coefficient pairs from the analytic
+/// formula, the serial row independently re-derived by the symbolic
+/// engine (its `T_exec(1024)` is the paper's 2M² with `t_calc = 1`),
+/// and the `N = 4` row's `2W` computation term recovered from the
+/// engine's busiest-processor form — without ever simulating at
+/// `M = 1024` (the probe budget cannot afford that size; the ladder
+/// validates the fit geometrically below it).
+#[test]
+fn table_i_is_reproduced_from_the_closed_forms() {
+    let expect = [
+        (1u64, 2_097_152u64, 0u64),
+        (4, 786_944, 2046),
+        (16, 245_888, 2046),
+        (64, 64_544, 2046),
+        (256, 16_328, 2046),
+        (1024, 4094, 2046),
+    ];
+    for &(n, calc, comm) in &expect {
+        let terms = matvec_exec_terms(1024, n);
+        assert_eq!(
+            (terms.calc_coeff, terms.comm_coeff),
+            (calc, comm),
+            "Table I row N = {n}"
+        );
+    }
+
+    // Serial row, re-derived: T_exec(M) = 2M²·t_calc with no messages.
+    let m = 1024i64;
+    let (d, _) = derive_builtin(
+        "matvec",
+        0,
+        m,
+        MachineParams::classic_1991(),
+        &DeriveOptions::default(),
+    );
+    let Derivation::Exact(cost) = d else {
+        panic!("serial matvec must derive exactly, got {d:?}");
+    };
+    assert_eq!(cost.makespan(m), Some(2_097_152), "Table I N = 1 ticks");
+    assert_eq!(cost.messages_at(m), Some(0));
+    assert_eq!(cost.max_proc_flops.eval_u64(m), Some(2_097_152));
+
+    // N = 4 row: the busiest-processor form is pure lattice geometry
+    // (machine constants cancel), so a low-latency derivation recovers
+    // the paper's 2W = 786 944 — and the same form holds at any size.
+    let (d, fam) = derive_builtin("matvec", 2, m, low_latency(), &DeriveOptions::default());
+    let Derivation::Exact(cost) = d else {
+        panic!("matvec cube_dim=2 must derive exactly at M = 1024, got {d:?}");
+    };
+    assert_eq!(
+        cost.max_proc_flops.eval_u64(m),
+        Some(786_944),
+        "Table I N = 4: 2W"
+    );
+    // The paper's printed W assumes M divisible by N (Table I uses
+    // M = 1024 on 4 processors); off-multiple sizes round differently
+    // than the real Algorithm 1 partition, so compare on multiples.
+    for n in [200i64, 512] {
+        assert_eq!(
+            cost.max_proc_flops.eval_u64(n),
+            Some(matvec_exec_terms(n as u64, 4).calc_coeff),
+            "2W form vs analytic at n = {n}"
+        );
+    }
+    // One mid-size oracle check of the full T_exec form (the target
+    // size itself is past the probe budget by design).
+    assert_exact_at(&cost, &fam, 200, 2, low_latency(), "matvec cube_dim=2");
+}

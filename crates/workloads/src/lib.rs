@@ -67,6 +67,50 @@ impl Workload {
     }
 }
 
+/// A size-parameterized workload family: the generator behind a
+/// builtin workload name, with every secondary shape parameter pinned
+/// so only the primary iteration-space size scales. This is the
+/// iteration-space *size parameter* the symbolic cost engine
+/// (`loom_core::symbolic_cost`) derives closed forms over: `family(n)`
+/// must produce the same dependence set for every `n`, which pinning
+/// the secondary parameter guarantees for all builtins.
+pub type Family = std::sync::Arc<dyn Fn(i64) -> Workload + Send + Sync>;
+
+/// The size family of a builtin workload, or `None` for unknown names.
+///
+/// `size2` pins the secondary parameter where the generator takes one
+/// (`conv`/`conv2d` taps, `sor` columns, `heat2d` grid size); `None`
+/// uses the paper-scale default. Single-parameter generators ignore it.
+pub fn family_of(name: &str, size2: Option<i64>) -> Option<Family> {
+    use std::sync::Arc;
+    let f: Family = match name {
+        "l1" => Arc::new(l1::workload),
+        "matmul" => Arc::new(matmul::workload),
+        "matvec" => Arc::new(matvec::workload),
+        "transitive" => Arc::new(transitive::workload),
+        "dft" => Arc::new(dft::workload),
+        "triangular" => Arc::new(triangular::workload),
+        "conv" => {
+            let taps = size2.unwrap_or(4).max(1);
+            Arc::new(move |n| conv::workload(n, taps))
+        }
+        "conv2d" => {
+            let taps = size2.unwrap_or(2).max(1);
+            Arc::new(move |n| conv2d::workload(n, taps))
+        }
+        "sor" => {
+            let cols = size2.unwrap_or(6).max(1);
+            Arc::new(move |n| sor::workload(n, cols))
+        }
+        "heat2d" => {
+            let size = size2.unwrap_or(4).max(2);
+            Arc::new(move |n| heat2d::workload(n, size))
+        }
+        _ => return None,
+    };
+    Some(f)
+}
+
 /// Every workload generator at its paper-scale default, for sweep-style
 /// tests and benches.
 pub fn all_default() -> Vec<Workload> {
