@@ -20,7 +20,7 @@ pub struct RuleDoc {
     pub summary: &'static str,
 }
 
-const CATALOG: [RuleDoc; 23] = [
+const CATALOG: [RuleDoc; 26] = [
     RuleDoc {
         rule: RuleId::ScheduleLegality,
         engine: "enumerative",
@@ -127,6 +127,30 @@ const CATALOG: [RuleDoc; 23] = [
                   enumerated (concrete)",
     },
     RuleDoc {
+        rule: RuleId::UniformizeSoundness,
+        engine: "symbolic",
+        paper: "dependence folding / basic-vector decomposition (Kale et al., \
+                arXiv:1311.2927), extending the uniform class of Section II",
+        summary: "every point of the true variable-distance dependence relation is a \
+                  non-negative integer combination of the synthesized vectors; the \
+                  Presburger core refutes span, sign, and divisibility escapes",
+    },
+    RuleDoc {
+        rule: RuleId::UniformizeTightness,
+        engine: "symbolic",
+        paper: "the parallelism trade-off of dependence folding (Kale et al.)",
+        summary: "a synthesized vector admits iteration pairs that never conflict; the \
+                  parallelism lost is reported as the legal-Pi count / schedule step \
+                  bound change",
+    },
+    RuleDoc {
+        rule: RuleId::UniformizeLegality,
+        engine: "symbolic",
+        paper: "the legality condition Pi*d >= 1 (Section II) over the folded set",
+        summary: "the chosen schedule satisfies Pi*v >= 1 for every synthesized vector, \
+                  so the folded nest re-passes LC001/LC009 at all sizes",
+    },
+    RuleDoc {
         rule: RuleId::LexInvalidChar,
         engine: "front-end",
         paper: "none - guards the .loom surface syntax",
@@ -185,7 +209,7 @@ const CATALOG: [RuleDoc; 23] = [
 ];
 
 /// The full catalogue, in rule-id order.
-pub fn catalog() -> &'static [RuleDoc; 23] {
+pub fn catalog() -> &'static [RuleDoc; 26] {
     &CATALOG
 }
 

@@ -66,6 +66,22 @@ pub enum RuleId {
     /// or array element, proven by interval abstract interpretation
     /// (size-parametric via the Presburger core where possible).
     BlockAccessBounds,
+    /// `LC016` — uniformization soundness: every point of the true
+    /// (variable-distance) dependence relation is covered by a
+    /// non-negative integer combination of the synthesized uniform
+    /// vectors; the Presburger core refutes every escape (a distance
+    /// outside the span, or needing a negative or fractional
+    /// coefficient), and `Unsat` on each escape system is the proof.
+    UniformizeSoundness,
+    /// `LC017` — uniformization tightness: a synthesized vector
+    /// over-approximates (its cover admits iteration pairs that never
+    /// conflict), reported with the parallelism lost as the change in
+    /// legal-Π count / schedule step bound.
+    UniformizeTightness,
+    /// `LC018` — uniformization legality handoff: the folded nest's
+    /// chosen schedule satisfies `Π·v ≥ 1` for every synthesized
+    /// vector, so LC001/LC009 legality carries over at all sizes.
+    UniformizeLegality,
     /// `LP001` — front end: a character outside the `.loom` alphabet.
     LexInvalidChar,
     /// `LP002` — front end: an integer literal that does not fit `i64`.
@@ -107,6 +123,9 @@ impl RuleId {
             RuleId::InterleavingDeadlock => "LC013",
             RuleId::InterleavingDeterminacy => "LC014",
             RuleId::BlockAccessBounds => "LC015",
+            RuleId::UniformizeSoundness => "LC016",
+            RuleId::UniformizeTightness => "LC017",
+            RuleId::UniformizeLegality => "LC018",
             RuleId::LexInvalidChar => "LP001",
             RuleId::LexIntOverflow => "LP002",
             RuleId::ParseExpected => "LP003",
@@ -136,6 +155,9 @@ impl RuleId {
             RuleId::InterleavingDeadlock => "interleaving-deadlock",
             RuleId::InterleavingDeterminacy => "interleaving-determinacy",
             RuleId::BlockAccessBounds => "block-access-bounds",
+            RuleId::UniformizeSoundness => "uniformize-soundness",
+            RuleId::UniformizeTightness => "uniformize-tightness",
+            RuleId::UniformizeLegality => "uniformize-legality",
             RuleId::LexInvalidChar => "lex-invalid-char",
             RuleId::LexIntOverflow => "lex-int-overflow",
             RuleId::ParseExpected => "parse-expected",
@@ -148,7 +170,7 @@ impl RuleId {
     }
 
     /// Every rule, in code order (`LC0NN` first, then `LP0NN`).
-    pub fn all() -> [RuleId; 23] {
+    pub fn all() -> [RuleId; 26] {
         [
             RuleId::ScheduleLegality,
             RuleId::BlockSharedStep,
@@ -165,6 +187,9 @@ impl RuleId {
             RuleId::InterleavingDeadlock,
             RuleId::InterleavingDeterminacy,
             RuleId::BlockAccessBounds,
+            RuleId::UniformizeSoundness,
+            RuleId::UniformizeTightness,
+            RuleId::UniformizeLegality,
             RuleId::LexInvalidChar,
             RuleId::LexIntOverflow,
             RuleId::ParseExpected,
@@ -714,8 +739,8 @@ mod tests {
             codes,
             vec![
                 "LC001", "LC002", "LC003", "LC004", "LC005", "LC006", "LC007", "LC008", "LC009",
-                "LC010", "LC011", "LC012", "LC013", "LC014", "LC015", "LP001", "LP002", "LP003",
-                "LP004", "LP005", "LP006", "LP007", "LP008"
+                "LC010", "LC011", "LC012", "LC013", "LC014", "LC015", "LC016", "LC017", "LC018",
+                "LP001", "LP002", "LP003", "LP004", "LP005", "LP006", "LP007", "LP008"
             ]
         );
         let mut names: Vec<&str> = RuleId::all().iter().map(|r| r.name()).collect();

@@ -32,6 +32,9 @@
 //! | `LC013` | interleaving-deadlock | deadlock-freedom under *every* interleaving (DPOR) |
 //! | `LC014` | interleaving-determinacy | final memory is interleaving-independent |
 //! | `LC015` | block-access-bounds | op indices and access images stay in bounds |
+//! | `LC016` | uniformize-soundness | synthesized vectors cover the true dependence relation |
+//! | `LC017` | uniformize-tightness | over-approximation and the parallelism it costs |
+//! | `LC018` | uniformize-legality  | `Π·v ≥ 1` for every synthesized vector |
 //!
 //! `LC001`–`LC008` are *enumerative*: they certify one instantiated
 //! iteration space by walking its points and messages. `LC009`–`LC012`
@@ -68,6 +71,7 @@ pub mod presburger;
 mod races;
 pub mod symbolic;
 mod theorem2;
+pub mod uniformize;
 
 pub use absint::{check_block_bounds, AbsintStats};
 pub use catalog::{catalog, explain, RuleDoc};
@@ -84,11 +88,14 @@ pub use lemma1::check_lemma1;
 pub use presburger::{System, Verdict};
 pub use races::check_races;
 pub use symbolic::{
-    ap_overlap, block_traffic, check_access_dependences, check_blocking_cycles,
-    check_legality_symbolic, check_lemma1_symbolic, check_lemma1_symbolic_groups, check_protocol,
-    BlockTraffic, SymbolicStats,
+    ap_overlap, block_traffic, check_access_dependences, check_access_dependences_uniformized,
+    check_blocking_cycles, check_legality_symbolic, check_lemma1_symbolic,
+    check_lemma1_symbolic_groups, check_protocol, BlockTraffic, SymbolicStats,
 };
 pub use theorem2::{check_grouping_vectors, check_neighbor_bound, check_theorem2};
+pub use uniformize::{
+    admit_uniformized, certify_cover, check_folded_legality, check_tightness, UniformizeStats,
+};
 
 use loom_hyperplane::TimeFn;
 use loom_loopir::{LoopNest, Point};
@@ -210,12 +217,26 @@ pub fn check_pipeline_mode(
         CheckMode::Symbolic => {
             let mut stats = SymbolicStats::default();
             report.extend(check_lemma1_symbolic(input.partitioning, &mut stats));
-            report.extend(check_access_dependences(input.nest, Some(input.deps)));
+            let mut ustats = UniformizeStats::default();
+            let (deps_diags, uniformized) =
+                check_access_dependences_uniformized(input.nest, Some(input.deps), &mut ustats);
+            report.extend(deps_diags);
+            if let Some(u) = &uniformized {
+                if !u.is_trivial() {
+                    report.extend(check_folded_legality(input.pi, u));
+                }
+            }
             report.extend(check_protocol(input.partitioning, input.tig, &mut stats));
             report.extend(check_blocking_cycles(input.partitioning));
             recorder.add("check.symbolic.lattice", stats.lattice_proofs);
             recorder.add("check.symbolic.fm", stats.fm_decided);
             recorder.add("check.symbolic.fallback", stats.enumerated);
+            recorder.add("check.uniformize.pairs", ustats.pairs_folded);
+            recorder.add("check.uniformize.vectors", ustats.vectors_synthesized);
+            recorder.add("check.uniformize.proofs", ustats.proofs);
+            recorder.add("check.uniformize.refuted", ustats.refuted);
+            recorder.add("check.uniformize.unknown", ustats.unknown);
+            recorder.add("check.uniformize.tightness", ustats.tightness_warnings);
         }
         CheckMode::Interleaving => {
             match loom_codegen::generate(

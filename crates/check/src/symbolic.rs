@@ -54,8 +54,11 @@
 use crate::diag::{Diagnostic, RuleId, Span};
 use crate::legality::check_legality;
 use crate::presburger::{System, Verdict};
+use crate::uniformize::UniformizeStats;
 use loom_hyperplane::TimeFn;
-use loom_loopir::{accesses_by_array, Access, DepOptions, IterSpace, LoopNest, Point};
+use loom_loopir::{
+    accesses_by_array, Access, DepOptions, Dependence, IterSpace, LoopNest, Point, Uniformization,
+};
 use loom_partition::{Partitioning, Tig};
 use loom_rational::int::gcd_all;
 use loom_rational::intlinalg::{try_solve_integer, IMat};
@@ -282,65 +285,93 @@ fn enumerate_line_pair(p: &Partitioning, gid: usize, a: usize, b: usize) -> Vec<
 /// accesses never conflict — accepted) or yields concrete evidence of a
 /// varying dependence distance.
 pub fn check_access_dependences(nest: &LoopNest, declared: Option<&[Point]>) -> Vec<Diagnostic> {
+    check_access_dependences_uniformized(nest, declared, &mut UniformizeStats::default()).0
+}
+
+/// [`check_access_dependences`] with the uniformization engine
+/// surfaced: when the front end rejects the nest as non-uniform, the
+/// fold-and-certify path (`LC016`/`LC017`) runs first; on success the
+/// nest is admitted and the certified [`Uniformization`] is returned
+/// (with `declared` compared against the *folded* dependence set), on
+/// failure the rejection falls back to the budgeted pairwise scan.
+pub fn check_access_dependences_uniformized(
+    nest: &LoopNest,
+    declared: Option<&[Point]>,
+    stats: &mut UniformizeStats,
+) -> (Vec<Diagnostic>, Option<Uniformization>) {
     let opts = DepOptions::default();
     match loom_loopir::extract_dependences(nest, opts) {
         Ok(deps) => {
             let Some(declared) = declared else {
-                return Vec::new();
+                return (Vec::new(), None);
             };
-            let mut out = Vec::new();
-            let derived: Vec<Point> = {
-                use std::collections::BTreeSet;
-                let set: BTreeSet<Point> = deps
-                    .iter()
-                    .map(|d| d.vector.clone())
-                    .filter(|v| v.iter().any(|&x| x != 0))
-                    .collect();
-                set.into_iter().collect()
-            };
-            for v in &derived {
-                if !declared.contains(v) {
-                    let who = deps
-                        .iter()
-                        .find(|d| &d.vector == v)
-                        .expect("derived vector has a witness dependence");
-                    out.push(Diagnostic::error(
-                        RuleId::AccessDependence,
-                        Span::Nest,
-                        format!(
-                            "the {} dependence {} on `{}` induced by the array accesses \
-                             is missing from the declared set D; no synchronization \
-                             would be generated for it",
-                            who.kind,
-                            fmt_vec(v),
-                            who.array
-                        ),
-                    ));
-                }
-            }
-            for (index, v) in declared.iter().enumerate() {
-                if !derived.contains(v) {
-                    out.push(Diagnostic::warning(
-                        RuleId::AccessDependence,
-                        Span::Dep {
-                            index,
-                            vector: v.clone(),
-                        },
-                        "declared dependence is not induced by any access pair \
-                         (dead synchronization: harmless but wasteful)"
-                            .to_string(),
-                    ));
-                }
-            }
-            out
+            (compare_vector_sets(&deps, declared), None)
         }
-        Err(loom_loopir::Error::NonUniform { .. }) => scan_nonuniform_pairs(nest),
-        Err(e) => vec![Diagnostic::warning(
-            RuleId::AccessDependence,
-            Span::Nest,
-            format!("dependence extraction failed ({e}); cannot verify the declared set D"),
-        )],
+        Err(loom_loopir::Error::NonUniform { .. }) => {
+            crate::uniformize::nonuniform_analysis(nest, declared, stats)
+        }
+        Err(e) => (
+            vec![Diagnostic::warning(
+                RuleId::AccessDependence,
+                Span::Nest,
+                format!("dependence extraction failed ({e}); cannot verify the declared set D"),
+            )],
+            None,
+        ),
     }
+}
+
+/// Compare the dependence records a nest's accesses induce against the
+/// declared vector set `D`: missing vectors are errors (a needed
+/// synchronization would not be generated), dead declared vectors are
+/// warnings. Shared between the uniform path and the uniformized path
+/// (where `deps` is the folded set).
+pub(crate) fn compare_vector_sets(deps: &[Dependence], declared: &[Point]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let derived: Vec<Point> = {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Point> = deps
+            .iter()
+            .map(|d| d.vector.clone())
+            .filter(|v| v.iter().any(|&x| x != 0))
+            .collect();
+        set.into_iter().collect()
+    };
+    for v in &derived {
+        if !declared.contains(v) {
+            let who = deps
+                .iter()
+                .find(|d| &d.vector == v)
+                .expect("derived vector has a witness dependence");
+            out.push(Diagnostic::error(
+                RuleId::AccessDependence,
+                Span::Nest,
+                format!(
+                    "the {} dependence {} on `{}` induced by the array accesses \
+                     is missing from the declared set D; no synchronization \
+                     would be generated for it",
+                    who.kind,
+                    fmt_vec(v),
+                    who.array
+                ),
+            ));
+        }
+    }
+    for (index, v) in declared.iter().enumerate() {
+        if !derived.contains(v) {
+            out.push(Diagnostic::warning(
+                RuleId::AccessDependence,
+                Span::Dep {
+                    index,
+                    vector: v.clone(),
+                },
+                "declared dependence is not induced by any access pair \
+                 (dead synchronization: harmless but wasteful)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
 }
 
 fn access_pair_span(array: &str, a: &Access, b: &Access) -> Span {
@@ -351,14 +382,26 @@ fn access_pair_span(array: &str, a: &Access, b: &Access) -> Span {
     }
 }
 
+/// Evidence cap for [`scan_nonuniform_pairs`]: at most this many
+/// diagnostics are produced before the remaining candidate pairs are
+/// elided with a note, bounding the scan on access-heavy nests.
+const EVIDENCE_BUDGET: usize = 8;
+
 /// The exact pairwise scan for nests the uniform front end rejects.
-fn scan_nonuniform_pairs(nest: &LoopNest) -> Vec<Diagnostic> {
+/// Evidence is capped at [`EVIDENCE_BUDGET`] diagnostics; remaining
+/// candidate pairs are counted and elided without solving.
+pub(crate) fn scan_nonuniform_pairs(nest: &LoopNest) -> Vec<Diagnostic> {
     let n = nest.dim();
     let mut out = Vec::new();
+    let mut elided = 0usize;
     for (array, accs) in accesses_by_array(nest) {
         for (x, &(_, ax, wx)) in accs.iter().enumerate() {
             for &(_, ay, wy) in accs.iter().skip(x) {
                 if !(wx || wy) || ax.same_linear_part(ay) || ax.rank() == 0 || ay.rank() == 0 {
+                    continue;
+                }
+                if out.len() >= EVIDENCE_BUDGET {
+                    elided += 1;
                     continue;
                 }
                 if ax.rank() != ay.rank() {
@@ -463,6 +506,16 @@ fn scan_nonuniform_pairs(nest: &LoopNest) -> Vec<Diagnostic> {
             RuleId::AccessDependence,
             Span::Nest,
             "the front end rejected the nest as non-uniform".to_string(),
+        ));
+    }
+    if elided > 0 {
+        out.push(Diagnostic::info(
+            RuleId::AccessDependence,
+            Span::Nest,
+            format!(
+                "{elided} further non-uniform access pair(s) elided \
+                 (evidence budget of {EVIDENCE_BUDGET} diagnostics reached)"
+            ),
         ));
     }
     out
@@ -903,10 +956,61 @@ mod tests {
             )],
         )
         .unwrap();
-        let ds = check_access_dependences(&nest, None);
+        // A[2i] = A[i] is now *admitted* through uniformization: the
+        // cover certificate (LC016 Info) and the over-approximation
+        // warning (LC017) replace the old LC010 rejection.
+        let mut stats = UniformizeStats::default();
+        let (ds, u) = check_access_dependences_uniformized(&nest, None, &mut stats);
+        let u = u.expect("nest admitted via uniformization");
+        assert_eq!(u.vectors, vec![vec![1]]);
+        assert!(ds.iter().any(|d| d.rule == RuleId::UniformizeSoundness
+            && d.severity == crate::Severity::Info
+            && d.message.contains("cover certified")));
+        assert!(ds.iter().any(
+            |d| d.rule == RuleId::UniformizeTightness && d.severity == crate::Severity::Warning
+        ));
+        assert!(!ds.iter().any(|d| d.severity == crate::Severity::Error));
+        // A genuinely uncoverable nest (rank mismatch) still rejects
+        // with the classic LC010 pairwise evidence.
+        let bad = LoopNest::new(
+            "ranks",
+            IterSpace::rect(&[4, 4]).unwrap(),
+            vec![Stmt::assign(
+                Access::simple("A", 2, &[(0, 0)]),
+                vec![Access::simple("A", 2, &[(0, 0), (1, 0)])],
+            )],
+        )
+        .unwrap();
+        let (ds, u) = check_access_dependences_uniformized(&bad, None, &mut stats);
+        assert!(u.is_none());
         assert!(ds.iter().any(|d| d.rule == RuleId::AccessDependence
             && d.severity == crate::Severity::Error
-            && d.message.contains("varies")));
+            && d.message.contains("different ranks")));
+    }
+
+    #[test]
+    fn scan_evidence_is_budget_capped() {
+        use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+        // Many distinct non-uniform read pairs against one write: the
+        // scan stops at the budget and notes the elided remainder.
+        let reads: Vec<Access> = (2..20)
+            .map(|c| Access::new("A", vec![Aff::new(vec![c], 0)]))
+            .collect();
+        let nest = LoopNest::new(
+            "wide",
+            IterSpace::rect(&[8]).unwrap(),
+            vec![Stmt::assign(Access::simple("A", 1, &[(0, 0)]), reads)],
+        )
+        .unwrap();
+        let ds = scan_nonuniform_pairs(&nest);
+        let errors = ds
+            .iter()
+            .filter(|d| d.severity == crate::Severity::Error)
+            .count();
+        assert!(errors <= EVIDENCE_BUDGET);
+        assert!(ds
+            .iter()
+            .any(|d| d.severity == crate::Severity::Info && d.message.contains("elided")));
     }
 
     #[test]

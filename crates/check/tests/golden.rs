@@ -454,9 +454,10 @@ check: 1 error(s), 0 warning(s), 0 note(s)
 
 #[test]
 fn golden_lc010_access_dependence() {
-    // The committed negative sample: rejecting it with exactly this
-    // output is part of the contract (the CI sample sweep relies on
-    // the non-zero exit).
+    // The committed variable-distance sample: since the uniformization
+    // engine landed, this nest is *admitted* — the exact certificate
+    // (LC016) and over-approximation warning (LC017) are part of the
+    // contract (the CI sample sweep relies on the zero exit).
     let src = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../samples/nonuniform.loom"
@@ -467,29 +468,43 @@ fn golden_lc010_access_dependence() {
     snapshot(
         "LC010",
         &report,
-        r#"error[LC010] accesses A[2i] and A[i]: conflicting iteration pairs (0)→(0) (distance (0)) and (1)→(2) (distance (1)): the dependence distance varies with the iteration, so no constant dependence vector covers this pair (non-uniform)
-check: 1 error(s), 0 warning(s), 0 note(s)
+        r#"info[LC016] accesses A[2i] and A[i]: cover certified: every conflict distance is a non-negative integer combination of [[1]] (2 escape system(s) refuted)
+warning[LC017] accesses A[2i] and A[i]: synthesized vector (1) over-approximates: iterations (2) and (3) never conflict on `A`, yet the folded nest synchronizes them; legal-Π census over [-2,2]^1: true relation admits 2 (best 8 step(s)), folded set admits 2 (best 8 step(s))
+check: 0 error(s), 1 warning(s), 1 note(s)
 "#,
         r#"{
   "diagnostics": [
     {
-      "rule": "LC010",
-      "name": "access-dependence",
-      "severity": "error",
+      "rule": "LC016",
+      "name": "uniformize-soundness",
+      "severity": "info",
       "span": {
         "kind": "access_pair",
         "array": "A",
         "a": "A[2i]",
         "b": "A[i]"
       },
-      "message": "conflicting iteration pairs (0)→(0) (distance (0)) and (1)→(2) (distance (1)): the dependence distance varies with the iteration, so no constant dependence vector covers this pair (non-uniform)"
+      "message": "cover certified: every conflict distance is a non-negative integer combination of [[1]] (2 escape system(s) refuted)"
+    },
+    {
+      "rule": "LC017",
+      "name": "uniformize-tightness",
+      "severity": "warning",
+      "span": {
+        "kind": "access_pair",
+        "array": "A",
+        "a": "A[2i]",
+        "b": "A[i]"
+      },
+      "message": "synthesized vector (1) over-approximates: iterations (2) and (3) never conflict on `A`, yet the folded nest synchronizes them; legal-Π census over [-2,2]^1: true relation admits 2 (best 8 step(s)), folded set admits 2 (best 8 step(s))"
     }
   ],
   "counts": {
-    "LC010": 1
+    "LC016": 1,
+    "LC017": 1
   },
-  "errors": 1,
-  "warnings": 0
+  "errors": 0,
+  "warnings": 1
 }
 "#,
     );
@@ -943,6 +958,27 @@ fn golden_sarif_nonuniform() {
               }
             },
             {
+              "id": "LC016",
+              "name": "uniformize-soundness",
+              "shortDescription": {
+                "text": "uniformize-soundness"
+              }
+            },
+            {
+              "id": "LC017",
+              "name": "uniformize-tightness",
+              "shortDescription": {
+                "text": "uniformize-tightness"
+              }
+            },
+            {
+              "id": "LC018",
+              "name": "uniformize-legality",
+              "shortDescription": {
+                "text": "uniformize-legality"
+              }
+            },
+            {
               "id": "LP001",
               "name": "lex-invalid-char",
               "shortDescription": {
@@ -1003,11 +1039,37 @@ fn golden_sarif_nonuniform() {
       },
       "results": [
         {
-          "ruleId": "LC010",
-          "ruleIndex": 9,
-          "level": "error",
+          "ruleId": "LC016",
+          "ruleIndex": 15,
+          "level": "note",
           "message": {
-            "text": "accesses A[2i] and A[i]: conflicting iteration pairs (0)→(0) (distance (0)) and (1)→(2) (distance (1)): the dependence distance varies with the iteration, so no constant dependence vector covers this pair (non-uniform)"
+            "text": "accesses A[2i] and A[i]: cover certified: every conflict distance is a non-negative integer combination of [[1]] (2 escape system(s) refuted)"
+          },
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "fullyQualifiedName": "accesses A[2i] and A[i]"
+                }
+              ],
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "samples/nonuniform.loom"
+                },
+                "region": {
+                  "startLine": 1,
+                  "startColumn": 1
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "LC017",
+          "ruleIndex": 16,
+          "level": "warning",
+          "message": {
+            "text": "accesses A[2i] and A[i]: synthesized vector (1) over-approximates: iterations (2) and (3) never conflict on `A`, yet the folded nest synchronizes them; legal-Π census over [-2,2]^1: true relation admits 2 (best 8 step(s)), folded set admits 2 (best 8 step(s))"
           },
           "locations": [
             {

@@ -66,7 +66,10 @@ fn usage() -> ! {
          \x20 obs diff  OLD NEW                 compare two bench/metrics JSON documents\n\
          \x20           [--threshold B] [--warn-only] [--json]\n\
          \x20 table1    [--m M]                 the paper's Table I\n\
-         common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…\n\
+         common flags: --size S (default 8), --size2 S (2nd extent), --pi a,b,…,\n\
+         \x20               --file NEST.loom (parse a .loom nest; variable-distance\n\
+         \x20               dependences are folded and certified per LC016 unless\n\
+         \x20               --no-uniformize restores the front-end rejection)\n\
          output flags (simulate/check/explore/profile):\n\
          \x20               --metrics-out FILE (counters + simulator metrics JSON),\n\
          \x20               --trace-out FILE (Chrome/Perfetto trace JSON),\n\
@@ -151,8 +154,43 @@ fn pick_pi(
 fn pick_workload(a: &Args) -> Result<Workload, CliError> {
     if let Some(path) = a.flags.get("file").cloned() {
         let nest = parse_file_nest(a, &path)?;
-        let deps = loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default())
-            .map_err(|e| CliError::usage(format!("{path}: {e}")))?;
+        let opts = loom_loopir::DepOptions::default();
+        let deps = match loom_loopir::deps::dependence_vectors(&nest, opts) {
+            Ok(deps) => deps,
+            // Non-uniform nests go through certified uniformization
+            // (LC016) unless --no-uniformize restores the seed
+            // rejection; an uncertifiable nest renders its report.
+            Err(loom_loopir::Error::NonUniform { .. }) if !a.switch("no-uniformize") => {
+                let mut stats = loom_check::UniformizeStats::default();
+                match loom_check::admit_uniformized(&nest, opts, &mut stats) {
+                    Ok((u, _diags)) => {
+                        let vecs: Vec<String> = u
+                            .vectors
+                            .iter()
+                            .map(|v| {
+                                let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+                                format!("({})", parts.join(","))
+                            })
+                            .collect();
+                        eprintln!(
+                            "note: {path}: variable-distance dependences folded into the \
+                             certified synthesized set {{{}}} (LC016); run \
+                             `loom check --file {path}` for the certificate and the \
+                             tightness report",
+                            vecs.join(", ")
+                        );
+                        u.vectors
+                    }
+                    Err(report) => {
+                        let mut report = report;
+                        apply_allow(a, &mut report);
+                        render_report(a, &report)?;
+                        return Err(CliError::Diagnostics);
+                    }
+                }
+            }
+            Err(e) => return Err(CliError::usage(format!("{path}: {e}"))),
+        };
         let pi = pick_pi(a, &nest, &deps, &path)?;
         return Ok(Workload { nest, deps, pi });
     }
@@ -618,7 +656,7 @@ fn cmd_check(a: &Args) -> Result<(), CliError> {
                 Ok(())
             }
             None => Err(CliError::usage(format!(
-                "unknown rule `{code}`; known rules are LC001 through LC015 and LP001 through LP008"
+                "unknown rule `{code}`; known rules are LC001 through LC018 and LP001 through LP008"
             ))),
         };
     }
@@ -629,8 +667,12 @@ fn cmd_check(a: &Args) -> Result<(), CliError> {
             "--symbolic and --interleave/--corrupt are mutually exclusive",
         ));
     }
-    // Load `--file` nests by hand: a non-uniform nest must come back as
-    // an LC010 report on stdout, not a front-end abort on stderr.
+    // Load `--file` nests by hand: a non-uniform nest goes through the
+    // uniformization engine and either continues with the certified
+    // folded set (the certificate rides along in the report) or comes
+    // back as a rejection report on stdout, not a front-end abort on
+    // stderr.
+    let mut pre_diags: Vec<loom_check::Diagnostic> = Vec::new();
     let w = if let Some(path) = a.flags.get("file").cloned() {
         let nest = parse_file_nest(a, &path)?;
         match loom_loopir::deps::dependence_vectors(&nest, loom_loopir::DepOptions::default()) {
@@ -638,17 +680,31 @@ fn cmd_check(a: &Args) -> Result<(), CliError> {
                 let pi = pick_pi(a, &nest, &deps, &path)?;
                 Workload { nest, deps, pi }
             }
+            Err(e @ loom_loopir::Error::NonUniform { .. }) if a.switch("no-uniformize") => {
+                return Err(CliError::usage(format!("{path}: {e}")));
+            }
             Err(loom_loopir::Error::NonUniform { .. }) => {
-                let mut report = loom_check::Report::from_diagnostics(
-                    loom_check::check_access_dependences(&nest, None),
-                );
-                apply_allow(a, &mut report);
-                render_report(a, &report)?;
-                return if report.has_errors() {
-                    Err(CliError::Diagnostics)
-                } else {
-                    Ok(())
-                };
+                let mut stats = loom_check::UniformizeStats::default();
+                let (diags, uniformized) =
+                    loom_check::check_access_dependences_uniformized(&nest, None, &mut stats);
+                match uniformized {
+                    Some(u) => {
+                        pre_diags = diags;
+                        let deps = u.vectors;
+                        let pi = pick_pi(a, &nest, &deps, &path)?;
+                        Workload { nest, deps, pi }
+                    }
+                    None => {
+                        let mut report = loom_check::Report::from_diagnostics(diags);
+                        apply_allow(a, &mut report);
+                        render_report(a, &report)?;
+                        return if report.has_errors() {
+                            Err(CliError::Diagnostics)
+                        } else {
+                            Ok(())
+                        };
+                    }
+                }
             }
             Err(e) => return Err(CliError::usage(format!("{path}: {e}"))),
         }
@@ -725,6 +781,14 @@ fn cmd_check(a: &Args) -> Result<(), CliError> {
                 &rec,
             );
         }
+    }
+    // Prepend the uniformization certificate/tightness diagnostics of
+    // an admitted --file nest — except in symbolic mode, where
+    // check_pipeline_mode re-runs the engine and already includes them.
+    if !pre_diags.is_empty() && !symbolic {
+        let mut merged = loom_check::Report::from_diagnostics(pre_diags);
+        merged.extend(report.diagnostics().to_vec());
+        report = merged;
     }
     apply_allow(a, &mut report);
     render_report(a, &report)?;

@@ -247,7 +247,7 @@ fn check_explain_prints_catalog_entry() {
     assert!(out.contains("docs/CHECKS.md"), "{out}");
     let (_, err, ok) = loom(&["check", "--explain", "LC099"]);
     assert!(!ok);
-    assert!(err.contains("LC001 through LC015"), "{err}");
+    assert!(err.contains("LC001 through LC018"), "{err}");
 }
 
 #[test]

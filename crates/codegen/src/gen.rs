@@ -133,8 +133,11 @@ pub fn generate(
     let dep_vectors: Vec<Point> = cs.deps().to_vec();
 
     // Payload specs per dependence index: every extracted dependence
-    // whose vector matches contributes its transfer rule.
+    // whose vector matches contributes its transfer rule. Nests the
+    // uniform extractor rejects were admitted through uniformization,
+    // whose folded records carry the same vectors the partitioner saw.
     let records = extract_dependences(nest, DepOptions::default())
+        .or_else(|_| loom_loopir::uniformize(nest, DepOptions::default()).map(|u| u.deps))
         .expect("nest was analyzable when partitioned");
     let mut payload_specs: Vec<Vec<PayloadSpec>> = vec![Vec::new(); dep_vectors.len()];
     for rec in &records {

@@ -212,8 +212,12 @@ pub fn explore_reference(
     cube_dims: &[usize],
     config: &ExploreConfig,
 ) -> Result<Vec<Candidate>, PipelineError> {
-    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
-        .map_err(PipelineError::Deps)?;
+    let deps = crate::pipeline::admitted_dependence_vectors(
+        nest,
+        DepOptions::default(),
+        true,
+        &Recorder::disabled(),
+    )?;
     let pis = legal_pis(nest, &deps, config.pi_bound);
     let mut results: Vec<Candidate> = Vec::new();
     for pi in &pis {
@@ -290,8 +294,8 @@ pub fn explore_with(
         return explore_symbolic(nest, cube_dims, config, sym, recorder);
     }
     let _total = recorder.span("explore.total");
-    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
-        .map_err(PipelineError::Deps)?;
+    let deps =
+        crate::pipeline::admitted_dependence_vectors(nest, DepOptions::default(), true, recorder)?;
     let pis = legal_pis(nest, &deps, config.pi_bound);
     let pipeline = Pipeline::new(nest.clone());
 
@@ -441,8 +445,8 @@ fn explore_symbolic(
     recorder: &Recorder,
 ) -> Result<Vec<Candidate>, PipelineError> {
     let _total = recorder.span("explore.total");
-    let deps = loom_loopir::deps::dependence_vectors(nest, DepOptions::default())
-        .map_err(PipelineError::Deps)?;
+    let deps =
+        crate::pipeline::admitted_dependence_vectors(nest, DepOptions::default(), true, recorder)?;
     let pis = legal_pis(nest, &deps, config.pi_bound);
     let pipeline = Pipeline::new(nest.clone());
 

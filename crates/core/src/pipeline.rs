@@ -121,6 +121,15 @@ impl Default for MachineOptions {
 pub struct PipelineConfig {
     /// Dependence-extraction options.
     pub dep_options: DepOptions,
+    /// Admit nests the uniform front end rejects through certified
+    /// uniformization (`LC016`): variable-distance dependences are
+    /// folded into a synthesized constant-vector basis, the cover is
+    /// proven by the Presburger core, and the folded set drives the
+    /// rest of the pipeline. An uncertifiable nest is rejected with
+    /// the full report as [`PipelineError::StaticCheck`]. Disable to
+    /// get the seed behavior (every non-uniform nest is a
+    /// [`PipelineError::Deps`] rejection).
+    pub uniformize: bool,
     /// Fixed time function; `None` searches for the optimal one.
     pub time_fn: Option<Vec<i64>>,
     /// Search bounds when `time_fn` is `None`.
@@ -140,6 +149,7 @@ impl Default for PipelineConfig {
     fn default() -> PipelineConfig {
         PipelineConfig {
             dep_options: DepOptions::default(),
+            uniformize: true,
             time_fn: None,
             search: SearchConfig::default(),
             partition: PartitionConfig::default(),
@@ -332,11 +342,16 @@ impl Pipeline {
         config: &PipelineConfig,
         recorder: &Recorder,
     ) -> Result<PartitionedStage<'_>, PipelineError> {
-        // 1. Dependence analysis.
+        // 1. Dependence analysis (with certified uniformization of
+        // non-uniform nests when enabled).
         let deps = {
             let _s = recorder.span("pipeline.deps");
-            loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
-                .map_err(PipelineError::Deps)?
+            admitted_dependence_vectors(
+                &self.nest,
+                config.dep_options,
+                config.uniformize,
+                recorder,
+            )?
         };
         self.stage_partition_with_deps(config, recorder, deps)
     }
@@ -363,8 +378,12 @@ impl Pipeline {
         recorder: &Recorder,
     ) -> Result<crate::symbolic_cost::Derivation, PipelineError> {
         let _s = recorder.span("pipeline.symbolic_cost");
-        let deps = loom_loopir::deps::dependence_vectors(&self.nest, config.dep_options)
-            .map_err(PipelineError::Deps)?;
+        let deps = admitted_dependence_vectors(
+            &self.nest,
+            config.dep_options,
+            config.uniformize,
+            recorder,
+        )?;
         let pi = match &config.time_fn {
             Some(coeffs) => {
                 let pi = TimeFn::new(coeffs.clone());
@@ -433,14 +452,27 @@ impl Pipeline {
         // intra-iteration ones.
         let stmt_offsets = {
             let _s = recorder.span("pipeline.stmt_offsets");
-            let records = loom_loopir::deps::extract_dependences(
-                &self.nest,
-                DepOptions {
-                    include_intra: true,
-                    ..config.dep_options
-                },
-            )
-            .map_err(PipelineError::Deps)?;
+            let intra_opts = DepOptions {
+                include_intra: true,
+                ..config.dep_options
+            };
+            let records = match loom_loopir::deps::extract_dependences(&self.nest, intra_opts) {
+                Ok(records) => records,
+                // An admitted uniformized nest trips the uniform
+                // extractor again here; its folded dependence records
+                // (already certified during stage 1) drive the offsets.
+                Err(loom_loopir::Error::NonUniform { .. }) if config.uniformize => {
+                    loom_loopir::uniformize(&self.nest, intra_opts)
+                        .map(|u| u.deps)
+                        .map_err(|e| match e {
+                            loom_loopir::FoldError::Extract(err) => PipelineError::Deps(err),
+                            loom_loopir::FoldError::NoCover { array, .. } => {
+                                PipelineError::Deps(loom_loopir::Error::NonUniform { array })
+                            }
+                        })?
+                }
+                Err(e) => return Err(PipelineError::Deps(e)),
+            };
             loom_hyperplane::compute_offsets(self.nest.stmts().len(), &records, &pi)
                 .map_err(|_| PipelineError::TimeFn(loom_hyperplane::Error::NotFound { bound: 0 }))?
         };
@@ -470,6 +502,40 @@ impl Pipeline {
             comm,
             tig,
         })
+    }
+}
+
+/// Extract the dependence vector set `D`, admitting nests the uniform
+/// front end rejects through certified uniformization when enabled:
+/// the fold is synthesized (`loom_loopir::uniformize`) and its cover
+/// proven sound by the Presburger core (`LC016`) before the folded
+/// vectors are handed to the rest of the pipeline. An uncertifiable
+/// nest is rejected with the full diagnostic report; `Unknown`
+/// verdicts reject too — the pipeline never admits wrongly. Proof
+/// counts land on `recorder` as `check.uniformize.*` counters.
+pub(crate) fn admitted_dependence_vectors(
+    nest: &LoopNest,
+    opts: DepOptions,
+    uniformize: bool,
+    recorder: &Recorder,
+) -> Result<Vec<Point>, PipelineError> {
+    match loom_loopir::deps::dependence_vectors(nest, opts) {
+        Ok(deps) => Ok(deps),
+        Err(loom_loopir::Error::NonUniform { .. }) if uniformize => {
+            let mut stats = loom_check::UniformizeStats::default();
+            let admitted = loom_check::admit_uniformized(nest, opts, &mut stats);
+            recorder.add("check.uniformize.pairs", stats.pairs_folded);
+            recorder.add("check.uniformize.vectors", stats.vectors_synthesized);
+            recorder.add("check.uniformize.proofs", stats.proofs);
+            recorder.add("check.uniformize.refuted", stats.refuted);
+            recorder.add("check.uniformize.unknown", stats.unknown);
+            recorder.add("check.uniformize.tightness", stats.tightness_warnings);
+            match admitted {
+                Ok((u, _diags)) => Ok(u.vectors),
+                Err(report) => Err(PipelineError::StaticCheck(report)),
+            }
+        }
+        Err(e) => Err(PipelineError::Deps(e)),
     }
 }
 
@@ -1205,7 +1271,7 @@ mod tests {
     }
 
     #[test]
-    fn non_uniform_nest_rejected() {
+    fn non_uniform_nest_rejected_with_uniformize_off() {
         use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
         let nest = LoopNest::new(
             "bad",
@@ -1217,8 +1283,67 @@ mod tests {
         )
         .unwrap();
         let err = Pipeline::new(nest)
-            .run(&PipelineConfig::default())
+            .run(&PipelineConfig {
+                uniformize: false,
+                ..PipelineConfig::default()
+            })
             .unwrap_err();
         assert!(matches!(err, PipelineError::Deps(_)));
+    }
+
+    #[test]
+    fn non_uniform_nest_admitted_through_uniformization() {
+        use loom_loopir::{Access, Aff, IterSpace, LoopNest, Stmt};
+        // A[2i] = A[i]: the seed front end rejects this with LC010;
+        // certified folding admits it with the synthesized set {(1)}.
+        let nest = LoopNest::new(
+            "vardist",
+            IterSpace::rect(&[8]).unwrap(),
+            vec![Stmt::assign(
+                Access::new("A", vec![Aff::new(vec![2], 0)]),
+                vec![Access::simple("A", 1, &[(0, 0)])],
+            )],
+        )
+        .unwrap();
+        let rec = Recorder::enabled();
+        let out = Pipeline::new(nest)
+            .run_with(
+                &PipelineConfig {
+                    cube_dim: 0,
+                    ..PipelineConfig::default()
+                },
+                &rec,
+            )
+            .expect("admitted through uniformization");
+        assert_eq!(out.deps, vec![vec![1]]);
+        assert!(out.pi.dot(&[1]) >= 1);
+        let counters = rec.counters();
+        assert!(counters.get("check.uniformize.pairs") >= Some(&1));
+        assert!(counters.get("check.uniformize.proofs") >= Some(&1));
+        assert_eq!(counters.get("check.uniformize.refuted"), Some(&0));
+        assert_eq!(counters.get("check.uniformize.unknown"), Some(&0));
+    }
+
+    #[test]
+    fn uncoverable_nest_rejected_with_report() {
+        use loom_loopir::{Access, IterSpace, LoopNest, Stmt};
+        // Rank-mismatched accesses cannot be folded: admission must
+        // fail with the full diagnostic report, never a wrong admission.
+        let nest = LoopNest::new(
+            "ranks",
+            IterSpace::rect(&[4, 4]).unwrap(),
+            vec![Stmt::assign(
+                Access::simple("A", 2, &[(0, 0)]),
+                vec![Access::simple("A", 2, &[(0, 0), (1, 0)])],
+            )],
+        )
+        .unwrap();
+        let err = Pipeline::new(nest)
+            .run(&PipelineConfig::default())
+            .unwrap_err();
+        match err {
+            PipelineError::StaticCheck(report) => assert!(report.has_errors()),
+            other => panic!("expected StaticCheck rejection, got {other}"),
+        }
     }
 }

@@ -106,7 +106,7 @@ impl Default for DepOptions {
 }
 
 /// `-1`, `0`, `1` for lexicographic sign of a vector.
-fn lex_sign(v: &[i64]) -> Ordering {
+pub(crate) fn lex_sign(v: &[i64]) -> Ordering {
     for &x in v {
         match x.cmp(&0) {
             Ordering::Equal => continue,
@@ -117,7 +117,7 @@ fn lex_sign(v: &[i64]) -> Ordering {
 }
 
 /// Divide by the gcd of the entries and flip to lexicographic-positive.
-fn primitive_lex_positive(v: &[i64]) -> Option<Point> {
+pub(crate) fn primitive_lex_positive(v: &[i64]) -> Option<Point> {
     let g = gcd_all(v);
     if g == 0 {
         return None;
@@ -149,6 +149,28 @@ fn offsets(acc: &Access) -> Vec<i64> {
 /// index, the access itself, and whether it is the statement's write.
 pub type AccessSite<'a> = (usize, &'a Access, bool);
 
+/// A write-involved access pair whose linear subscript parts differ —
+/// outside the uniform class [`extract_dependences`] handles, and the
+/// raw material the [`crate::uniformize`] pass folds into synthesized
+/// constant vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonUniformPair {
+    /// Array both accesses touch.
+    pub array: String,
+    /// The first access in program order.
+    pub a: Access,
+    /// Statement index of `a`.
+    pub a_stmt: usize,
+    /// Whether `a` is its statement's write.
+    pub a_write: bool,
+    /// The second access in program order.
+    pub b: Access,
+    /// Statement index of `b`.
+    pub b_stmt: usize,
+    /// Whether `b` is its statement's write.
+    pub b_write: bool,
+}
+
 /// Gather every access per array, preserving program order (the raw
 /// material both [`extract_dependences`] and the symbolic front-end
 /// dependence analysis in `loom-check` scan pairwise). Arrays appear in
@@ -173,6 +195,37 @@ pub fn accesses_by_array(nest: &LoopNest) -> Vec<(String, Vec<AccessSite<'_>>)> 
 /// The result is deterministic: dependences are sorted by array, then
 /// kind, then vector.
 pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Dependence>, Error> {
+    extract_with(nest, opts, &mut |pair| {
+        Err(Error::NonUniform { array: pair.array })
+    })
+}
+
+/// [`extract_dependences`] with the uniformity requirement relaxed:
+/// write-involved access pairs whose linear subscript parts differ are
+/// collected as [`NonUniformPair`]s (in extraction order) instead of
+/// aborting, so the [`crate::uniformize`] pass can fold them. The
+/// uniform pairs are extracted exactly as [`extract_dependences`] does,
+/// and [`Error::Overflow`] still propagates.
+pub fn extract_dependences_relaxed(
+    nest: &LoopNest,
+    opts: DepOptions,
+) -> Result<(Vec<Dependence>, Vec<NonUniformPair>), Error> {
+    let mut pairs = Vec::new();
+    let deps = extract_with(nest, opts, &mut |pair| {
+        pairs.push(pair);
+        Ok(())
+    })?;
+    Ok((deps, pairs))
+}
+
+/// The shared pairwise scan: `on_nonuniform` decides whether a
+/// non-uniform write pair aborts extraction (the strict entry point) or
+/// is recorded and skipped (the relaxed one).
+fn extract_with(
+    nest: &LoopNest,
+    opts: DepOptions,
+    on_nonuniform: &mut dyn FnMut(NonUniformPair) -> Result<(), Error>,
+) -> Result<Vec<Dependence>, Error> {
     let n = nest.dim();
     let by_array = accesses_by_array(nest);
 
@@ -186,9 +239,15 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
                 }
                 if !ax.same_linear_part(ay) {
                     if any_write {
-                        return Err(Error::NonUniform {
+                        on_nonuniform(NonUniformPair {
                             array: array.clone(),
-                        });
+                            a: Access::clone(ax),
+                            a_stmt: sx,
+                            a_write: wx,
+                            b: Access::clone(ay),
+                            b_stmt: sy,
+                            b_write: wy,
+                        })?;
                     }
                     continue; // read/read with different shapes: no reuse model
                 }
@@ -290,7 +349,7 @@ pub fn extract_dependences(nest: &LoopNest, opts: DepOptions) -> Result<Vec<Depe
 }
 
 /// Source-write/sink-write flags → dependence kind.
-fn kind_of(src_is_write: bool, dst_is_write: bool) -> DepKind {
+pub(crate) fn kind_of(src_is_write: bool, dst_is_write: bool) -> DepKind {
     match (src_is_write, dst_is_write) {
         (true, true) => DepKind::Output,
         (true, false) => DepKind::Flow,
@@ -443,6 +502,44 @@ mod tests {
             )],
         )
         .unwrap();
+        assert!(matches!(
+            extract_dependences(&nest, DepOptions::default()),
+            Err(Error::NonUniform { .. })
+        ));
+    }
+
+    #[test]
+    fn relaxed_extraction_records_nonuniform_pairs() {
+        // A[2i] := A[i] + B[i-1]; B[i] := A[i]: the A write/read pair is
+        // non-uniform and must be recorded, while the uniform B chain
+        // still extracts. A[i]/A[i] (read/read, same shape) is uniform.
+        let nest = LoopNest::new(
+            "mix",
+            IterSpace::rect(&[8]).unwrap(),
+            vec![
+                Stmt::assign(
+                    Access::new("A", vec![crate::Aff::new(vec![2], 0)]),
+                    vec![
+                        Access::simple("A", 1, &[(0, 0)]),
+                        Access::simple("B", 1, &[(0, -1)]),
+                    ],
+                ),
+                Stmt::assign(
+                    Access::simple("B", 1, &[(0, 0)]),
+                    vec![Access::simple("A", 1, &[(0, 0)])],
+                ),
+            ],
+        )
+        .unwrap();
+        let (deps, pairs) = extract_dependences_relaxed(&nest, DepOptions::default()).unwrap();
+        // Two non-uniform pairs: A[2i]/A[i] of S0 and A[2i]/A[i] of S1.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.array == "A" && p.a_write));
+        // The uniform B flow dep B[i] -> B[i-1] survives.
+        assert!(deps
+            .iter()
+            .any(|d| d.array == "B" && d.kind == DepKind::Flow && d.vector == vec![1]));
+        // The strict entry point still rejects the same nest.
         assert!(matches!(
             extract_dependences(&nest, DepOptions::default()),
             Err(Error::NonUniform { .. })

@@ -32,16 +32,19 @@ pub mod normalize;
 pub mod parse;
 pub mod sem;
 pub mod space;
+pub mod uniformize;
 
 pub use access::Access;
 pub use aff::Aff;
 pub use deps::{
-    accesses_by_array, extract_dependences, AccessSite, DepKind, DepOptions, Dependence,
+    accesses_by_array, extract_dependences, extract_dependences_relaxed, AccessSite, DepKind,
+    DepOptions, Dependence, NonUniformPair,
 };
 pub use front::{FrontDiag, FrontLimits, LpCode, ParseOutcome};
 pub use nest::{LoopNest, Stmt};
 pub use parse::{parse_nest, parse_nest_recovering, parse_nest_with_limits, ParseError};
 pub use space::IterSpace;
+pub use uniformize::{uniformize, FoldError, PairFold, Uniformization};
 
 /// An iteration-space point (loop index value).
 pub type Point = Vec<i64>;

@@ -45,12 +45,14 @@ fn assert_golden(rel: &str, got: &str) {
     );
 }
 
-const SAMPLES: [&str; 6] = [
+const SAMPLES: [&str; 8] = [
     "heat1d.loom",
     "l1.loom",
     "matmul.loom",
     "nonuniform.loom",
     "strided.loom",
+    "vardist_diag2d.loom",
+    "vardist_scale.loom",
     "wavefront_dp.loom",
 ];
 
